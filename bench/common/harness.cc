@@ -1,0 +1,62 @@
+#include "common/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace airindex::bench {
+
+std::vector<device::QueryMetrics> RunQueries(
+    const core::AirSystem& sys, const graph::Graph& g,
+    const workload::Workload& w, double loss_rate, uint64_t loss_seed,
+    const core::ClientOptions& options) {
+  broadcast::BroadcastChannel channel(&sys.cycle(), loss_rate, loss_seed);
+  std::vector<device::QueryMetrics> out;
+  out.reserve(w.queries.size());
+  for (const auto& q : w.queries) {
+    out.push_back(sys.RunQuery(channel, core::MakeAirQuery(g, q), options));
+  }
+  return out;
+}
+
+std::vector<device::QueryMetrics> Select(
+    const std::vector<device::QueryMetrics>& all,
+    const std::vector<size_t>& indexes) {
+  std::vector<device::QueryMetrics> out;
+  out.reserve(indexes.size());
+  for (size_t i : indexes) out.push_back(all[i]);
+  return out;
+}
+
+graph::Graph LoadNetwork(const std::string& name, const BenchOptions& opts) {
+  auto spec = graph::FindNetwork(name);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown network %s\n", name.c_str());
+    std::exit(2);
+  }
+  auto g = graph::MakeNetwork(*spec, opts.scale);
+  if (!g.ok()) {
+    std::fprintf(stderr, "network build failed: %s\n",
+                 g.status().ToString().c_str());
+    std::exit(2);
+  }
+  std::printf("# network %s at scale %.2f: %zu nodes, %zu arcs\n",
+              name.c_str(), opts.scale, g->num_nodes(), g->num_arcs());
+  return std::move(g).value();
+}
+
+void PrintHeader(const std::string& title, const BenchOptions& opts) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("scale=%.2f queries=%zu seed=%llu loss=%.4f\n", opts.scale,
+              opts.queries, static_cast<unsigned long long>(opts.seed),
+              opts.loss);
+  std::printf("==================================================\n");
+}
+
+std::string Mb(double bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace airindex::bench

@@ -1,0 +1,41 @@
+#ifndef AIRINDEX_BENCH_COMMON_HARNESS_H_
+#define AIRINDEX_BENCH_COMMON_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "core/air_system.h"
+#include "device/metrics.h"
+#include "graph/catalog.h"
+#include "graph/graph.h"
+#include "workload/workload.h"
+
+namespace airindex::bench {
+
+/// Runs every workload query through `sys` on a channel with the given loss
+/// rate and returns the per-query metrics.
+std::vector<device::QueryMetrics> RunQueries(
+    const core::AirSystem& sys, const graph::Graph& g,
+    const workload::Workload& w, double loss_rate, uint64_t loss_seed,
+    const core::ClientOptions& options);
+
+/// Per-query metrics restricted to a subset of query indexes (Fig. 10's
+/// SP-length buckets).
+std::vector<device::QueryMetrics> Select(
+    const std::vector<device::QueryMetrics>& all,
+    const std::vector<size_t>& indexes);
+
+/// Generates the scaled replica of a catalog network, printing what was
+/// built.
+graph::Graph LoadNetwork(const std::string& name, const BenchOptions& opts);
+
+/// Prints a section header for an experiment.
+void PrintHeader(const std::string& title, const BenchOptions& opts);
+
+/// Formats bytes as MB with two decimals.
+std::string Mb(double bytes);
+
+}  // namespace airindex::bench
+
+#endif  // AIRINDEX_BENCH_COMMON_HARNESS_H_

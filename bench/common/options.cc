@@ -1,0 +1,45 @@
+#include "common/options.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace airindex::bench {
+
+size_t BenchOptions::ScaledHeapBytes() const {
+  const double heap = 8.0 * 1024 * 1024 * scale;
+  return static_cast<size_t>(heap);
+}
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      opts.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      opts.queries = static_cast<size_t>(std::atoll(arg + 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opts.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--loss=", 7) == 0) {
+      opts.loss = std::atof(arg + 7);
+    } else if (std::strcmp(arg, "--full") == 0) {
+      opts.full = true;
+    } else if (std::strcmp(arg, "--no-heavy") == 0) {
+      opts.no_heavy = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale=F] [--queries=N] [--seed=N] "
+                   "[--loss=F] [--full] [--no-heavy]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (opts.full) {
+    opts.scale = 1.0;
+    if (opts.queries == 100) opts.queries = 400;  // the paper's count
+  }
+  return opts;
+}
+
+}  // namespace airindex::bench

@@ -1,0 +1,36 @@
+#ifndef AIRINDEX_BENCH_COMMON_OPTIONS_H_
+#define AIRINDEX_BENCH_COMMON_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace airindex::bench {
+
+/// Command-line options shared by every experiment binary.
+///
+/// The default `scale` shrinks the paper's networks (same topology style and
+/// edge/node ratio) so the whole suite runs in minutes; pass --full (or
+/// --scale=1) to reproduce at paper scale. The device heap is scaled with
+/// the network so Table-2-style applicability keeps its shape (see
+/// EXPERIMENTS.md).
+struct BenchOptions {
+  double scale = 0.2;
+  size_t queries = 100;
+  uint64_t seed = 20100913;  // VLDB'10 opening day
+  double loss = 0.0;
+  bool full = false;
+  /// Skip SPQ/HiTi (whose pre-computation is all-pairs-flavoured) even in
+  /// benches that normally include them.
+  bool no_heavy = false;
+
+  /// Device heap budget scaled with the network.
+  size_t ScaledHeapBytes() const;
+};
+
+/// Parses --scale=, --queries=, --seed=, --loss=, --full, --no-heavy.
+/// Unknown flags abort with a usage message.
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+}  // namespace airindex::bench
+
+#endif  // AIRINDEX_BENCH_COMMON_OPTIONS_H_

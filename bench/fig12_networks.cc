@@ -1,0 +1,50 @@
+// Reproduces Figure 12 (a-d, Appendix C.3): tuning time, memory, access
+// latency and CPU time across the five evaluation networks.
+//
+// Expected shape (paper): every metric grows with network size; NR is the
+// only method that stays comfortable on the largest networks; methods that
+// exceed the device heap are flagged.
+
+#include <cstdio>
+
+#include "common/harness.h"
+#include "common/options.h"
+#include "core/systems.h"
+
+using namespace airindex;  // NOLINT: experiment binary
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseBenchOptions(argc, argv);
+  bench::PrintHeader("Figure 12: performance across networks", opts);
+
+  std::printf("%-14s %-6s %12s %10s %12s %10s %6s\n", "network", "method",
+              "tuning[pkt]", "mem[MB]", "latency[pkt]", "cpu[ms]", "fits");
+  for (const auto& spec : graph::PaperNetworks()) {
+    graph::Graph g = bench::LoadNetwork(spec.name, opts);
+    core::SystemParams params;
+    params.arcflag_regions = 16;
+    params.eb_regions = 32;
+    params.nr_regions = 32;
+    params.landmarks = 4;
+    auto systems = core::BuildSystems(g, params).value();
+    auto w = workload::GenerateWorkload(g, opts.queries, opts.seed).value();
+
+    core::ClientOptions copts;
+    copts.heap_bytes = opts.ScaledHeapBytes();
+    for (const auto& sys : systems) {
+      auto metrics =
+          bench::RunQueries(*sys, g, w, opts.loss, opts.seed, copts);
+      auto s = device::MetricsSummary::Of(metrics);
+      std::printf("%-14s %-6s %12.0f %10s %12.0f %10.2f %6s\n",
+                  spec.name.c_str(), std::string(sys->name()).c_str(),
+                  s.avg_tuning_packets,
+                  bench::Mb(s.avg_peak_memory_bytes).c_str(),
+                  s.avg_latency_packets, s.avg_cpu_ms,
+                  s.any_memory_exceeded ? "NO" : "yes");
+    }
+  }
+  std::printf(
+      "\n# paper shape: all metrics grow with network size; NR lowest\n"
+      "# everywhere and the only method fitting San Francisco.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Micro benchmarks (google-benchmark) for the hot substrate operations:
+// Dijkstra throughput, kd-tree construction, border-pair pre-computation,
+// network generation, and broadcast-cycle assembly.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/dijkstra.h"
+#include "core/border_precompute.h"
+#include "core/dijkstra_on_air.h"
+#include "core/nr.h"
+#include "graph/catalog.h"
+#include "graph/generator.h"
+#include "partition/kd_tree.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace airindex;  // NOLINT: benchmark binary
+
+const graph::Graph& BenchGraph() {
+  static const graph::Graph& g =
+      *new graph::Graph(graph::MakeNetwork(graph::DefaultNetwork(), 0.1)
+                            .value());
+  return g;
+}
+
+void BM_DijkstraFull(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  graph::NodeId source = 0;
+  for (auto _ : state) {
+    auto tree = algo::DijkstraAll(g, source);
+    benchmark::DoNotOptimize(tree.dist.data());
+    source = (source + 97) % g.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_DijkstraFull);
+
+void BM_DijkstraPointToPoint(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  graph::NodeId s = 1, t = static_cast<graph::NodeId>(g.num_nodes() - 1);
+  for (auto _ : state) {
+    auto p = algo::DijkstraPath(g, s, t);
+    benchmark::DoNotOptimize(p.dist);
+    s = (s + 131) % g.num_nodes();
+    t = (t + 173) % g.num_nodes();
+    if (s == t) t = (t + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_DijkstraPointToPoint);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  const auto regions = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto kd = partition::KdTreePartitioner::Build(g, regions).value();
+    benchmark::DoNotOptimize(kd.splits_bfs().data());
+  }
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BorderPrecompute(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  auto kd = partition::KdTreePartitioner::Build(
+                g, static_cast<uint32_t>(state.range(0)))
+                .value();
+  for (auto _ : state) {
+    auto pre = core::ComputeBorderPrecompute(g, kd.Partition(g)).value();
+    benchmark::DoNotOptimize(pre.min_rr.data());
+  }
+}
+BENCHMARK(BM_BorderPrecompute)->Arg(16)->Arg(32)->Unit(
+    benchmark::kMillisecond);
+
+void BM_NetworkGeneration(benchmark::State& state) {
+  graph::GeneratorOptions opts;
+  opts.num_nodes = static_cast<uint32_t>(state.range(0));
+  opts.num_edges = opts.num_nodes + opts.num_nodes / 10;
+  opts.seed = 5;
+  for (auto _ : state) {
+    auto g = graph::GenerateRoadNetwork(opts).value();
+    benchmark::DoNotOptimize(g.num_arcs());
+  }
+}
+BENCHMARK(BM_NetworkGeneration)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_CycleBuildDj(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  for (auto _ : state) {
+    auto sys = core::DijkstraOnAir::Build(g).value();
+    benchmark::DoNotOptimize(sys->cycle().total_packets());
+  }
+}
+BENCHMARK(BM_CycleBuildDj)->Unit(benchmark::kMillisecond);
+
+void BM_NrClientQuery(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  static const auto& nr =
+      *new std::unique_ptr<core::NrSystem>(
+          core::NrSystem::Build(g, 32).value());
+  static const auto& w =
+      *new workload::Workload(workload::GenerateWorkload(g, 64, 9).value());
+  broadcast::BroadcastChannel channel(&nr->cycle(), 0.0);
+  size_t qi = 0;
+  for (auto _ : state) {
+    auto m = nr->RunQuery(channel, core::MakeAirQuery(g, w.queries[qi]));
+    benchmark::DoNotOptimize(m.distance);
+    qi = (qi + 1) % w.queries.size();
+  }
+}
+BENCHMARK(BM_NrClientQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace

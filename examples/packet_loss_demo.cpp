@@ -1,0 +1,57 @@
+// Packet loss resilience (§6.2): the same query stream over increasingly
+// lossy channels. Every method stays exact — losses only cost tuning time
+// and latency — and the lower a method's tuning time, the less it degrades.
+//
+//   $ ./packet_loss_demo
+
+#include <cstdio>
+
+#include "broadcast/channel.h"
+#include "core/dijkstra_on_air.h"
+#include "core/nr.h"
+#include "graph/generator.h"
+#include "workload/workload.h"
+
+using namespace airindex;  // NOLINT: example binary
+
+int main() {
+  graph::GeneratorOptions gen;
+  gen.num_nodes = 3000;
+  gen.num_edges = 4200;
+  gen.seed = 99;
+  graph::Graph network = graph::GenerateRoadNetwork(gen).value();
+
+  auto dj = core::DijkstraOnAir::Build(network).value();
+  auto nr = core::NrSystem::Build(network, 16).value();
+  auto w = workload::GenerateWorkload(network, 25, 3).value();
+
+  std::printf("%-8s %-6s %14s %14s %8s\n", "loss", "method", "tuning[pkt]",
+              "latency[pkt]", "exact");
+  for (double loss : {0.0, 0.01, 0.05, 0.10}) {
+    for (const core::AirSystem* sys :
+         {static_cast<const core::AirSystem*>(dj.get()),
+          static_cast<const core::AirSystem*>(nr.get())}) {
+      broadcast::BroadcastChannel channel(&sys->cycle(), loss, 555);
+      core::ClientOptions opts;
+      opts.max_repair_cycles = 64;
+      double tuning = 0, latency = 0;
+      bool all_exact = true;
+      for (const auto& q : w.queries) {
+        auto m = sys->RunQuery(channel, core::MakeAirQuery(network, q),
+                               opts);
+        tuning += static_cast<double>(m.tuning_packets);
+        latency += static_cast<double>(m.latency_packets);
+        all_exact &= m.ok && m.distance == q.true_dist;
+      }
+      const auto n = static_cast<double>(w.queries.size());
+      std::printf("%-8.1f%%%-6s %14.0f %14.0f %8s\n", loss * 100,
+                  std::string(sys->name()).c_str(), tuning / n, latency / n,
+                  all_exact ? "yes" : "NO");
+    }
+  }
+  std::printf(
+      "\nDijkstra re-listens to every lost adjacency packet next cycle;\n"
+      "NR only re-listens within the few regions it needs, so its\n"
+      "degradation stays proportional to its (small) tuning time.\n");
+  return 0;
+}

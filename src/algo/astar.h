@@ -1,0 +1,74 @@
+#ifndef AIRINDEX_ALGO_ASTAR_H_
+#define AIRINDEX_ALGO_ASTAR_H_
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "algo/dijkstra.h"
+#include "graph/types.h"
+
+namespace airindex::algo {
+
+/// A* search (§2.1): Dijkstra whose heap keys are increased by an admissible
+/// lower bound LB(v, target) on the remaining graph distance. With the
+/// always-zero bound it degenerates to plain Dijkstra. The Landmark method
+/// supplies ALT bounds; the paper otherwise assumes no a-priori bounds exist
+/// in general road networks.
+///
+/// Generic over the same graph concept as DijkstraSearch. `lower_bound(v)`
+/// must be admissible. Nodes are re-expanded whenever their tentative
+/// distance improves (stale heap entries are skipped), so the search stays
+/// exact even for admissible-but-inconsistent bounds — which arise in the
+/// broadcast Landmark client when some distance vectors were lost and fall
+/// back to a zero bound (§6.2). With a consistent bound every node still
+/// expands exactly once.
+template <typename G, typename LowerBound>
+Path AStarPath(const G& g, NodeId source, NodeId target,
+               LowerBound lower_bound, size_t* settled_out = nullptr) {
+  const size_t n = g.num_nodes();
+  std::vector<Dist> dist(n, kInfDist);
+  std::vector<NodeId> parent(n, kInvalidNode);
+
+  // Heap keyed on f = g + h; entries are (f, g, v) so staleness is a plain
+  // comparison of g against the current tentative distance.
+  struct QueueItem {
+    Dist f;
+    Dist g;
+    NodeId v;
+    bool operator>(const QueueItem& o) const {
+      return f > o.f || (f == o.f && g > o.g);
+    }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.push({lower_bound(source), 0, source});
+  size_t expanded = 0;
+
+  while (!heap.empty()) {
+    auto [f, gv, v] = heap.top();
+    heap.pop();
+    if (gv != dist[v]) continue;  // stale entry
+    ++expanded;
+    if (v == target) break;
+    for (const auto& arc : g.OutArcs(v)) {
+      const Dist nd = gv + arc.weight;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = nd;
+        parent[arc.to] = v;
+        heap.push({nd + lower_bound(arc.to), nd, arc.to});
+      }
+    }
+  }
+  if (settled_out != nullptr) *settled_out = expanded;
+
+  SearchTree tree;
+  tree.dist = std::move(dist);
+  tree.parent = std::move(parent);
+  tree.settled = expanded;
+  return ExtractPath(tree, source, target);
+}
+
+}  // namespace airindex::algo
+
+#endif  // AIRINDEX_ALGO_ASTAR_H_

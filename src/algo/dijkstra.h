@@ -1,0 +1,148 @@
+#ifndef AIRINDEX_ALGO_DIJKSTRA_H_
+#define AIRINDEX_ALGO_DIJKSTRA_H_
+
+#include <cstddef>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace airindex::algo {
+
+using graph::Dist;
+using graph::Graph;
+using graph::kInfDist;
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::Path;
+
+/// Result of a Dijkstra run: per-node distances, the shortest-path tree
+/// (parent pointers), and the number of settled nodes (the paper's proxy for
+/// client CPU work).
+struct SearchTree {
+  std::vector<Dist> dist;
+  std::vector<NodeId> parent;
+  size_t settled = 0;
+};
+
+/// Generic Dijkstra over any graph type exposing
+///   size_t num_nodes() const
+///   <range of {to, weight}> OutArcs(NodeId) const
+/// (satisfied by graph::Graph and by the client-side PartialGraph).
+///
+/// `target`: stop as soon as this node is settled (kInvalidNode = settle
+/// everything). `edge_filter(from, arc)` returning false skips an arc; it is
+/// how ArcFlag restricts the search and how clients ignore adjacency entries
+/// pointing at nodes they never received.
+template <typename G, typename EdgeFilter>
+SearchTree DijkstraSearch(const G& g, NodeId source, NodeId target,
+                          EdgeFilter edge_filter) {
+  const size_t n = g.num_nodes();
+  SearchTree out;
+  out.dist.assign(n, kInfDist);
+  out.parent.assign(n, kInvalidNode);
+
+  using QueueItem = std::pair<Dist, NodeId>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> heap;
+  out.dist[source] = 0;
+  heap.emplace(0, source);
+
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d != out.dist[v]) continue;  // stale entry
+    ++out.settled;
+    if (v == target) break;
+    for (const auto& arc : g.OutArcs(v)) {
+      if (!edge_filter(v, arc)) continue;
+      Dist nd = d + arc.weight;
+      if (nd < out.dist[arc.to]) {
+        out.dist[arc.to] = nd;
+        out.parent[arc.to] = v;
+        heap.emplace(nd, arc.to);
+      }
+    }
+  }
+  return out;
+}
+
+/// Accept-everything edge filter.
+struct AllEdges {
+  template <typename Arc>
+  bool operator()(NodeId, const Arc&) const {
+    return true;
+  }
+};
+
+/// Full single-source Dijkstra (settles every reachable node).
+template <typename G>
+SearchTree DijkstraAll(const G& g, NodeId source) {
+  return DijkstraSearch(g, source, kInvalidNode, AllEdges{});
+}
+
+/// Single-source Dijkstra that stops once every node in `targets` is
+/// settled. Used by the border-pair pre-computation, where only
+/// border-to-border distances matter.
+template <typename G>
+SearchTree DijkstraToTargets(const G& g, NodeId source,
+                             const std::vector<NodeId>& targets) {
+  const size_t n = g.num_nodes();
+  std::vector<uint8_t> pending(n, 0);
+  size_t remaining = 0;
+  for (NodeId t : targets) {
+    if (!pending[t]) {
+      pending[t] = 1;
+      ++remaining;
+    }
+  }
+
+  SearchTree out;
+  out.dist.assign(n, kInfDist);
+  out.parent.assign(n, kInvalidNode);
+  using QueueItem = std::pair<Dist, NodeId>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> heap;
+  out.dist[source] = 0;
+  heap.emplace(0, source);
+  while (!heap.empty() && remaining > 0) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d != out.dist[v]) continue;
+    ++out.settled;
+    if (pending[v]) {
+      pending[v] = 0;
+      --remaining;
+    }
+    for (const auto& arc : g.OutArcs(v)) {
+      Dist nd = d + arc.weight;
+      if (nd < out.dist[arc.to]) {
+        out.dist[arc.to] = nd;
+        out.parent[arc.to] = v;
+        heap.emplace(nd, arc.to);
+      }
+    }
+  }
+  return out;
+}
+
+/// Walks the parent chain of `tree` (a search from `source`) backwards from
+/// `target`. Returns an unreachable Path if target was not reached.
+Path ExtractPath(const SearchTree& tree, NodeId source, NodeId target);
+
+/// Point-to-point shortest path on a full graph (the paper's baseline query
+/// and the ground truth used by every test).
+template <typename G>
+Path DijkstraPath(const G& g, NodeId source, NodeId target) {
+  SearchTree tree = DijkstraSearch(g, source, target, AllEdges{});
+  return ExtractPath(tree, source, target);
+}
+
+/// Sums edge weights along `nodes`, verifying each hop exists in `g`.
+/// Returns kInfDist if some hop is missing — used by tests and by clients to
+/// sanity-check reconstructed paths.
+Dist PathLength(const Graph& g, const std::vector<NodeId>& nodes);
+
+}  // namespace airindex::algo
+
+#endif  // AIRINDEX_ALGO_DIJKSTRA_H_

@@ -1,0 +1,101 @@
+#include "broadcast/channel.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace airindex::broadcast {
+
+bool ReceivedSegment::RangeOk(size_t begin, size_t end) const {
+  if (begin >= end) return true;
+  const size_t first = begin / kPayloadSize;
+  const size_t last = (end - 1) / kPayloadSize;
+  for (size_t p = first; p <= last && p < packet_ok.size(); ++p) {
+    if (!packet_ok[p]) return false;
+  }
+  return last < packet_ok.size();
+}
+
+ReceivedSegment ReceiveSegmentAt(ClientSession& session,
+                                 uint32_t segment_start) {
+  session.SleepUntilCyclePos(segment_start);
+
+  ReceivedSegment out;
+  const BroadcastCycle& cycle = session.cycle();
+  const uint32_t si = cycle.SegmentAt(segment_start);
+  const Segment& seg = cycle.segment(si);
+  out.segment_index = si;
+  out.type = seg.type;
+  out.segment_id = seg.id;
+  out.payload.assign(seg.payload.size(), 0);
+  const uint32_t packets = seg.PacketCount();
+  out.packet_ok.assign(packets, false);
+
+  out.complete = true;
+  for (uint32_t p = 0; p < packets; ++p) {
+    auto view = session.ReceiveNext();
+    if (!view.has_value()) {
+      out.complete = false;
+      continue;
+    }
+    out.packet_ok[view->seq] = true;
+    std::memcpy(out.payload.data() +
+                    static_cast<size_t>(view->seq) * kPayloadSize,
+                view->chunk.data(), view->chunk.size());
+  }
+  return out;
+}
+
+ReceivedSegment CompleteSegmentFrom(ClientSession& session,
+                                    const PacketView& first) {
+  ReceivedSegment out;
+  const BroadcastCycle& cycle = session.cycle();
+  const Segment& seg = cycle.segment(first.segment_index);
+  out.segment_index = first.segment_index;
+  out.type = seg.type;
+  out.segment_id = seg.id;
+  out.payload.assign(seg.payload.size(), 0);
+  const uint32_t packets = seg.PacketCount();
+  out.packet_ok.assign(packets, false);
+
+  out.packet_ok[first.seq] = true;
+  std::memcpy(out.payload.data() +
+                  static_cast<size_t>(first.seq) * kPayloadSize,
+              first.chunk.data(), first.chunk.size());
+  for (uint32_t p = first.seq + 1; p < packets; ++p) {
+    auto view = session.ReceiveNext();
+    if (!view.has_value()) continue;
+    out.packet_ok[view->seq] = true;
+    std::memcpy(out.payload.data() +
+                    static_cast<size_t>(view->seq) * kPayloadSize,
+                view->chunk.data(), view->chunk.size());
+  }
+  out.complete = std::all_of(out.packet_ok.begin(), out.packet_ok.end(),
+                             [](bool b) { return b; });
+  return out;
+}
+
+bool RepairSegment(ClientSession& session, uint32_t segment_start,
+                   ReceivedSegment* seg, int max_extra_cycles) {
+  if (seg->complete) return true;
+  const BroadcastCycle& cycle = session.cycle();
+  for (int attempt = 0; attempt < max_extra_cycles; ++attempt) {
+    // Visit the missing packets of the segment in broadcast order.
+    for (uint32_t p = 0; p < seg->packet_ok.size(); ++p) {
+      if (seg->packet_ok[p]) continue;
+      session.SleepUntilCyclePos(
+          (segment_start + p) % cycle.total_packets());
+      auto view = session.ReceiveNext();
+      if (!view.has_value()) continue;
+      seg->packet_ok[view->seq] = true;
+      std::memcpy(seg->payload.data() +
+                      static_cast<size_t>(view->seq) * kPayloadSize,
+                  view->chunk.data(), view->chunk.size());
+    }
+    seg->complete = std::all_of(seg->packet_ok.begin(), seg->packet_ok.end(),
+                                [](bool b) { return b; });
+    if (seg->complete) return true;
+  }
+  return false;
+}
+
+}  // namespace airindex::broadcast

@@ -1,0 +1,168 @@
+#ifndef AIRINDEX_BROADCAST_CHANNEL_H_
+#define AIRINDEX_BROADCAST_CHANNEL_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "broadcast/cycle.h"
+#include "broadcast/packet.h"
+
+namespace airindex::broadcast {
+
+/// Packet-loss behaviour of a channel. `rate` is the long-run per-packet
+/// loss probability. With `burst_len == 1` losses are independent (the
+/// §6.2 model); larger values group losses into fade bursts of that many
+/// consecutive packets (wireless losses are bursty in practice — the
+/// paper's [15] reference), keeping the same long-run rate.
+struct LossModel {
+  double rate = 0.0;
+  uint32_t burst_len = 1;
+
+  static LossModel None() { return {0.0, 1}; }
+  static LossModel Independent(double rate) { return {rate, 1}; }
+  static LossModel Bursty(double rate, uint32_t burst_len) {
+    return {rate, burst_len};
+  }
+};
+
+/// The wireless channel: endlessly replays a broadcast cycle and drops
+/// transmitted packets per a LossModel (§6.2). Loss is a deterministic
+/// function of (seed, absolute position), so a given channel replays
+/// identically for every client and every rerun.
+class BroadcastChannel {
+ public:
+  /// `cycle` must outlive the channel.
+  BroadcastChannel(const BroadcastCycle* cycle, double loss_rate = 0.0,
+                   uint64_t seed = 0x10552)
+      : BroadcastChannel(cycle, LossModel::Independent(loss_rate), seed) {}
+
+  BroadcastChannel(const BroadcastCycle* cycle, LossModel loss,
+                   uint64_t seed)
+      : cycle_(cycle), loss_(loss), seed_(seed) {}
+
+  const BroadcastCycle& cycle() const { return *cycle_; }
+  double loss_rate() const { return loss_.rate; }
+  const LossModel& loss_model() const { return loss_; }
+
+  /// Whether the packet broadcast at absolute position `abs_pos` is lost.
+  /// Bursty mode decides per burst-length block, so losses arrive in runs
+  /// of `burst_len` packets while the long-run rate stays `rate`.
+  bool IsLost(uint64_t abs_pos) const {
+    if (loss_.rate <= 0.0) return false;
+    const uint64_t unit =
+        loss_.burst_len > 1 ? abs_pos / loss_.burst_len : abs_pos;
+    // SplitMix64 of (seed, unit) -> uniform [0,1).
+    uint64_t z = seed_ ^ (unit + 0x9E3779B97f4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53 < loss_.rate;
+  }
+
+  uint32_t CyclePos(uint64_t abs_pos) const {
+    return static_cast<uint32_t>(abs_pos % cycle_->total_packets());
+  }
+
+ private:
+  const BroadcastCycle* cycle_;
+  LossModel loss_;
+  uint64_t seed_;
+};
+
+/// One client's view of the channel during one query. Tracks the paper's
+/// §3.1 cost factors at packet granularity:
+///   * tuning time  = packets the radio was awake for (received or lost),
+///   * access latency = packets elapsed from tune-in to the last packet the
+///     client needed.
+/// Sleeping (skipping forward without listening) is free apart from wall
+/// clock. Positions are absolute (monotonic across cycle wrap-arounds).
+class ClientSession {
+ public:
+  ClientSession(const BroadcastChannel* channel, uint64_t start_pos)
+      : channel_(channel), start_pos_(start_pos), pos_(start_pos) {}
+
+  /// Absolute position of the next packet to be transmitted.
+  uint64_t position() const { return pos_; }
+  uint32_t cycle_pos() const { return channel_->CyclePos(pos_); }
+  const BroadcastChannel& channel() const { return *channel_; }
+  const BroadcastCycle& cycle() const { return channel_->cycle(); }
+
+  /// Listens to the packet at the current position. Counts one packet of
+  /// tuning time either way; returns nullopt if the packet was lost on air.
+  std::optional<PacketView> ReceiveNext() {
+    const uint64_t p = pos_++;
+    ++tuned_;
+    last_listened_ = p;
+    if (channel_->IsLost(p)) return std::nullopt;
+    return cycle().PacketAt(channel_->CyclePos(p));
+  }
+
+  /// Sleeps until cycle position `cpos` is about to be transmitted (the
+  /// next occurrence at or after the current position).
+  void SleepUntilCyclePos(uint32_t cpos) {
+    const uint32_t total = cycle().total_packets();
+    const uint32_t cur = cycle_pos();
+    const uint32_t ahead = cpos >= cur ? cpos - cur : cpos + total - cur;
+    pos_ += ahead;
+  }
+
+  /// Sleeps for exactly `n` packets.
+  void SleepPackets(uint64_t n) { pos_ += n; }
+
+  /// Paper metric: number of packets received (energy proxy).
+  uint64_t tuned_packets() const { return tuned_; }
+
+  /// Paper metric: packets between posing the query and the end of the last
+  /// packet listened to.
+  uint64_t latency_packets() const {
+    return last_listened_ == 0 && tuned_ == 0
+               ? 0
+               : last_listened_ - start_pos_ + 1;
+  }
+
+ private:
+  const BroadcastChannel* channel_;
+  uint64_t start_pos_;
+  uint64_t pos_;
+  uint64_t tuned_ = 0;
+  uint64_t last_listened_ = 0;
+};
+
+/// A segment reassembled from the air: the payload plus a per-packet
+/// completeness mask (false where the packet was lost).
+struct ReceivedSegment {
+  uint32_t segment_index = 0;
+  SegmentType type = SegmentType::kNetworkData;
+  uint32_t segment_id = 0;
+  std::vector<uint8_t> payload;
+  std::vector<bool> packet_ok;
+  bool complete = false;
+
+  /// True iff the payload byte range [begin, end) was carried by packets
+  /// that all arrived.
+  bool RangeOk(size_t begin, size_t end) const;
+};
+
+/// Sleeps to `segment_start` (a cycle position) and listens to every packet
+/// of the segment that starts there. Lost packets leave zeroed payload
+/// bytes and a false mask entry; retry policy is the caller's.
+ReceivedSegment ReceiveSegmentAt(ClientSession& session,
+                                 uint32_t segment_start);
+
+/// Completes the segment a just-received packet belongs to: ingests `first`
+/// and listens to the rest of its segment. Packets before `first.seq` are
+/// left as holes (equivalent to losses). Lets a client that tuned in right
+/// at (or inside) an index segment use it instead of waiting a whole cycle
+/// for the next one.
+ReceivedSegment CompleteSegmentFrom(ClientSession& session,
+                                    const PacketView& first);
+
+/// Re-listens (next cycle) to the still-missing packets of `seg` in
+/// broadcast order, up to `max_extra_cycles` additional cycles. Returns true
+/// once complete.
+bool RepairSegment(ClientSession& session, uint32_t segment_start,
+                   ReceivedSegment* seg, int max_extra_cycles = 8);
+
+}  // namespace airindex::broadcast
+
+#endif  // AIRINDEX_BROADCAST_CHANNEL_H_

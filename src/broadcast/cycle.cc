@@ -1,0 +1,89 @@
+#include "broadcast/cycle.h"
+
+#include <algorithm>
+
+namespace airindex::broadcast {
+
+uint32_t BroadcastCycle::SegmentAt(uint32_t pos) const {
+  // starts_ is ascending with a sentinel at the end; find the covering
+  // segment by binary search.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+  return static_cast<uint32_t>(it - starts_.begin()) - 1;
+}
+
+PacketView BroadcastCycle::PacketAt(uint32_t pos) const {
+  const uint32_t si = SegmentAt(pos);
+  const Segment& seg = segments_[si];
+  PacketView view;
+  view.cycle_pos = pos;
+  view.type = seg.type;
+  view.segment_id = seg.id;
+  view.segment_index = si;
+  view.seq = pos - starts_[si];
+  view.segment_packets = seg.PacketCount();
+  const size_t chunk_begin = static_cast<size_t>(view.seq) * kPayloadSize;
+  const size_t chunk_end =
+      std::min(chunk_begin + kPayloadSize, seg.payload.size());
+  if (chunk_begin < seg.payload.size()) {
+    view.chunk = {seg.payload.data() + chunk_begin, chunk_end - chunk_begin};
+  }
+  const uint32_t next = NextIndexStart(pos);
+  view.next_index_offset =
+      next >= pos ? next - pos : next + total_packets_ - pos;
+  return view;
+}
+
+uint32_t BroadcastCycle::NextIndexStart(uint32_t pos) const {
+  // Scan segments starting at the one covering pos (cyclically). An index
+  // segment "starts at or after pos" unless pos is inside it past its first
+  // packet.
+  const size_t n = segments_.size();
+  size_t si = SegmentAt(pos);
+  if (segments_[si].is_index && starts_[si] == pos) return pos;
+  for (size_t step = 1; step <= n; ++step) {
+    const size_t i = (si + step) % n;
+    if (segments_[i].is_index) return starts_[i];
+  }
+  return pos;  // no index segment in the cycle
+}
+
+size_t BroadcastCycle::TotalPayloadBytes() const {
+  size_t bytes = 0;
+  for (const auto& s : segments_) bytes += s.payload.size();
+  return bytes;
+}
+
+uint32_t CycleBuilder::Add(Segment segment) {
+  packets_ += segment.PacketCount();
+  segments_.push_back(std::move(segment));
+  return static_cast<uint32_t>(segments_.size() - 1);
+}
+
+Result<BroadcastCycle> CycleBuilder::Finalize(bool require_index) && {
+  if (segments_.empty()) {
+    return Status::FailedPrecondition("cannot finalize an empty cycle");
+  }
+  if (require_index) {
+    const bool has_index =
+        std::any_of(segments_.begin(), segments_.end(),
+                    [](const Segment& s) { return s.is_index; });
+    if (!has_index) {
+      return Status::FailedPrecondition(
+          "cycle has no index segment; packet headers cannot point "
+          "anywhere");
+    }
+  }
+  BroadcastCycle cycle;
+  cycle.segments_ = std::move(segments_);
+  cycle.starts_.reserve(cycle.segments_.size() + 1);
+  uint32_t pos = 0;
+  for (const auto& s : cycle.segments_) {
+    cycle.starts_.push_back(pos);
+    pos += s.PacketCount();
+  }
+  cycle.starts_.push_back(pos);
+  cycle.total_packets_ = pos;
+  return cycle;
+}
+
+}  // namespace airindex::broadcast

@@ -1,0 +1,25 @@
+#ifndef AIRINDEX_BROADCAST_INTERLEAVE_H_
+#define AIRINDEX_BROADCAST_INTERLEAVE_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace airindex::broadcast {
+
+/// Optimal replication factor of the (1,m) interleaving scheme (§2.2,
+/// Imielinski et al.): m* = sqrt(data_packets / index_packets) balances the
+/// wait-for-index against the wait-for-data. Clamped to [1, data_packets].
+inline uint32_t OptimalInterleaving(uint32_t data_packets,
+                                    uint32_t index_packets) {
+  if (index_packets == 0 || data_packets == 0) return 1;
+  const double m = std::sqrt(static_cast<double>(data_packets) /
+                             static_cast<double>(index_packets));
+  auto rounded = static_cast<uint32_t>(std::llround(m));
+  if (rounded < 1) rounded = 1;
+  if (rounded > data_packets) rounded = data_packets;
+  return rounded;
+}
+
+}  // namespace airindex::broadcast
+
+#endif  // AIRINDEX_BROADCAST_INTERLEAVE_H_

@@ -1,0 +1,71 @@
+#include "broadcast/serialization.h"
+
+#include <bit>
+
+#include "common/byte_io.h"
+
+namespace airindex::broadcast {
+
+size_t NodeRecordBytes(const graph::Graph& g, graph::NodeId v) {
+  return 4 + 8 + 8 + 2 + 8 * g.OutDegree(v);
+}
+
+void EncodeNodeRecord(const graph::Graph& g, graph::NodeId v,
+                      std::vector<uint8_t>* out) {
+  PutU32(out, v);
+  PutU64(out, std::bit_cast<uint64_t>(g.Coord(v).x));
+  PutU64(out, std::bit_cast<uint64_t>(g.Coord(v).y));
+  PutU16(out, static_cast<uint16_t>(g.OutDegree(v)));
+  for (const auto& arc : g.OutArcs(v)) {
+    PutU32(out, arc.to);
+    PutU32(out, arc.weight);
+  }
+}
+
+std::vector<uint8_t> EncodeNodeRecords(
+    const graph::Graph& g, const std::vector<graph::NodeId>& nodes) {
+  std::vector<uint8_t> out;
+  size_t bytes = 0;
+  for (graph::NodeId v : nodes) bytes += NodeRecordBytes(g, v);
+  out.reserve(bytes);
+  for (graph::NodeId v : nodes) EncodeNodeRecord(g, v, &out);
+  return out;
+}
+
+Result<std::vector<NodeRecord>> DecodeNodeRecords(
+    const std::vector<uint8_t>& buf) {
+  std::vector<NodeRecord> records;
+  ByteReader reader(buf);
+  while (reader.remaining() > 0) {
+    if (reader.remaining() < 22) {
+      return Status::DataLoss("truncated node record header");
+    }
+    NodeRecord rec;
+    rec.id = reader.ReadU32();
+    rec.coord.x = std::bit_cast<double>(reader.ReadU64());
+    rec.coord.y = std::bit_cast<double>(reader.ReadU64());
+    const uint16_t deg = reader.ReadU16();
+    if (reader.remaining() < static_cast<size_t>(deg) * 8) {
+      return Status::DataLoss("truncated adjacency list");
+    }
+    rec.arcs.reserve(deg);
+    for (uint16_t i = 0; i < deg; ++i) {
+      graph::Graph::Arc arc;
+      arc.to = reader.ReadU32();
+      arc.weight = reader.ReadU32();
+      rec.arcs.push_back(arc);
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+size_t NetworkDataBytes(const graph::Graph& g) {
+  size_t bytes = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    bytes += NodeRecordBytes(g, v);
+  }
+  return bytes;
+}
+
+}  // namespace airindex::broadcast

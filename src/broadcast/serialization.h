@@ -1,0 +1,49 @@
+#ifndef AIRINDEX_BROADCAST_SERIALIZATION_H_
+#define AIRINDEX_BROADCAST_SERIALIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace airindex::broadcast {
+
+/// Wire format of the network data (adjacency lists; §2.1's <id, x, y> node
+/// plus <id_i, id_j, w_ij> edges, grouped per node). All integers are
+/// little-endian fixed-width; coordinates are raw IEEE-754 doubles so the
+/// client-side kd-tree mapping agrees bit-for-bit with the server's.
+///
+///   NodeRecord := id:u32  x:f64  y:f64  deg:u16  { to:u32 weight:u32 }^deg
+///
+/// Records are concatenated; a record may span packet boundaries (standard
+/// air-index practice; the paper's 128-byte packets are smaller than many
+/// adjacency lists anyway).
+struct NodeRecord {
+  graph::NodeId id = graph::kInvalidNode;
+  graph::Point coord;
+  std::vector<graph::Graph::Arc> arcs;
+};
+
+/// Serialized size of `v`'s record.
+size_t NodeRecordBytes(const graph::Graph& g, graph::NodeId v);
+
+/// Appends `v`'s record to `out`.
+void EncodeNodeRecord(const graph::Graph& g, graph::NodeId v,
+                      std::vector<uint8_t>* out);
+
+/// Encodes the records of `nodes` in order.
+std::vector<uint8_t> EncodeNodeRecords(
+    const graph::Graph& g, const std::vector<graph::NodeId>& nodes);
+
+/// Decodes every record in `buf`. Fails on truncation.
+Result<std::vector<NodeRecord>> DecodeNodeRecords(
+    const std::vector<uint8_t>& buf);
+
+/// Serialized bytes of the whole network data (all records).
+size_t NetworkDataBytes(const graph::Graph& g);
+
+}  // namespace airindex::broadcast
+
+#endif  // AIRINDEX_BROADCAST_SERIALIZATION_H_

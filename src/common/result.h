@@ -1,0 +1,71 @@
+#ifndef AIRINDEX_COMMON_RESULT_H_
+#define AIRINDEX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace airindex {
+
+/// Value-or-Status return type (a minimal StatusOr). A `Result<T>` holds
+/// either a `T` or a non-OK `Status`. Accessing the value of an errored
+/// result is a programmer error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result constructed from an OK status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns OK when a value is held, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error, else assigning
+/// the value to `lhs`. Usable in functions returning Status or Result<U>.
+#define AIRINDEX_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  AIRINDEX_ASSIGN_OR_RETURN_IMPL_(                  \
+      AIRINDEX_CONCAT_(_res_, __LINE__), lhs, rexpr)
+
+#define AIRINDEX_CONCAT_INNER_(a, b) a##b
+#define AIRINDEX_CONCAT_(a, b) AIRINDEX_CONCAT_INNER_(a, b)
+#define AIRINDEX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_COMMON_RESULT_H_

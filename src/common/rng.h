@@ -1,0 +1,64 @@
+#ifndef AIRINDEX_COMMON_RNG_H_
+#define AIRINDEX_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace airindex {
+
+/// Deterministic 64-bit PRNG (SplitMix64 seeding a xoshiro256**-style core).
+/// Every randomized component in the library (network generator, workload,
+/// packet loss, client tune-in instant) takes an explicit seed and owns one
+/// of these, so all experiments replay bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 4-word state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97f4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's multiply-shift rejection method would be overkill here; the
+    // modulo bias is negligible for the bounds used (< 2^32).
+    return Next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_COMMON_RNG_H_

@@ -1,0 +1,36 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace airindex {
+
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 unsigned num_threads) {
+  if (count == 0) return;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  unsigned threads = num_threads == 0 ? hw : num_threads;
+  threads = static_cast<unsigned>(
+      std::min<size_t>(threads, count));
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&]() {
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace airindex

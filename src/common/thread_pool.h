@@ -1,0 +1,21 @@
+#ifndef AIRINDEX_COMMON_THREAD_POOL_H_
+#define AIRINDEX_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace airindex {
+
+/// Runs `fn(i)` for every i in [0, count) across up to `num_threads` worker
+/// threads (0 = hardware concurrency). Blocks until all iterations finish.
+/// Used by the server-side pre-computation (one Dijkstra per border node /
+/// landmark / source), which is embarrassingly parallel.
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 unsigned num_threads = 0);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_COMMON_THREAD_POOL_H_

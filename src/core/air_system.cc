@@ -1,0 +1,15 @@
+#include "core/air_system.h"
+
+namespace airindex::core {
+
+AirQuery MakeAirQuery(const graph::Graph& g, const workload::Query& q) {
+  AirQuery aq;
+  aq.source = q.source;
+  aq.target = q.target;
+  aq.source_coord = g.Coord(q.source);
+  aq.target_coord = g.Coord(q.target);
+  aq.tune_phase = q.tune_phase;
+  return aq;
+}
+
+}  // namespace airindex::core

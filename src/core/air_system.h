@@ -1,0 +1,77 @@
+#ifndef AIRINDEX_CORE_AIR_SYSTEM_H_
+#define AIRINDEX_CORE_AIR_SYSTEM_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "broadcast/channel.h"
+#include "broadcast/cycle.h"
+#include "device/device_profile.h"
+#include "device/metrics.h"
+#include "graph/types.h"
+#include "workload/workload.h"
+
+namespace airindex::core {
+
+/// A query as the client sees it: it knows where it is and where it wants to
+/// go (node ids double as record keys; coordinates drive the kd-tree region
+/// mapping), and the instant it tunes in, expressed as a cycle fraction.
+struct AirQuery {
+  graph::NodeId source = graph::kInvalidNode;
+  graph::NodeId target = graph::kInvalidNode;
+  graph::Point source_coord;
+  graph::Point target_coord;
+  double tune_phase = 0.0;
+};
+
+/// Converts a workload query (coordinates looked up in the graph).
+AirQuery MakeAirQuery(const graph::Graph& g, const workload::Query& q);
+
+/// Per-query client configuration.
+struct ClientOptions {
+  /// Device heap budget (Table 2's applicability criterion).
+  size_t heap_bytes = device::DeviceProfile{}.heap_bytes;
+  /// §6.1 memory-bound processing: collapse received regions into
+  /// super-edges instead of keeping their full data (EB/NR only).
+  bool memory_bound = false;
+  /// §4.1 optimization: intermediate regions contribute only their
+  /// cross-border segment (EB only; ablation toggle).
+  bool cross_border_opt = true;
+  /// How many extra cycles a client may spend re-listening to lost packets
+  /// before giving up.
+  int max_repair_cycles = 8;
+};
+
+/// One broadcast method: a server-built cycle plus the matching client
+/// algorithm. Implementations: DijkstraOnAir, LandmarkOnAir, ArcFlagOnAir,
+/// HiTiOnAir, SpqOnAir, EbSystem, NrSystem.
+class AirSystem {
+ public:
+  virtual ~AirSystem() = default;
+
+  /// Short method name as used in the paper's tables ("DJ", "NR", "EB",
+  /// "LD", "AF", "SPQ", "HiTi").
+  virtual std::string_view name() const = 0;
+
+  /// The broadcast cycle this method's server transmits.
+  virtual const broadcast::BroadcastCycle& cycle() const = 0;
+
+  /// Executes one client query against a channel carrying this system's
+  /// cycle. Never throws; failures surface as !metrics.ok.
+  virtual device::QueryMetrics RunQuery(
+      const broadcast::BroadcastChannel& channel, const AirQuery& query,
+      const ClientOptions& options = {}) const = 0;
+
+  /// Server-side pre-computation wall time in seconds (Table 3).
+  virtual double precompute_seconds() const { return 0.0; }
+};
+
+/// Absolute tune-in position for a query phase on this system's cycle.
+inline uint64_t TuneInPosition(const broadcast::BroadcastCycle& cycle,
+                               double phase) {
+  return static_cast<uint64_t>(phase * cycle.total_packets());
+}
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_AIR_SYSTEM_H_

@@ -1,0 +1,209 @@
+#include "core/arcflag_on_air.h"
+
+#include <bit>
+#include <chrono>
+
+#include "common/byte_io.h"
+#include "core/cycle_common.h"
+#include "core/full_cycle.h"
+#include "device/memory_tracker.h"
+
+namespace airindex::core {
+namespace {
+
+constexpr uint32_t kHeaderSegment = 0;
+constexpr uint32_t kFlagChunkArcs = 4096;
+
+}  // namespace
+
+Result<std::unique_ptr<ArcFlagOnAir>> ArcFlagOnAir::Build(
+    const graph::Graph& g, uint32_t num_regions) {
+  auto sys = std::unique_ptr<ArcFlagOnAir>(new ArcFlagOnAir());
+  sys->num_regions_ = num_regions;
+  sys->num_nodes_ = static_cast<uint32_t>(g.num_nodes());
+  sys->num_arcs_ = static_cast<uint32_t>(g.num_arcs());
+
+  AIRINDEX_ASSIGN_OR_RETURN(
+      auto kd, partition::KdTreePartitioner::Build(g, num_regions));
+  sys->splits_ = kd.splits_bfs();
+  partition::Partitioning part = kd.Partition(g);
+
+  const auto start = std::chrono::steady_clock::now();
+  AIRINDEX_ASSIGN_OR_RETURN(
+      sys->index_,
+      algo::ArcFlagIndex::Build(g, part.node_region, num_regions));
+  sys->precompute_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  broadcast::CycleBuilder builder;
+  AppendNetworkSegments(g, &builder);
+
+  // Header: region count + node/arc counts + kd split values (the client
+  // re-derives every node's region from these plus the coordinates).
+  {
+    broadcast::Segment seg;
+    seg.type = broadcast::SegmentType::kAuxData;
+    seg.id = kHeaderSegment;
+    PutU16(&seg.payload, static_cast<uint16_t>(num_regions));
+    PutU32(&seg.payload, sys->num_nodes_);
+    PutU32(&seg.payload, sys->num_arcs_);
+    for (double s : sys->splits_) {
+      PutU64(&seg.payload, std::bit_cast<uint64_t>(s));
+    }
+    builder.Add(std::move(seg));
+  }
+
+  // Flag vectors in CSR arc order, one u16 per region (see
+  // ArcFlagIndex::BytesPerArc for the sizing rationale).
+  const size_t bytes_per_arc = sys->index_.BytesPerArc();
+  for (uint32_t first = 0; first < g.num_arcs(); first += kFlagChunkArcs) {
+    broadcast::Segment seg;
+    seg.type = broadcast::SegmentType::kAuxData;
+    seg.id = 1 + first / kFlagChunkArcs;
+    const uint32_t last =
+        std::min<uint32_t>(first + kFlagChunkArcs, sys->num_arcs_);
+    seg.payload.reserve(static_cast<size_t>(last - first) * bytes_per_arc);
+    for (uint32_t a = first; a < last; ++a) {
+      for (uint32_t r = 0; r < num_regions; ++r) {
+        PutU16(&seg.payload, sys->index_.ArcAllowed(a, r) ? 1 : 0);
+      }
+    }
+    builder.Add(std::move(seg));
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(sys->cycle_, std::move(builder).Finalize(
+                                             /*require_index=*/false));
+  return sys;
+}
+
+device::QueryMetrics ArcFlagOnAir::RunQuery(
+    const broadcast::BroadcastChannel& channel, const AirQuery& query,
+    const ClientOptions& options) const {
+  device::QueryMetrics metrics;
+  device::MemoryTracker memory(options.heap_bytes);
+  broadcast::ClientSession session(&channel,
+                                   TuneInPosition(cycle_, query.tune_phase));
+
+  // Collected network data (node-id addressed) and raw flag chunks.
+  std::vector<graph::Point> coords(num_nodes_);
+  std::vector<graph::EdgeTriplet> edges;
+  edges.reserve(num_arcs_);
+  std::vector<double> splits;
+  struct FlagChunk {
+    uint32_t first_arc;
+    std::vector<uint8_t> bytes;
+    std::vector<bool> packet_ok;
+  };
+  std::vector<FlagChunk> flag_chunks;
+  bool header_ok = false;
+  double cpu_ms = 0.0;
+
+  Status receive_status = ReceiveFullCycle(
+      session, memory,
+      [](broadcast::SegmentType t) {
+        return t == broadcast::SegmentType::kNetworkData;
+      },
+      [&](broadcast::ReceivedSegment&& seg) {
+        device::Stopwatch sw;
+        if (seg.type == broadcast::SegmentType::kNetworkData) {
+          auto records = broadcast::DecodeNodeRecords(seg.payload);
+          if (records.ok()) {
+            size_t added = 0;
+            for (const auto& rec : records.value()) {
+              coords[rec.id] = rec.coord;
+              for (const auto& arc : rec.arcs) {
+                edges.push_back({rec.id, arc.to, arc.weight});
+                ++added;
+              }
+            }
+            memory.Charge(added * 12 + records.value().size() * 20);
+          }
+          memory.Release(seg.payload.size());
+        } else if (seg.segment_id == kHeaderSegment) {
+          if (seg.complete) {
+            ByteReader reader(seg.payload);
+            const uint16_t regions = reader.ReadU16();
+            reader.ReadU32();  // node count (known)
+            reader.ReadU32();  // arc count (known)
+            splits.reserve(regions - 1);
+            for (uint16_t i = 0; i + 1 < regions; ++i) {
+              splits.push_back(std::bit_cast<double>(reader.ReadU64()));
+            }
+            header_ok = true;
+          }
+          memory.Charge(splits.size() * 8);
+          memory.Release(seg.payload.size());
+        } else {
+          FlagChunk chunk;
+          chunk.first_arc = (seg.segment_id - 1) * kFlagChunkArcs;
+          chunk.bytes = std::move(seg.payload);
+          chunk.packet_ok = std::move(seg.packet_ok);
+          flag_chunks.push_back(std::move(chunk));
+          // Raw flag bytes are retained until query time; keep the charge.
+        }
+        cpu_ms += sw.ElapsedMs();
+      },
+      options.max_repair_cycles);
+
+  device::Stopwatch sw;
+  // Rebuild the graph; CSR layout matches the server's (same edges, same
+  // per-node sort order).
+  auto built = graph::Graph::Build(std::move(coords), edges);
+  if (!built.ok() || !header_ok) {
+    // Without splits there is no region mapping; ArcFlag cannot run.
+    metrics.tuning_packets = session.tuned_packets();
+    metrics.latency_packets = session.latency_packets();
+    metrics.peak_memory_bytes = memory.peak();
+    metrics.memory_exceeded = memory.exceeded();
+    metrics.cpu_ms = cpu_ms + sw.ElapsedMs();
+    metrics.ok = false;
+    return metrics;
+  }
+  graph::Graph gr = std::move(built).value();
+  memory.Charge(gr.MemoryBytes());
+
+  auto kd = partition::KdTreePartitioner::FromSplits(splits);
+  std::vector<graph::RegionId> node_region(gr.num_nodes());
+  for (graph::NodeId v = 0; v < gr.num_nodes(); ++v) {
+    node_region[v] = kd->RegionOf(gr.Coord(v));
+  }
+
+  algo::ArcFlagIndex idx = algo::ArcFlagIndex::MakeEmpty(
+      gr.num_arcs(), num_regions_, std::move(node_region));
+  memory.Charge(idx.MemoryBytes());
+  const size_t bytes_per_arc = 2 * static_cast<size_t>(num_regions_);
+  for (const auto& chunk : flag_chunks) {
+    const size_t arcs_in_chunk = chunk.bytes.size() / bytes_per_arc;
+    for (size_t i = 0; i < arcs_in_chunk; ++i) {
+      const size_t arc = chunk.first_arc + i;
+      const size_t off = i * bytes_per_arc;
+      broadcast::ReceivedSegment probe;  // reuse RangeOk logic
+      probe.packet_ok = chunk.packet_ok;
+      if (!probe.RangeOk(off, off + bytes_per_arc)) {
+        // §6.2: a lost flag vector is assumed all-ones.
+        idx.SetAllFlags(arc);
+        continue;
+      }
+      for (uint32_t r = 0; r < num_regions_; ++r) {
+        if (GetU16(chunk.bytes.data() + off + 2 * r) != 0) {
+          idx.SetArcFlag(arc, r);
+        }
+      }
+    }
+  }
+
+  size_t settled = 0;
+  graph::Path path = idx.Query(gr, query.source, query.target, &settled);
+  cpu_ms += sw.ElapsedMs();
+
+  metrics.tuning_packets = session.tuned_packets();
+  metrics.latency_packets = session.latency_packets();
+  metrics.peak_memory_bytes = memory.peak();
+  metrics.memory_exceeded = memory.exceeded();
+  metrics.cpu_ms = cpu_ms;
+  metrics.distance = path.dist;
+  metrics.ok = receive_status.ok() && path.found();
+  return metrics;
+}
+
+}  // namespace airindex::core

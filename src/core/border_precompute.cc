@@ -1,0 +1,93 @@
+#include "core/border_precompute.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "algo/dijkstra.h"
+#include "common/thread_pool.h"
+
+namespace airindex::core {
+
+std::vector<graph::RegionId> BorderPrecompute::NeededRegions(
+    graph::RegionId i, graph::RegionId j) const {
+  std::vector<graph::RegionId> out;
+  for (graph::RegionId k = 0; k < num_regions; ++k) {
+    if (k == i || k == j || TraversesRegion(i, j, k)) out.push_back(k);
+  }
+  return out;
+}
+
+Result<BorderPrecompute> ComputeBorderPrecompute(
+    const graph::Graph& g, partition::Partitioning part) {
+  if (part.node_region.size() != g.num_nodes()) {
+    return Status::InvalidArgument("partitioning does not match graph");
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  BorderPrecompute pre;
+  pre.num_regions = part.num_regions;
+  pre.part = std::move(part);
+  pre.borders = partition::ComputeBorders(g, pre.part);
+
+  const uint32_t R = pre.num_regions;
+  const size_t words = pre.words_per_pair();
+  pre.min_rr.assign(static_cast<size_t>(R) * R, graph::kInfDist);
+  pre.max_rr.assign(static_cast<size_t>(R) * R, 0);
+  pre.traversed.assign(static_cast<size_t>(R) * R * words, 0);
+  pre.cross_border.assign(g.num_nodes(), 0);
+
+  const std::vector<graph::NodeId>& B = pre.borders.border_nodes;
+  std::mutex merge_mu;
+
+  ParallelFor(B.size(), [&](size_t bi) {
+    const graph::NodeId b = B[bi];
+    const graph::RegionId rb = pre.part.node_region[b];
+    algo::SearchTree tree = algo::DijkstraToTargets(g, b, B);
+
+    // Per-source accumulators for row rb.
+    std::vector<graph::Dist> row_min(R, graph::kInfDist);
+    std::vector<graph::Dist> row_max(R, 0);
+    std::vector<uint64_t> row_masks(static_cast<size_t>(R) * words, 0);
+    std::vector<graph::NodeId> marked;
+
+    for (graph::NodeId b2 : B) {
+      const graph::Dist d = tree.dist[b2];
+      if (d == graph::kInfDist) continue;
+      const graph::RegionId r2 = pre.part.node_region[b2];
+      row_min[r2] = std::min(row_min[r2], d);
+      row_max[r2] = std::max(row_max[r2], d);
+      // Walk the recorded path b -> b2, collecting traversed regions and
+      // (for inter-region pairs per the paper; we include all pairs, a safe
+      // superset) marking nodes as cross-border.
+      uint64_t* mask = row_masks.data() + static_cast<size_t>(r2) * words;
+      for (graph::NodeId v = b2; v != graph::kInvalidNode;
+           v = tree.parent[v]) {
+        const graph::RegionId rv = pre.part.node_region[v];
+        mask[rv / 64] |= uint64_t{1} << (rv % 64);
+        marked.push_back(v);
+        if (v == b) break;
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mu);
+    for (graph::RegionId r2 = 0; r2 < R; ++r2) {
+      const size_t cell = static_cast<size_t>(rb) * R + r2;
+      pre.min_rr[cell] = std::min(pre.min_rr[cell], row_min[r2]);
+      pre.max_rr[cell] = std::max(pre.max_rr[cell], row_max[r2]);
+      const size_t base = cell * words;
+      for (size_t w = 0; w < words; ++w) {
+        pre.traversed[base + w] |=
+            row_masks[static_cast<size_t>(r2) * words + w];
+      }
+    }
+    for (graph::NodeId v : marked) pre.cross_border[v] = 1;
+  });
+
+  pre.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return pre;
+}
+
+}  // namespace airindex::core

@@ -1,0 +1,77 @@
+#ifndef AIRINDEX_CORE_BORDER_PRECOMPUTE_H_
+#define AIRINDEX_CORE_BORDER_PRECOMPUTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "partition/partitioning.h"
+
+namespace airindex::core {
+
+/// The server-side pre-computation shared by EB and NR (§4.1, §5.1): one
+/// Dijkstra per border node, restricted to border-node targets, yields
+///  * min/max border-to-border distances per ordered region pair
+///    (EB's array A),
+///  * the set of regions traversed by any recorded border-pair shortest
+///    path, per ordered region pair (NR's needed-region sets),
+///  * the cross-border / local node classification (EB's §4.1 tuning-time
+///    optimization).
+///
+/// The paper precomputes paths between border nodes of *different* regions;
+/// we additionally include same-region border pairs, which defines the
+/// diagonal of A and keeps both methods exact when source and destination
+/// fall into the same region (see DESIGN.md).
+struct BorderPrecompute {
+  partition::Partitioning part;
+  partition::BorderInfo borders;
+  uint32_t num_regions = 0;
+
+  /// Row-major R x R: min/max distance from any border node of R_i to any
+  /// border node of R_j (kInfDist / 0 when either region has no border).
+  std::vector<graph::Dist> min_rr;
+  std::vector<graph::Dist> max_rr;
+
+  /// Region-traversal bitsets: words_per_pair() little-endian 64-bit words
+  /// per ordered region pair, bit k set iff some recorded shortest path
+  /// between border(R_i) and border(R_j) passes through region k.
+  std::vector<uint64_t> traversed;
+
+  /// Per node: appears on at least one recorded border-pair shortest path
+  /// (the rest are "local" nodes).
+  std::vector<uint8_t> cross_border;
+
+  /// Wall time of the pre-computation (Table 3).
+  double seconds = 0.0;
+
+  size_t words_per_pair() const { return (num_regions + 63) / 64; }
+
+  graph::Dist MinDist(graph::RegionId i, graph::RegionId j) const {
+    return min_rr[static_cast<size_t>(i) * num_regions + j];
+  }
+  graph::Dist MaxDist(graph::RegionId i, graph::RegionId j) const {
+    return max_rr[static_cast<size_t>(i) * num_regions + j];
+  }
+
+  bool TraversesRegion(graph::RegionId i, graph::RegionId j,
+                       graph::RegionId k) const {
+    const size_t base =
+        (static_cast<size_t>(i) * num_regions + j) * words_per_pair();
+    return (traversed[base + k / 64] >> (k % 64)) & 1;
+  }
+
+  /// NR's needed-region set for the ordered pair (i, j): the traversal set
+  /// plus both endpoint regions, ascending.
+  std::vector<graph::RegionId> NeededRegions(graph::RegionId i,
+                                             graph::RegionId j) const;
+};
+
+/// Runs the pre-computation (parallelized across border nodes).
+Result<BorderPrecompute> ComputeBorderPrecompute(
+    const graph::Graph& g, partition::Partitioning part);
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_BORDER_PRECOMPUTE_H_

@@ -1,0 +1,26 @@
+#include "core/cycle_common.h"
+
+namespace airindex::core {
+
+uint32_t AppendNetworkSegments(const graph::Graph& g,
+                               broadcast::CycleBuilder* builder,
+                               uint32_t chunk_nodes) {
+  uint32_t segments = 0;
+  std::vector<graph::NodeId> chunk;
+  chunk.reserve(chunk_nodes);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    chunk.push_back(v);
+    if (chunk.size() == chunk_nodes || v + 1 == g.num_nodes()) {
+      broadcast::Segment seg;
+      seg.type = broadcast::SegmentType::kNetworkData;
+      seg.id = segments;
+      seg.payload = broadcast::EncodeNodeRecords(g, chunk);
+      builder->Add(std::move(seg));
+      ++segments;
+      chunk.clear();
+    }
+  }
+  return segments;
+}
+
+}  // namespace airindex::core

@@ -1,0 +1,27 @@
+#ifndef AIRINDEX_CORE_CYCLE_COMMON_H_
+#define AIRINDEX_CORE_CYCLE_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/cycle.h"
+#include "broadcast/serialization.h"
+#include "graph/graph.h"
+
+namespace airindex::core {
+
+/// Number of adjacency records grouped into one kNetworkData segment by the
+/// full-cycle methods. Chunking exists so clients can decode-and-release
+/// segment by segment instead of buffering the whole cycle twice; one
+/// trailing padding packet per segment is the only overhead.
+inline constexpr uint32_t kNetworkChunkNodes = 512;
+
+/// Appends the whole network as chunked kNetworkData segments (node-id
+/// order). Returns the number of segments added.
+uint32_t AppendNetworkSegments(const graph::Graph& g,
+                               broadcast::CycleBuilder* builder,
+                               uint32_t chunk_nodes = kNetworkChunkNodes);
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_CYCLE_COMMON_H_

@@ -1,0 +1,63 @@
+#include "core/dijkstra_on_air.h"
+
+#include "algo/dijkstra.h"
+#include "core/cycle_common.h"
+#include "core/full_cycle.h"
+#include "core/partial_graph.h"
+#include "device/memory_tracker.h"
+
+namespace airindex::core {
+
+Result<std::unique_ptr<DijkstraOnAir>> DijkstraOnAir::Build(
+    const graph::Graph& g) {
+  auto sys = std::unique_ptr<DijkstraOnAir>(new DijkstraOnAir());
+  broadcast::CycleBuilder builder;
+  AppendNetworkSegments(g, &builder);
+  AIRINDEX_ASSIGN_OR_RETURN(sys->cycle_, std::move(builder).Finalize(
+                                             /*require_index=*/false));
+  return sys;
+}
+
+device::QueryMetrics DijkstraOnAir::RunQuery(
+    const broadcast::BroadcastChannel& channel, const AirQuery& query,
+    const ClientOptions& options) const {
+  device::QueryMetrics metrics;
+  device::MemoryTracker memory(options.heap_bytes);
+  broadcast::ClientSession session(&channel,
+                                   TuneInPosition(cycle_, query.tune_phase));
+
+  PartialGraph pg;
+  double cpu_ms = 0.0;
+  Status receive_status = ReceiveFullCycle(
+      session, memory,
+      [](broadcast::SegmentType) { return true; },  // all data is adjacency
+      [&](broadcast::ReceivedSegment&& seg) {
+        device::Stopwatch sw;
+        const size_t before = pg.MemoryBytes();
+        auto records = broadcast::DecodeNodeRecords(seg.payload);
+        if (records.ok()) {
+          for (const auto& rec : records.value()) pg.AddRecord(rec);
+        }
+        memory.Charge(pg.MemoryBytes() - before);
+        memory.Release(seg.payload.size());
+        cpu_ms += sw.ElapsedMs();
+      },
+      options.max_repair_cycles);
+
+  device::Stopwatch sw;
+  algo::SearchTree tree = algo::DijkstraSearch(
+      pg, query.source, query.target, KnownEdgeFilter{&pg});
+  graph::Path path = algo::ExtractPath(tree, query.source, query.target);
+  cpu_ms += sw.ElapsedMs();
+
+  metrics.tuning_packets = session.tuned_packets();
+  metrics.latency_packets = session.latency_packets();
+  metrics.peak_memory_bytes = memory.peak();
+  metrics.memory_exceeded = memory.exceeded();
+  metrics.cpu_ms = cpu_ms;
+  metrics.distance = path.dist;
+  metrics.ok = receive_status.ok() && path.found();
+  return metrics;
+}
+
+}  // namespace airindex::core

@@ -1,0 +1,36 @@
+#ifndef AIRINDEX_CORE_DIJKSTRA_ON_AIR_H_
+#define AIRINDEX_CORE_DIJKSTRA_ON_AIR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "core/air_system.h"
+#include "graph/graph.h"
+
+namespace airindex::core {
+
+/// The broadcast adaptation of Dijkstra's algorithm (§3.2): the cycle
+/// carries only the network data (shortest possible cycle) and the client,
+/// having no way to tune selectively, listens to the entire cycle, rebuilds
+/// the whole network in memory, and searches locally. Lost adjacency
+/// packets are re-listened to on later cycles (§6.2).
+class DijkstraOnAir : public AirSystem {
+ public:
+  static Result<std::unique_ptr<DijkstraOnAir>> Build(const graph::Graph& g);
+
+  std::string_view name() const override { return "DJ"; }
+  const broadcast::BroadcastCycle& cycle() const override { return cycle_; }
+  device::QueryMetrics RunQuery(const broadcast::BroadcastChannel& channel,
+                                const AirQuery& query,
+                                const ClientOptions& options =
+                                    {}) const override;
+
+ private:
+  DijkstraOnAir() = default;
+
+  broadcast::BroadcastCycle cycle_;
+};
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_DIJKSTRA_ON_AIR_H_

@@ -1,0 +1,447 @@
+#include "core/eb.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+
+#include "algo/dijkstra.h"
+#include "broadcast/interleave.h"
+#include "common/byte_io.h"
+#include "core/partial_graph.h"
+#include "core/region_data.h"
+#include "core/repair.h"
+#include "core/super_edge.h"
+#include "device/memory_tracker.h"
+#include "partition/kd_tree.h"
+
+namespace airindex::core {
+namespace {
+
+using broadcast::kPayloadSize;
+using broadcast::ReceivedSegment;
+
+uint32_t PayloadPackets(size_t bytes) {
+  return bytes == 0 ? 1
+                    : static_cast<uint32_t>((bytes + kPayloadSize - 1) /
+                                            kPayloadSize);
+}
+
+/// Re-listens to the given still-missing packets of an index segment at
+/// another copy located at `copy_start` (copies are byte-identical).
+void RepairIndexPackets(broadcast::ClientSession& session,
+                        uint32_t copy_start,
+                        const std::vector<uint32_t>& seqs,
+                        ReceivedSegment* seg) {
+  const uint32_t total = session.cycle().total_packets();
+  for (uint32_t seq : seqs) {
+    if (seg->packet_ok[seq]) continue;
+    session.SleepUntilCyclePos((copy_start + seq) % total);
+    auto view = session.ReceiveNext();
+    if (!view.has_value()) continue;
+    seg->packet_ok[seq] = true;
+    std::memcpy(seg->payload.data() +
+                    static_cast<size_t>(seq) * kPayloadSize,
+                view->chunk.data(), view->chunk.size());
+  }
+  seg->complete = std::all_of(seg->packet_ok.begin(), seg->packet_ok.end(),
+                              [](bool b) { return b; });
+}
+
+/// Packets covering the needed byte ranges that are still missing.
+std::vector<uint32_t> MissingNeededPackets(
+    const ReceivedSegment& seg,
+    const std::vector<std::pair<size_t, size_t>>& ranges) {
+  std::vector<uint32_t> missing;
+  for (auto [begin, end] : ranges) {
+    end = std::min(end, seg.payload.size());
+    if (begin >= end) continue;
+    const uint32_t first = static_cast<uint32_t>(begin / kPayloadSize);
+    const uint32_t last = static_cast<uint32_t>((end - 1) / kPayloadSize);
+    for (uint32_t p = first; p <= last && p < seg.packet_ok.size(); ++p) {
+      if (!seg.packet_ok[p]) missing.push_back(p);
+    }
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  return missing;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EbSystem>> EbSystem::Build(const graph::Graph& g,
+                                                  uint32_t num_regions) {
+  AIRINDEX_ASSIGN_OR_RETURN(
+      auto kd, partition::KdTreePartitioner::Build(g, num_regions));
+  AIRINDEX_ASSIGN_OR_RETURN(auto pre,
+                            ComputeBorderPrecompute(g, kd.Partition(g)));
+  return BuildFromPrecompute(g, pre);
+}
+
+Result<std::unique_ptr<EbSystem>> EbSystem::BuildFromPrecompute(
+    const graph::Graph& g, const BorderPrecompute& pre) {
+  const uint32_t R = pre.num_regions;
+  auto sys = std::unique_ptr<EbSystem>(new EbSystem());
+  sys->precompute_seconds_ = pre.seconds;
+
+  // Recover the split sequence from the partitioning's kd tree: the
+  // partitioner is rebuilt here so EB stays decoupled from how `pre` was
+  // produced. (Partition() of the rebuilt tree equals pre.part by
+  // construction.)
+  AIRINDEX_ASSIGN_OR_RETURN(auto kd,
+                            partition::KdTreePartitioner::Build(g, R));
+
+  // --- Region data segments -------------------------------------------
+  struct RegionPayloads {
+    std::vector<uint8_t> cross;
+    std::vector<uint8_t> local;
+  };
+  std::vector<RegionPayloads> payloads(R);
+  for (graph::RegionId r = 0; r < R; ++r) {
+    std::vector<graph::NodeId> cross_nodes, local_nodes;
+    for (graph::NodeId v : pre.part.region_nodes[r]) {
+      (pre.cross_border[v] ? cross_nodes : local_nodes).push_back(v);
+    }
+    payloads[r].cross =
+        EncodeRegionData(g, pre.borders.region_border[r], cross_nodes);
+    if (!local_nodes.empty()) {
+      payloads[r].local = EncodeRegionData(g, {}, local_nodes);
+    }
+  }
+
+  uint32_t data_packets = 0;
+  for (const auto& p : payloads) {
+    data_packets += PayloadPackets(p.cross.size());
+    if (!p.local.empty()) data_packets += PayloadPackets(p.local.size());
+  }
+
+  // --- (1,m) interleaving ----------------------------------------------
+  // Index size depends (weakly, via the copy list) on m; one fixed-point
+  // round suffices.
+  uint32_t m = 1;
+  uint32_t index_packets = PayloadPackets(EbIndex::EncodedBytes(R, 1));
+  for (int iter = 0; iter < 3; ++iter) {
+    m = broadcast::OptimalInterleaving(data_packets, index_packets);
+    index_packets = PayloadPackets(EbIndex::EncodedBytes(R, m));
+  }
+  sys->interleaving_m_ = m;
+
+  // --- Layout: index copies forced between regions ----------------------
+  // Greedy: place a copy before region r whenever ~data_packets/m data
+  // packets have passed since the last copy.
+  std::vector<uint8_t> copy_before(R, 0);
+  copy_before[0] = 1;
+  {
+    const double spacing =
+        static_cast<double>(data_packets) / static_cast<double>(m);
+    double acc = 0;
+    uint32_t copies = 1;
+    for (graph::RegionId r = 0; r < R; ++r) {
+      if (r != 0 && acc >= spacing && copies < m) {
+        copy_before[r] = 1;
+        ++copies;
+        acc = 0;
+      }
+      acc += PayloadPackets(payloads[r].cross.size());
+      if (!payloads[r].local.empty()) {
+        acc += PayloadPackets(payloads[r].local.size());
+      }
+    }
+    m = copies;  // actual number of copies laid out
+  }
+
+  // --- Compute final positions ------------------------------------------
+  EbIndex index;
+  index.num_regions = R;
+  index.num_nodes = static_cast<uint32_t>(g.num_nodes());
+  index.splits = kd.splits_bfs();
+  index.min_rr = pre.min_rr;
+  index.max_rr = pre.max_rr;
+  index.dir.resize(R);
+  index_packets = PayloadPackets(EbIndex::EncodedBytes(R, m));
+
+  uint32_t pos = 0;
+  for (graph::RegionId r = 0; r < R; ++r) {
+    if (copy_before[r]) {
+      index.copy_starts.push_back(pos);
+      pos += index_packets;
+    }
+    index.dir[r].cross_start = pos;
+    index.dir[r].cross_packets = PayloadPackets(payloads[r].cross.size());
+    pos += index.dir[r].cross_packets;
+    if (!payloads[r].local.empty()) {
+      index.dir[r].local_start = pos;
+      index.dir[r].local_packets = PayloadPackets(payloads[r].local.size());
+      pos += index.dir[r].local_packets;
+    } else {
+      index.dir[r].local_start = 0;
+      index.dir[r].local_packets = 0;
+    }
+  }
+
+  // --- Assemble ----------------------------------------------------------
+  std::vector<uint8_t> index_payload = index.Encode();
+  if (PayloadPackets(index_payload.size()) != index_packets) {
+    return Status::Internal("EB index size drifted during layout");
+  }
+  broadcast::CycleBuilder builder;
+  uint32_t copy_id = 0;
+  for (graph::RegionId r = 0; r < R; ++r) {
+    if (copy_before[r]) {
+      broadcast::Segment seg;
+      seg.type = broadcast::SegmentType::kGlobalIndex;
+      seg.id = copy_id++;
+      seg.is_index = true;
+      seg.payload = index_payload;
+      builder.Add(std::move(seg));
+    }
+    broadcast::Segment cross;
+    cross.type = broadcast::SegmentType::kNetworkData;
+    cross.id = r;
+    cross.payload = std::move(payloads[r].cross);
+    builder.Add(std::move(cross));
+    if (!payloads[r].local.empty()) {
+      broadcast::Segment local;
+      local.type = broadcast::SegmentType::kNetworkData;
+      local.id = r;
+      local.payload = std::move(payloads[r].local);
+      builder.Add(std::move(local));
+    }
+  }
+  sys->index_ = std::move(index);
+  AIRINDEX_ASSIGN_OR_RETURN(sys->cycle_, std::move(builder).Finalize());
+  return sys;
+}
+
+device::QueryMetrics EbSystem::RunQuery(
+    const broadcast::BroadcastChannel& channel, const AirQuery& query,
+    const ClientOptions& options) const {
+  device::QueryMetrics metrics;
+  device::MemoryTracker memory(options.heap_bytes);
+  broadcast::ClientSession session(&channel,
+                                   TuneInPosition(cycle_, query.tune_phase));
+  const uint32_t total = cycle_.total_packets();
+  double cpu_ms = 0.0;
+
+  // --- 1. Find and receive the next index copy (tuning in right at an
+  // index start uses that very copy) --------------------------------------
+  uint32_t index_start = 0;
+  ReceivedSegment index_seg;
+  {
+    bool found = false;
+    for (int attempts = 0; attempts < 64 && !found; ++attempts) {
+      auto view = session.ReceiveNext();
+      if (!view.has_value()) continue;
+      found = true;
+      if (view->next_index_offset == 0 && view->seq == 0) {
+        index_start = view->cycle_pos;
+        index_seg = broadcast::CompleteSegmentFrom(session, *view);
+      } else {
+        index_start = static_cast<uint32_t>(
+            (view->cycle_pos + view->next_index_offset) % total);
+        index_seg = ReceiveSegmentAt(session, index_start);
+      }
+    }
+    if (!found) return metrics;  // channel effectively dead
+  }
+  memory.Charge(index_seg.payload.size());
+
+  // --- 2. Make sure the needed index bytes arrived (§6.2) ---------------
+  // Region mapping first: header + splits live at the payload front; the
+  // needed matrix row/column depends on Rs/Rt which need the splits.
+  auto ensure_ranges =
+      [&](const std::vector<std::pair<size_t, size_t>>& ranges) -> bool {
+    for (int attempt = 0; attempt <= options.max_repair_cycles; ++attempt) {
+      std::vector<uint32_t> missing =
+          MissingNeededPackets(index_seg, ranges);
+      if (missing.empty()) return true;
+      // Prefer the next copy if we already know the copy list; fall back to
+      // this copy next cycle.
+      uint32_t repair_start = index_start;
+      auto decoded = EbIndex::Decode(index_seg.payload);
+      if (decoded.ok() && !decoded->copy_starts.empty()) {
+        const auto& copies = decoded->copy_starts;
+        const uint32_t cur = session.cycle_pos();
+        uint32_t best = copies.front();
+        uint32_t best_ahead = UINT32_MAX;
+        for (uint32_t c : copies) {
+          const uint32_t first_missing = (c + missing.front()) % total;
+          const uint32_t ahead = first_missing >= cur
+                                     ? first_missing - cur
+                                     : first_missing + total - cur;
+          if (ahead < best_ahead) {
+            best_ahead = ahead;
+            best = c;
+          }
+        }
+        repair_start = best;
+      }
+      RepairIndexPackets(session, repair_start, missing, &index_seg);
+    }
+    return MissingNeededPackets(index_seg, ranges).empty();
+  };
+
+  if (!ensure_ranges({{0, index_seg.payload.size() < 6
+                              ? index_seg.payload.size()
+                              : 6}})) {
+    return metrics;
+  }
+  const uint32_t R =
+      index_seg.payload.size() >= 2 ? GetU16(index_seg.payload.data()) : 0;
+  if (R < 2) return metrics;
+  // Header + splits.
+  if (!ensure_ranges({{0, 6 + (static_cast<size_t>(R) - 1) * 8}})) {
+    return metrics;
+  }
+
+  device::Stopwatch sw_map;
+  auto header = EbIndex::Decode(index_seg.payload);
+  if (!header.ok()) return metrics;
+  auto kd = partition::KdTreePartitioner::FromSplits(header->splits);
+  if (!kd.ok()) return metrics;
+  const graph::RegionId rs = kd->RegionOf(query.source_coord);
+  const graph::RegionId rt = kd->RegionOf(query.target_coord);
+  cpu_ms += sw_map.ElapsedMs();
+
+  if (!ensure_ranges(EbIndex::NeededByteRanges(R, rs, rt))) return metrics;
+
+  device::Stopwatch sw_prune;
+  auto index_or = EbIndex::Decode(index_seg.payload);
+  if (!index_or.ok()) return metrics;
+  const EbIndex index = std::move(index_or).value();
+
+  // --- 3. Elliptic pruning (§4.2) ---------------------------------------
+  const graph::Dist ub = index.MaxDist(rs, rt);
+  std::vector<graph::RegionId> needed;
+  for (graph::RegionId r = 0; r < R; ++r) {
+    if (r == rs || r == rt) {
+      needed.push_back(r);
+      continue;
+    }
+    const graph::Dist a = index.MinDist(rs, r);
+    const graph::Dist b = index.MinDist(r, rt);
+    if (a != graph::kInfDist && b != graph::kInfDist && ub != graph::kInfDist &&
+        a + b <= ub) {
+      needed.push_back(r);
+    }
+  }
+  cpu_ms += sw_prune.ElapsedMs();
+
+  // --- 4. Receive needed regions in broadcast order ---------------------
+  std::sort(needed.begin(), needed.end(),
+            [&](graph::RegionId a, graph::RegionId b) {
+              const uint32_t cur = session.cycle_pos();
+              auto ahead = [&](graph::RegionId r) {
+                const uint32_t s = index.dir[r].cross_start;
+                return s >= cur ? s - cur : s + total - cur;
+              };
+              return ahead(a) < ahead(b);
+            });
+
+  PartialGraph pg;
+  SuperEdgeProcessor super(query.source, query.target);
+  size_t super_mem = 0;
+
+  auto ingest_region = [&](ReceivedSegment&& cross, ReceivedSegment&& local,
+                           bool has_local) {
+    device::Stopwatch sw;
+    auto cross_data = DecodeRegionData(cross.payload);
+    if (!cross_data.ok()) return;
+    RegionData region = std::move(cross_data).value();
+    if (has_local) {
+      auto local_data = DecodeRegionData(local.payload);
+      if (local_data.ok()) {
+        for (auto& rec : local_data->records) {
+          region.records.push_back(std::move(rec));
+        }
+      }
+    }
+    if (options.memory_bound) {
+      // §6.1: collapse into super-edges, drop the region data.
+      const size_t decoded =
+          region.records.size() * 24 + region.border.size() * 4;
+      memory.Charge(decoded);
+      super.AddRegion(region);
+      memory.Release(decoded);
+      memory.Release(super_mem);
+      super_mem = super.MemoryBytes();
+      memory.Charge(super_mem);
+    } else {
+      const size_t before = pg.MemoryBytes();
+      for (const auto& rec : region.records) pg.AddRecord(rec);
+      memory.Charge(pg.MemoryBytes() - before);
+    }
+    memory.Release(cross.payload.size());
+    if (has_local) memory.Release(local.payload.size());
+    ++metrics.regions_received;
+    cpu_ms += sw.ElapsedMs();
+  };
+
+  // One pass over the cycle collects every needed region; segments with
+  // lost packets are stashed and repaired together in per-cycle sweeps
+  // (§6.2 — one extra cycle fixes all damaged regions, not one region per
+  // cycle).
+  struct StashedRegion {
+    ReceivedSegment cross;
+    ReceivedSegment local;
+    bool want_local = false;
+    uint32_t cross_start = 0;
+    uint32_t local_start = 0;
+  };
+  std::deque<StashedRegion> stash;
+  for (graph::RegionId r : needed) {
+    const EbIndex::RegionDir& d = index.dir[r];
+    ReceivedSegment cross = ReceiveSegmentAt(session, d.cross_start);
+    memory.Charge(cross.payload.size());
+    const bool want_local =
+        d.local_packets > 0 &&
+        (r == rs || r == rt || !options.cross_border_opt);
+    ReceivedSegment local;
+    if (want_local) {
+      local = ReceiveSegmentAt(session, d.local_start);
+      memory.Charge(local.payload.size());
+    }
+    if (cross.complete && (!want_local || local.complete)) {
+      ingest_region(std::move(cross), std::move(local), want_local);
+    } else {
+      stash.push_back({std::move(cross), std::move(local), want_local,
+                       d.cross_start, d.local_start});
+    }
+  }
+  if (!stash.empty()) {
+    std::vector<PendingRepair> pending;
+    for (auto& s : stash) {
+      if (!s.cross.complete) pending.push_back({s.cross_start, &s.cross});
+      if (s.want_local && !s.local.complete) {
+        pending.push_back({s.local_start, &s.local});
+      }
+    }
+    RepairAllSegments(session, pending, options.max_repair_cycles);
+    for (auto& s : stash) {
+      ingest_region(std::move(s.cross), std::move(s.local), s.want_local);
+    }
+  }
+
+  // --- 5. Local search ----------------------------------------------------
+  device::Stopwatch sw_search;
+  graph::Dist dist = graph::kInfDist;
+  if (options.memory_bound) {
+    dist = super.Solve();
+  } else {
+    algo::SearchTree tree = algo::DijkstraSearch(
+        pg, query.source, query.target, KnownEdgeFilter{&pg});
+    dist = query.target < tree.dist.size() ? tree.dist[query.target]
+                                           : graph::kInfDist;
+  }
+  cpu_ms += sw_search.ElapsedMs();
+
+  metrics.tuning_packets = session.tuned_packets();
+  metrics.latency_packets = session.latency_packets();
+  metrics.peak_memory_bytes = memory.peak();
+  metrics.memory_exceeded = memory.exceeded();
+  metrics.cpu_ms = cpu_ms;
+  metrics.distance = dist;
+  metrics.ok = dist != graph::kInfDist;
+  return metrics;
+}
+
+}  // namespace airindex::core

@@ -1,0 +1,103 @@
+#include "core/full_cycle.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace airindex::core {
+
+using broadcast::ReceivedSegment;
+using broadcast::SegmentType;
+
+Status ReceiveFullCycle(
+    broadcast::ClientSession& session, device::MemoryTracker& memory,
+    const std::function<bool(SegmentType)>& must_repair,
+    const std::function<void(ReceivedSegment&&)>& on_segment,
+    int max_repair_cycles) {
+  const broadcast::BroadcastCycle& cycle = session.cycle();
+  const size_t num_segments = cycle.num_segments();
+
+  std::vector<ReceivedSegment> partial(num_segments);
+  std::vector<uint32_t> received_packets(num_segments, 0);
+  std::vector<uint8_t> delivered(num_segments, 0);
+
+  auto ensure_buffer = [&](uint32_t si) {
+    ReceivedSegment& seg = partial[si];
+    if (!seg.payload.empty() || !seg.packet_ok.empty()) return;
+    const broadcast::Segment& src = cycle.segment(si);
+    seg.segment_index = si;
+    seg.type = src.type;
+    seg.segment_id = src.id;
+    seg.payload.assign(src.payload.size(), 0);
+    seg.packet_ok.assign(src.PacketCount(), false);
+  };
+
+  auto ingest = [&](const broadcast::PacketView& view) {
+    const uint32_t si = view.segment_index;
+    ensure_buffer(si);
+    ReceivedSegment& seg = partial[si];
+    if (seg.packet_ok[view.seq]) return;
+    seg.packet_ok[view.seq] = true;
+    ++received_packets[si];
+    memory.Charge(view.chunk.size());
+    std::memcpy(seg.payload.data() +
+                    static_cast<size_t>(view.seq) * broadcast::kPayloadSize,
+                view.chunk.data(), view.chunk.size());
+  };
+
+  auto try_deliver = [&](uint32_t si, bool force) {
+    if (delivered[si]) return;
+    ensure_buffer(si);
+    ReceivedSegment& seg = partial[si];
+    seg.complete = received_packets[si] == seg.packet_ok.size();
+    if (!seg.complete && !force) return;
+    delivered[si] = 1;
+    on_segment(std::move(seg));
+    seg = ReceivedSegment{};
+  };
+
+  // One pass over the whole cycle.
+  const uint32_t total = cycle.total_packets();
+  for (uint32_t i = 0; i < total; ++i) {
+    auto view = session.ReceiveNext();
+    if (!view.has_value()) continue;
+    ingest(*view);
+    try_deliver(view->segment_index, /*force=*/false);
+  }
+
+  // Repair passes for segments that must be complete.
+  for (int pass = 0; pass < max_repair_cycles; ++pass) {
+    bool anything_missing = false;
+    for (uint32_t si = 0; si < num_segments; ++si) {
+      if (delivered[si]) continue;
+      ensure_buffer(si);
+      if (!must_repair(partial[si].type)) continue;
+      anything_missing = true;
+      for (uint32_t p = 0; p < partial[si].packet_ok.size(); ++p) {
+        if (partial[si].packet_ok[p]) continue;
+        session.SleepUntilCyclePos((cycle.SegmentStart(si) + p) % total);
+        auto view = session.ReceiveNext();
+        if (view.has_value()) ingest(*view);
+      }
+      try_deliver(si, /*force=*/false);
+    }
+    if (!anything_missing) break;
+  }
+
+  // Deliver what remains (incomplete non-repairable segments, or repairable
+  // ones that exhausted the repair budget).
+  Status status = Status::OK();
+  for (uint32_t si = 0; si < num_segments; ++si) {
+    if (delivered[si]) continue;
+    ensure_buffer(si);
+    if (must_repair(partial[si].type) && !partial[si].complete &&
+        received_packets[si] != partial[si].packet_ok.size()) {
+      status = Status::DataLoss(
+          "segment still incomplete after repair budget");
+    }
+    try_deliver(si, /*force=*/true);
+  }
+  return status;
+}
+
+}  // namespace airindex::core

@@ -1,0 +1,32 @@
+#ifndef AIRINDEX_CORE_FULL_CYCLE_H_
+#define AIRINDEX_CORE_FULL_CYCLE_H_
+
+#include <functional>
+
+#include "broadcast/channel.h"
+#include "common/status.h"
+#include "device/memory_tracker.h"
+
+namespace airindex::core {
+
+/// Shared client loop of the full-cycle methods (§3.2: Dijkstra, ArcFlag,
+/// Landmark, and the SPQ/HiTi adaptations all "listen to the entire
+/// broadcast cycle"). Listens to every packet of one cycle starting at the
+/// session position, delivering each segment to `on_segment` as soon as it
+/// completes; raw chunk bytes are charged to `memory` as they arrive and it
+/// is the callback's job to release `payload.size()` once it has consumed
+/// (decoded) the segment.
+///
+/// Segments with lost packets are re-listened to on subsequent cycles when
+/// `must_repair(type)` is true (adjacency data must be complete, §6.2);
+/// otherwise they are delivered incomplete (packet_ok flags show the holes)
+/// so the method-specific fallback can apply.
+Status ReceiveFullCycle(
+    broadcast::ClientSession& session, device::MemoryTracker& memory,
+    const std::function<bool(broadcast::SegmentType)>& must_repair,
+    const std::function<void(broadcast::ReceivedSegment&&)>& on_segment,
+    int max_repair_cycles);
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_FULL_CYCLE_H_

@@ -1,0 +1,49 @@
+#ifndef AIRINDEX_CORE_KNN_ON_AIR_H_
+#define AIRINDEX_CORE_KNN_ON_AIR_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/air_system.h"
+#include "core/eb.h"
+#include "graph/types.h"
+
+namespace airindex::core {
+
+/// §8 extension, second half ("... e.g., range and *nearest neighbor*
+/// retrieval"): k-nearest-neighbor search over a set of points of interest,
+/// answered on the air.
+///
+/// The client knows which nodes are POIs (e.g., a category file shipped
+/// with the application — the broadcast carries the *network*, which is
+/// what changes); what it must learn from the air is the road network
+/// around it. The EB index drives an incremental expansion: regions are
+/// received in ascending mindist(Rs, R) order, and the search stops once
+/// the next region's minimum distance exceeds the current k-th best POI
+/// distance — at which point every region a better path could traverse has
+/// been received, so the answer is exact.
+struct KnnQuery {
+  graph::NodeId source = graph::kInvalidNode;
+  graph::Point source_coord;
+  uint32_t k = 1;
+  double tune_phase = 0.0;
+};
+
+struct KnnResult {
+  /// Up to k (poi, distance) pairs, ascending distance. Fewer than k when
+  /// the network holds fewer reachable POIs.
+  std::vector<std::pair<graph::NodeId, graph::Dist>> neighbors;
+  device::QueryMetrics metrics;
+};
+
+/// Runs a kNN query against an EB broadcast. `poi_nodes` is the client-side
+/// POI category (node ids). Loss handling as in the shortest-path client.
+KnnResult RunKnnQuery(const EbSystem& system,
+                      const broadcast::BroadcastChannel& channel,
+                      const KnnQuery& query,
+                      const std::vector<graph::NodeId>& poi_nodes,
+                      const ClientOptions& options = {});
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_KNN_ON_AIR_H_

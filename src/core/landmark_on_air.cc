@@ -1,0 +1,188 @@
+#include "core/landmark_on_air.h"
+
+#include <chrono>
+
+#include "algo/astar.h"
+#include "broadcast/packet.h"
+#include "common/byte_io.h"
+#include "core/cycle_common.h"
+#include "core/full_cycle.h"
+#include "core/partial_graph.h"
+#include "device/memory_tracker.h"
+
+namespace airindex::core {
+namespace {
+
+/// Aux segment ids: 0 = header (landmark ids), 1+i = i-th distance-vector
+/// chunk.
+constexpr uint32_t kHeaderSegment = 0;
+constexpr uint32_t kVecChunkNodes = 512;
+constexpr uint32_t kInfU32 = 0xFFFFFFFFu;
+
+uint32_t SaturateDist(graph::Dist d) {
+  return d >= kInfU32 ? kInfU32 : static_cast<uint32_t>(d);
+}
+
+graph::Dist Unsaturate(uint32_t v) {
+  return v == kInfU32 ? graph::kInfDist : v;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LandmarkOnAir>> LandmarkOnAir::Build(
+    const graph::Graph& g, uint32_t num_landmarks, uint64_t seed) {
+  auto sys = std::unique_ptr<LandmarkOnAir>(new LandmarkOnAir());
+  sys->num_nodes_ = static_cast<uint32_t>(g.num_nodes());
+
+  const auto start = std::chrono::steady_clock::now();
+  AIRINDEX_ASSIGN_OR_RETURN(
+      sys->index_, algo::LandmarkIndex::Build(g, num_landmarks, seed));
+  sys->precompute_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const algo::LandmarkIndex& idx = sys->index_;
+  const uint32_t k = idx.num_landmarks();
+  broadcast::CycleBuilder builder;
+  AppendNetworkSegments(g, &builder);
+
+  // Header: landmark count + node count + landmark ids.
+  {
+    broadcast::Segment seg;
+    seg.type = broadcast::SegmentType::kAuxData;
+    seg.id = kHeaderSegment;
+    PutU16(&seg.payload, static_cast<uint16_t>(k));
+    PutU32(&seg.payload, sys->num_nodes_);
+    for (graph::NodeId l : idx.landmarks()) PutU32(&seg.payload, l);
+    builder.Add(std::move(seg));
+  }
+  // Distance vectors: per node, k "to" then k "from" u32 values, chunked.
+  for (uint32_t first = 0; first < g.num_nodes(); first += kVecChunkNodes) {
+    broadcast::Segment seg;
+    seg.type = broadcast::SegmentType::kAuxData;
+    seg.id = 1 + first / kVecChunkNodes;
+    const uint32_t last = std::min<uint32_t>(first + kVecChunkNodes,
+                                             static_cast<uint32_t>(
+                                                 g.num_nodes()));
+    seg.payload.reserve(static_cast<size_t>(last - first) * k * 8);
+    for (uint32_t v = first; v < last; ++v) {
+      for (uint32_t l = 0; l < k; ++l) {
+        PutU32(&seg.payload, SaturateDist(idx.ToLandmark(l, v)));
+      }
+      for (uint32_t l = 0; l < k; ++l) {
+        PutU32(&seg.payload, SaturateDist(idx.FromLandmark(l, v)));
+      }
+    }
+    builder.Add(std::move(seg));
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(sys->cycle_, std::move(builder).Finalize(
+                                             /*require_index=*/false));
+  return sys;
+}
+
+device::QueryMetrics LandmarkOnAir::RunQuery(
+    const broadcast::BroadcastChannel& channel, const AirQuery& query,
+    const ClientOptions& options) const {
+  device::QueryMetrics metrics;
+  device::MemoryTracker memory(options.heap_bytes);
+  broadcast::ClientSession session(&channel,
+                                   TuneInPosition(cycle_, query.tune_phase));
+
+  PartialGraph pg;
+  uint32_t k = 0;
+  std::vector<graph::NodeId> landmarks;
+  // to_vec[l * n + v] = d(v, L_l); from_vec likewise d(L_l, v).
+  std::vector<graph::Dist> to_vec, from_vec;
+  double cpu_ms = 0.0;
+
+  auto handle_aux = [&](const broadcast::ReceivedSegment& seg) {
+    if (seg.segment_id == kHeaderSegment) {
+      if (!seg.complete) return;  // no landmarks -> zero bounds
+      ByteReader reader(seg.payload);
+      k = reader.ReadU16();
+      const uint32_t n = reader.ReadU32();
+      landmarks.reserve(k);
+      for (uint32_t l = 0; l < k; ++l) landmarks.push_back(reader.ReadU32());
+      to_vec.assign(static_cast<size_t>(k) * n, graph::kInfDist);
+      from_vec.assign(static_cast<size_t>(k) * n, graph::kInfDist);
+      memory.Charge(to_vec.size() * 4 * 2);  // client stores u32 vectors
+      return;
+    }
+    if (k == 0) return;  // header lost: vectors unusable (§6.2 fallback)
+    const uint32_t first = (seg.segment_id - 1) * kVecChunkNodes;
+    const size_t stride = static_cast<size_t>(k) * 8;
+    const uint32_t count =
+        static_cast<uint32_t>(seg.payload.size() / stride);
+    for (uint32_t i = 0; i < count; ++i) {
+      const size_t off = i * stride;
+      // Skip vectors touched by a lost packet (lower bound falls back to 0).
+      if (!seg.RangeOk(off, off + stride)) continue;
+      const graph::NodeId v = first + i;
+      for (uint32_t l = 0; l < k; ++l) {
+        to_vec[static_cast<size_t>(l) * num_nodes_ + v] =
+            Unsaturate(GetU32(seg.payload.data() + off + 4 * l));
+        from_vec[static_cast<size_t>(l) * num_nodes_ + v] =
+            Unsaturate(GetU32(seg.payload.data() + off + 4 * (k + l)));
+      }
+    }
+  };
+
+  Status receive_status = ReceiveFullCycle(
+      session, memory,
+      [](broadcast::SegmentType t) {
+        // Only adjacency must be complete; lost vectors degrade the bound.
+        return t == broadcast::SegmentType::kNetworkData;
+      },
+      [&](broadcast::ReceivedSegment&& seg) {
+        device::Stopwatch sw;
+        if (seg.type == broadcast::SegmentType::kNetworkData) {
+          const size_t before = pg.MemoryBytes();
+          auto records = broadcast::DecodeNodeRecords(seg.payload);
+          if (records.ok()) {
+            for (const auto& rec : records.value()) pg.AddRecord(rec);
+          }
+          memory.Charge(pg.MemoryBytes() - before);
+        } else {
+          handle_aux(seg);
+        }
+        memory.Release(seg.payload.size());
+        cpu_ms += sw.ElapsedMs();
+      },
+      options.max_repair_cycles);
+
+  device::Stopwatch sw;
+  const graph::NodeId t = query.target;
+  auto lower_bound = [&](graph::NodeId v) -> graph::Dist {
+    graph::Dist best = 0;
+    for (uint32_t l = 0; l < k; ++l) {
+      const size_t base = static_cast<size_t>(l) * num_nodes_;
+      const graph::Dist v_to = to_vec[base + v];
+      const graph::Dist t_to = to_vec[base + t];
+      const graph::Dist v_from = from_vec[base + v];
+      const graph::Dist t_from = from_vec[base + t];
+      if (v_to != graph::kInfDist && t_to != graph::kInfDist && v_to > t_to) {
+        best = std::max(best, v_to - t_to);
+      }
+      if (v_from != graph::kInfDist && t_from != graph::kInfDist &&
+          t_from > v_from) {
+        best = std::max(best, t_from - v_from);
+      }
+    }
+    return best;
+  };
+  size_t settled = 0;
+  graph::Path path =
+      algo::AStarPath(pg, query.source, query.target, lower_bound, &settled);
+  cpu_ms += sw.ElapsedMs();
+
+  metrics.tuning_packets = session.tuned_packets();
+  metrics.latency_packets = session.latency_packets();
+  metrics.peak_memory_bytes = memory.peak();
+  metrics.memory_exceeded = memory.exceeded();
+  metrics.cpu_ms = cpu_ms;
+  metrics.distance = path.dist;
+  metrics.ok = receive_status.ok() && path.found();
+  return metrics;
+}
+
+}  // namespace airindex::core

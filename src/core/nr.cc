@@ -1,0 +1,424 @@
+#include "core/nr.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "algo/dijkstra.h"
+#include "common/byte_io.h"
+#include "core/partial_graph.h"
+#include "core/region_data.h"
+#include "core/repair.h"
+#include "core/super_edge.h"
+#include "device/memory_tracker.h"
+#include "partition/kd_tree.h"
+
+namespace airindex::core {
+namespace {
+
+using broadcast::kPayloadSize;
+using broadcast::ReceivedSegment;
+
+uint32_t PayloadPackets(size_t bytes) {
+  return bytes == 0 ? 1
+                    : static_cast<uint32_t>((bytes + kPayloadSize - 1) /
+                                            kPayloadSize);
+}
+
+bool RangeOkClamped(const ReceivedSegment& seg, size_t begin, size_t end) {
+  return seg.RangeOk(begin, std::min(end, seg.payload.size()));
+}
+
+bool RangeOkClamped(const ReceivedSegment& seg,
+                    std::pair<size_t, size_t> range) {
+  return RangeOkClamped(seg, range.first, range.second);
+}
+
+/// Reads a geometry entry straight out of a (possibly holey) index payload.
+NrIndex::RegionGeometry ReadGeometry(const ReceivedSegment& seg, uint32_t R,
+                                     graph::RegionId r) {
+  const size_t off = NrIndex::PositionRange(R, r).first;
+  NrIndex::RegionGeometry g;
+  g.cross_start = GetU32(seg.payload.data() + off);
+  g.cross_packets = GetU16(seg.payload.data() + off + 4);
+  g.local_packets = GetU16(seg.payload.data() + off + 6);
+  return g;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<NrSystem>> NrSystem::Build(const graph::Graph& g,
+                                                  uint32_t num_regions) {
+  if (num_regions > 256) {
+    return Status::InvalidArgument("NR supports at most 256 regions");
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(
+      auto kd, partition::KdTreePartitioner::Build(g, num_regions));
+  AIRINDEX_ASSIGN_OR_RETURN(auto pre,
+                            ComputeBorderPrecompute(g, kd.Partition(g)));
+  return BuildFromPrecompute(g, pre);
+}
+
+Result<std::unique_ptr<NrSystem>> NrSystem::BuildFromPrecompute(
+    const graph::Graph& g, const BorderPrecompute& pre) {
+  const uint32_t R = pre.num_regions;
+  if (R > 256) {
+    return Status::InvalidArgument("NR supports at most 256 regions");
+  }
+  auto sys = std::unique_ptr<NrSystem>(new NrSystem());
+  sys->precompute_seconds_ = pre.seconds;
+  AIRINDEX_ASSIGN_OR_RETURN(auto kd,
+                            partition::KdTreePartitioner::Build(g, R));
+
+  // Region payloads with the §4.1 cross-border/local split (NR clients
+  // receive only the cross segment of intermediate regions, which is what
+  // makes NR's tuning time a subset of EB's).
+  struct RegionPayloads {
+    std::vector<uint8_t> cross;
+    std::vector<uint8_t> local;
+  };
+  std::vector<RegionPayloads> payloads(R);
+  for (graph::RegionId r = 0; r < R; ++r) {
+    std::vector<graph::NodeId> cross_nodes, local_nodes;
+    for (graph::NodeId v : pre.part.region_nodes[r]) {
+      (pre.cross_border[v] ? cross_nodes : local_nodes).push_back(v);
+    }
+    payloads[r].cross =
+        EncodeRegionData(g, pre.borders.region_border[r], cross_nodes);
+    if (!local_nodes.empty()) {
+      payloads[r].local = EncodeRegionData(g, {}, local_nodes);
+    }
+  }
+
+  // Layout: [A^0][cross_0][local_0?][A^1][cross_1]... with fixed-size local
+  // indexes.
+  const uint32_t index_packets = PayloadPackets(NrIndex::EncodedBytes(R));
+  std::vector<NrIndex::RegionGeometry> geometry(R);
+  {
+    uint32_t pos = 0;
+    for (graph::RegionId m = 0; m < R; ++m) {
+      pos += index_packets;
+      geometry[m].cross_start = pos;
+      geometry[m].cross_packets =
+          static_cast<uint16_t>(PayloadPackets(payloads[m].cross.size()));
+      pos += geometry[m].cross_packets;
+      geometry[m].local_packets =
+          payloads[m].local.empty()
+              ? 0
+              : static_cast<uint16_t>(
+                    PayloadPackets(payloads[m].local.size()));
+      pos += geometry[m].local_packets;
+    }
+  }
+
+  // Next-region tables: for each ordered pair, the needed-region set from
+  // the pre-computation; A^m[i][j] = first needed region at or after m.
+  // next_at is computed by a backward sweep over two concatenated periods
+  // (resolving the wrap-around).
+  sys->indexes_.assign(R, NrIndex{});
+  for (graph::RegionId m = 0; m < R; ++m) {
+    auto& idx = sys->indexes_[m];
+    idx.num_regions = R;
+    idx.num_nodes = static_cast<uint32_t>(g.num_nodes());
+    idx.region_id = m;
+    idx.splits = kd.splits_bfs();
+    idx.geometry = geometry;
+    idx.next_region.assign(static_cast<size_t>(R) * R, 0);
+  }
+  std::vector<uint8_t> next_at(2 * R);
+  for (graph::RegionId i = 0; i < R; ++i) {
+    for (graph::RegionId j = 0; j < R; ++j) {
+      auto is_needed = [&](graph::RegionId k) {
+        return k == i || k == j || pre.TraversesRegion(i, j, k);
+      };
+      uint8_t next = 0;
+      for (uint32_t step = 0; step < 2 * R; ++step) {
+        const uint32_t m = 2 * R - 1 - step;
+        const graph::RegionId r = m % R;
+        if (is_needed(r)) next = static_cast<uint8_t>(r);
+        next_at[m] = next;
+      }
+      for (graph::RegionId m = 0; m < R; ++m) {
+        sys->indexes_[m].next_region[static_cast<size_t>(i) * R + j] =
+            next_at[m];
+      }
+    }
+  }
+
+  // Assemble.
+  broadcast::CycleBuilder builder;
+  for (graph::RegionId m = 0; m < R; ++m) {
+    broadcast::Segment idx_seg;
+    idx_seg.type = broadcast::SegmentType::kLocalIndex;
+    idx_seg.id = m;
+    idx_seg.is_index = true;
+    idx_seg.payload = sys->indexes_[m].Encode();
+    builder.Add(std::move(idx_seg));
+    broadcast::Segment cross_seg;
+    cross_seg.type = broadcast::SegmentType::kNetworkData;
+    cross_seg.id = m;
+    cross_seg.payload = std::move(payloads[m].cross);
+    builder.Add(std::move(cross_seg));
+    if (!payloads[m].local.empty()) {
+      broadcast::Segment local_seg;
+      local_seg.type = broadcast::SegmentType::kNetworkData;
+      local_seg.id = m;
+      local_seg.payload = std::move(payloads[m].local);
+      builder.Add(std::move(local_seg));
+    }
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(sys->cycle_, std::move(builder).Finalize());
+  return sys;
+}
+
+device::QueryMetrics NrSystem::RunQuery(
+    const broadcast::BroadcastChannel& channel, const AirQuery& query,
+    const ClientOptions& options) const {
+  device::QueryMetrics metrics;
+  device::MemoryTracker memory(options.heap_bytes);
+  broadcast::ClientSession session(&channel,
+                                   TuneInPosition(cycle_, query.tune_phase));
+  const uint32_t total = cycle_.total_packets();
+  double cpu_ms = 0.0;
+
+  // --- 1. Find and receive the next local index (every header points at
+  // one; tuning in right at an index start uses that very copy) ----------
+  uint32_t idx_start = 0;
+  auto receive_some_index = [&](bool* ok) -> ReceivedSegment {
+    for (int attempts = 0; attempts < 256; ++attempts) {
+      auto view = session.ReceiveNext();
+      if (!view.has_value()) continue;
+      *ok = true;
+      if (view->next_index_offset == 0 && view->seq == 0) {
+        idx_start = view->cycle_pos;
+        return broadcast::CompleteSegmentFrom(session, *view);
+      }
+      idx_start = static_cast<uint32_t>(
+          (view->cycle_pos + view->next_index_offset) % total);
+      return ReceiveSegmentAt(session, idx_start);
+    }
+    *ok = false;
+    return ReceivedSegment{};
+  };
+
+  bool found = false;
+
+  PartialGraph pg;
+  SuperEdgeProcessor super(query.source, query.target);
+  size_t super_mem = 0;
+  std::vector<bool> received;
+  bool mapped = false;
+  graph::RegionId rs = 0, rt = 0;
+  uint32_t R = 0;
+  int first_index_id = -1;
+  int expected_id = -1;  // id of the index currently in idx_seg
+  bool index_charged = false;
+  bool progressed = false;
+
+  auto ingest_region = [&](ReceivedSegment&& cross, ReceivedSegment&& local,
+                           bool has_local) {
+    device::Stopwatch sw;
+    auto cross_or = DecodeRegionData(cross.payload);
+    if (cross_or.ok()) {
+      RegionData region = std::move(cross_or).value();
+      if (has_local) {
+        auto local_or = DecodeRegionData(local.payload);
+        if (local_or.ok()) {
+          for (auto& rec : local_or->records) {
+            region.records.push_back(std::move(rec));
+          }
+        }
+      }
+      if (options.memory_bound) {
+        const size_t decoded =
+            region.records.size() * 24 + region.border.size() * 4;
+        memory.Charge(decoded);
+        super.AddRegion(region);
+        memory.Release(decoded);
+        memory.Release(super_mem);
+        super_mem = super.MemoryBytes();
+        memory.Charge(super_mem);
+      } else {
+        const size_t before = pg.MemoryBytes();
+        for (const auto& rec : region.records) pg.AddRecord(rec);
+        memory.Charge(pg.MemoryBytes() - before);
+      }
+      ++metrics.regions_received;
+    }
+    memory.Release(cross.payload.size());
+    if (has_local) memory.Release(local.payload.size());
+    cpu_ms += sw.ElapsedMs();
+  };
+
+  // --- 2. Chain through local indexes (Algorithm 2 + §6.2) --------------
+  struct StashedRegion {
+    ReceivedSegment cross;
+    ReceivedSegment local;
+    bool want_local = false;
+    uint32_t cross_start = 0;
+    uint32_t local_start = 0;
+  };
+  std::deque<StashedRegion> stash;
+
+  ReceivedSegment idx_seg = receive_some_index(&found);
+  if (!found) return metrics;
+  if (!index_charged) {
+    memory.Charge(idx_seg.payload.size());
+    index_charged = true;
+  }
+
+  const uint32_t kMaxSteps = 2 * 256 + 32;
+  for (uint32_t step = 0; step < kMaxSteps; ++step) {
+    if (!mapped) {
+      // The first usable index must provide the header + splits so the
+      // client can locate Rs and Rt (§6.2: if the first component is lost,
+      // wait for the next index).
+      const uint32_t reg_count =
+          idx_seg.payload.size() >= 2 && idx_seg.packet_ok[0]
+              ? GetU16(idx_seg.payload.data())
+              : 0;
+      const bool header_ok =
+          reg_count >= 2 && reg_count <= 256 &&
+          RangeOkClamped(idx_seg, NrIndex::SplitsRange(reg_count));
+      if (!header_ok) {
+        bool ok = false;
+        idx_seg = receive_some_index(&ok);
+        if (!ok) return metrics;
+        continue;
+      }
+      device::Stopwatch sw_map;
+      auto idx_or = NrIndex::Decode(idx_seg.payload);
+      if (!idx_or.ok()) return metrics;
+      auto kd = partition::KdTreePartitioner::FromSplits(idx_or->splits);
+      if (!kd.ok()) return metrics;
+      rs = kd->RegionOf(query.source_coord);
+      rt = kd->RegionOf(query.target_coord);
+      R = reg_count;
+      received.assign(R, false);
+      mapped = true;
+      first_index_id = static_cast<int>(idx_or->region_id);
+      expected_id = first_index_id;
+      cpu_ms += sw_map.ElapsedMs();
+    } else if (expected_id == first_index_id && progressed) {
+      break;  // wrapped around the whole cycle (Algorithm 2 guard)
+    }
+
+    // Decide the next region from the current index. Only the single cell
+    // [rs][rt] plus one geometry entry are needed (§5.1's point: per local
+    // index the client reads one value).
+    const bool cell_ok =
+        RangeOkClamped(idx_seg, NrIndex::CellRange(R, rs, rt));
+    graph::RegionId region_id = 0;
+    NrIndex::RegionGeometry geom;
+    bool have_geom = false;
+
+    if (cell_ok) {
+      const graph::RegionId next_r =
+          idx_seg.payload[NrIndex::CellRange(R, rs, rt).first];
+      if (next_r >= R) return metrics;
+      if (received[next_r]) break;  // client already possesses R_nxt
+      if (RangeOkClamped(idx_seg, NrIndex::PositionRange(R, next_r))) {
+        region_id = next_r;
+        geom = ReadGeometry(idx_seg, R, next_r);
+        have_geom = true;
+      }
+    }
+    if (!have_geom) {
+      // §6.2 fallback: the needed cell (or the position of its region) was
+      // lost. Receive the region adjacent to this index anyway; its
+      // geometry entry is in the same index.
+      region_id = static_cast<graph::RegionId>(expected_id);
+      if (RangeOkClamped(idx_seg,
+                         NrIndex::PositionRange(R, region_id))) {
+        geom = ReadGeometry(idx_seg, R, region_id);
+        have_geom = true;
+      } else {
+        // Even the adjacent geometry is gone: re-listen to the missing
+        // packets of this very index next cycle and try again.
+        RepairSegment(session, idx_start, &idx_seg, 1);
+        continue;
+      }
+      if (received[region_id]) {
+        // Nothing new adjacent; hop to the next index.
+        idx_start =
+            (geom.cross_start + geom.cross_packets + geom.local_packets) %
+            total;
+        idx_seg = ReceiveSegmentAt(session, idx_start);
+        expected_id = (expected_id + 1) % static_cast<int>(R);
+        progressed = true;
+        continue;
+      }
+    }
+
+    // Receive the region's cross segment, optionally its local segment
+    // (endpoint regions only), then the adjacent next index. Damaged
+    // regions are stashed and repaired together after the chain finishes
+    // (§6.2 — one repair sweep per cycle fixes everything that was lost).
+    ReceivedSegment cross = ReceiveSegmentAt(session, geom.cross_start);
+    memory.Charge(cross.payload.size());
+    const bool want_local =
+        geom.local_packets > 0 && (region_id == rs || region_id == rt);
+    ReceivedSegment local;
+    if (want_local) {
+      local = ReceiveSegmentAt(
+          session, (geom.cross_start + geom.cross_packets) % total);
+      memory.Charge(local.payload.size());
+    }
+    const uint32_t next_idx_start =
+        (geom.cross_start + geom.cross_packets + geom.local_packets) % total;
+    ReceivedSegment next_idx = ReceiveSegmentAt(session, next_idx_start);
+
+    if (cross.complete && (!want_local || local.complete)) {
+      ingest_region(std::move(cross), std::move(local), want_local);
+    } else {
+      stash.push_back({std::move(cross), std::move(local), want_local,
+                       geom.cross_start,
+                       (geom.cross_start + geom.cross_packets) % total});
+    }
+    received[region_id] = true;
+    progressed = true;
+    idx_seg = std::move(next_idx);
+    idx_start = next_idx_start;
+    expected_id = static_cast<int>((region_id + 1) % R);
+  }
+
+  // Repair sweep over everything the chain could not complete, then ingest.
+  if (!stash.empty()) {
+    std::vector<PendingRepair> pending;
+    for (auto& s : stash) {
+      if (!s.cross.complete) pending.push_back({s.cross_start, &s.cross});
+      if (s.want_local && !s.local.complete) {
+        pending.push_back({s.local_start, &s.local});
+      }
+    }
+    RepairAllSegments(session, pending, options.max_repair_cycles);
+    for (auto& s : stash) {
+      ingest_region(std::move(s.cross), std::move(s.local), s.want_local);
+    }
+  }
+
+  // --- 3. Local search ----------------------------------------------------
+  device::Stopwatch sw_search;
+  graph::Dist dist = graph::kInfDist;
+  if (mapped) {
+    if (options.memory_bound) {
+      dist = super.Solve();
+    } else {
+      algo::SearchTree tree = algo::DijkstraSearch(
+          pg, query.source, query.target, KnownEdgeFilter{&pg});
+      dist = query.target < tree.dist.size() ? tree.dist[query.target]
+                                             : graph::kInfDist;
+    }
+  }
+  cpu_ms += sw_search.ElapsedMs();
+
+  metrics.tuning_packets = session.tuned_packets();
+  metrics.latency_packets = session.latency_packets();
+  metrics.peak_memory_bytes = memory.peak();
+  metrics.memory_exceeded = memory.exceeded();
+  metrics.cpu_ms = cpu_ms;
+  metrics.distance = dist;
+  metrics.ok = dist != graph::kInfDist;
+  return metrics;
+}
+
+}  // namespace airindex::core

@@ -1,0 +1,60 @@
+#ifndef AIRINDEX_CORE_NR_H_
+#define AIRINDEX_CORE_NR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "core/air_system.h"
+#include "core/border_precompute.h"
+#include "core/nr_index.h"
+#include "graph/graph.h"
+
+namespace airindex::core {
+
+/// The Next Region method (§5), the paper's second contribution.
+///
+/// Server: the same border-pair pre-computation as EB, but instead of a
+/// global min/max matrix it derives, per ordered region pair, the set of
+/// regions any recorded border-pair shortest path traverses. That set is
+/// never shipped whole: each region R_m is preceded by a small local index
+/// A^m whose cell [rs][rt] names only the *next* needed region at or after
+/// R_m in the cycle. No (1,m) replication is needed — the local indexes are
+/// the paper's "fundamentally different" alternative to a replicated global
+/// index.
+///
+/// Client (§5.2, Algorithm 2): reads the next local index, hops from needed
+/// region to needed region (receiving each region's data plus the adjacent
+/// next index), and stops when an index points at a region it already has.
+/// Lost region packets are repaired next cycle; a lost index cell means the
+/// adjacent region is received anyway (§6.2).
+class NrSystem : public AirSystem {
+ public:
+  /// `num_regions`: power of two, at most 256 (paper default 32).
+  static Result<std::unique_ptr<NrSystem>> Build(const graph::Graph& g,
+                                                 uint32_t num_regions);
+
+  static Result<std::unique_ptr<NrSystem>> BuildFromPrecompute(
+      const graph::Graph& g, const BorderPrecompute& pre);
+
+  std::string_view name() const override { return "NR"; }
+  const broadcast::BroadcastCycle& cycle() const override { return cycle_; }
+  device::QueryMetrics RunQuery(const broadcast::BroadcastChannel& channel,
+                                const AirQuery& query,
+                                const ClientOptions& options =
+                                    {}) const override;
+  double precompute_seconds() const override { return precompute_seconds_; }
+
+  /// The local index preceding region m (server-side introspection).
+  const NrIndex& local_index(graph::RegionId m) const { return indexes_[m]; }
+
+ private:
+  NrSystem() = default;
+
+  broadcast::BroadcastCycle cycle_;
+  std::vector<NrIndex> indexes_;
+  double precompute_seconds_ = 0.0;
+};
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_NR_H_

@@ -1,0 +1,19 @@
+#include "core/partial_graph.h"
+
+namespace airindex::core {
+
+void PartialGraph::AddRecord(const broadcast::NodeRecord& rec) {
+  if (rec.id >= adj_.size()) {
+    adj_.resize(rec.id + 1);
+    coords_.resize(rec.id + 1);
+    known_.resize(rec.id + 1, 0);
+  }
+  if (known_[rec.id]) return;
+  known_[rec.id] = 1;
+  ++known_count_;
+  coords_[rec.id] = rec.coord;
+  adj_[rec.id] = rec.arcs;
+  arc_count_ += rec.arcs.size();
+}
+
+}  // namespace airindex::core

@@ -1,0 +1,67 @@
+#ifndef AIRINDEX_CORE_PARTIAL_GRAPH_H_
+#define AIRINDEX_CORE_PARTIAL_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "broadcast/serialization.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace airindex::core {
+
+/// The client-side picture of the network: adjacency lists of only the
+/// nodes received so far, addressed by global node id. Adjacency entries may
+/// point at nodes the client never received; searches skip those via
+/// KnownEdgeFilter (such nodes cannot lie on the answer path by the pruning
+/// arguments of §4/§5).
+///
+/// Satisfies the graph concept of algo::DijkstraSearch.
+class PartialGraph {
+ public:
+  PartialGraph() = default;
+
+  /// Ingests one decoded adjacency record. Duplicate receipt (e.g. a region
+  /// received again during loss repair) is a no-op.
+  void AddRecord(const broadcast::NodeRecord& rec);
+
+  bool Has(graph::NodeId v) const {
+    return v < known_.size() && known_[v] != 0;
+  }
+
+  size_t num_nodes() const { return adj_.size(); }
+  size_t known_count() const { return known_count_; }
+  size_t arc_count() const { return arc_count_; }
+
+  std::span<const graph::Graph::Arc> OutArcs(graph::NodeId v) const {
+    if (v >= adj_.size()) return {};
+    return {adj_[v].data(), adj_[v].size()};
+  }
+
+  const graph::Point& Coord(graph::NodeId v) const { return coords_[v]; }
+
+  /// Client memory estimate: node table + adjacency entries. Matches the
+  /// MemoryTracker charges the clients make.
+  size_t MemoryBytes() const {
+    return known_count_ * 24 + arc_count_ * 8;
+  }
+
+ private:
+  std::vector<std::vector<graph::Graph::Arc>> adj_;
+  std::vector<graph::Point> coords_;
+  std::vector<uint8_t> known_;
+  size_t known_count_ = 0;
+  size_t arc_count_ = 0;
+};
+
+/// Edge filter: follow an arc only if its head was received.
+struct KnownEdgeFilter {
+  const PartialGraph* g;
+  bool operator()(graph::NodeId, const graph::Graph::Arc& arc) const {
+    return g->Has(arc.to);
+  }
+};
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_PARTIAL_GRAPH_H_

@@ -1,0 +1,147 @@
+#include "core/range_on_air.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "algo/dijkstra.h"
+#include "common/byte_io.h"
+#include "core/partial_graph.h"
+#include "core/region_data.h"
+#include "core/repair.h"
+#include "device/memory_tracker.h"
+#include "partition/kd_tree.h"
+
+namespace airindex::core {
+
+RangeResult RunRangeQuery(const EbSystem& system,
+                          const broadcast::BroadcastChannel& channel,
+                          const RangeQuery& query,
+                          const ClientOptions& options) {
+  RangeResult result;
+  device::MemoryTracker memory(options.heap_bytes);
+  const broadcast::BroadcastCycle& cycle = system.cycle();
+  broadcast::ClientSession session(&channel,
+                                   TuneInPosition(cycle, query.tune_phase));
+  const uint32_t total = cycle.total_packets();
+  double cpu_ms = 0.0;
+
+  // Receive the next index copy (same protocol as the shortest-path
+  // client; simple whole-copy repair is enough here).
+  uint32_t index_start = 0;
+  broadcast::ReceivedSegment index_seg;
+  {
+    bool found = false;
+    for (int attempts = 0; attempts < 64 && !found; ++attempts) {
+      auto view = session.ReceiveNext();
+      if (!view.has_value()) continue;
+      found = true;
+      if (view->next_index_offset == 0 && view->seq == 0) {
+        index_start = view->cycle_pos;
+        index_seg = broadcast::CompleteSegmentFrom(session, *view);
+      } else {
+        index_start = static_cast<uint32_t>(
+            (view->cycle_pos + view->next_index_offset) % total);
+        index_seg = ReceiveSegmentAt(session, index_start);
+      }
+    }
+    if (!found) return result;
+  }
+  if (!index_seg.complete &&
+      !RepairSegment(session, index_start, &index_seg,
+                     options.max_repair_cycles)) {
+    return result;
+  }
+  memory.Charge(index_seg.payload.size());
+
+  device::Stopwatch sw_prune;
+  auto index_or = EbIndex::Decode(index_seg.payload);
+  if (!index_or.ok()) return result;
+  const EbIndex index = std::move(index_or).value();
+  auto kd = partition::KdTreePartitioner::FromSplits(index.splits);
+  if (!kd.ok()) return result;
+  const graph::RegionId rs = kd->RegionOf(query.source_coord);
+  const uint32_t R = index.num_regions;
+
+  // Pruning: regions whose minimum border distance from Rs exceeds the
+  // radius can neither contain results nor carry a qualifying path.
+  std::vector<graph::RegionId> needed;
+  for (graph::RegionId r = 0; r < R; ++r) {
+    if (r == rs || index.MinDist(rs, r) <= query.radius) needed.push_back(r);
+  }
+  cpu_ms += sw_prune.ElapsedMs();
+
+  // Receive the needed regions (cross + local: results may be any node)
+  // in broadcast order; batch-repair losses.
+  std::sort(needed.begin(), needed.end(),
+            [&](graph::RegionId a, graph::RegionId b) {
+              const uint32_t cur = session.cycle_pos();
+              auto ahead = [&](graph::RegionId r) {
+                const uint32_t s = index.dir[r].cross_start;
+                return s >= cur ? s - cur : s + total - cur;
+              };
+              return ahead(a) < ahead(b);
+            });
+
+  PartialGraph pg;
+  std::deque<broadcast::ReceivedSegment> stash;
+  std::vector<PendingRepair> pending;
+  auto ingest = [&](broadcast::ReceivedSegment&& seg) {
+    device::Stopwatch sw;
+    auto data = DecodeRegionData(seg.payload);
+    if (data.ok()) {
+      const size_t before = pg.MemoryBytes();
+      for (const auto& rec : data->records) pg.AddRecord(rec);
+      memory.Charge(pg.MemoryBytes() - before);
+      ++result.metrics.regions_received;
+    }
+    memory.Release(seg.payload.size());
+    cpu_ms += sw.ElapsedMs();
+  };
+
+  for (graph::RegionId r : needed) {
+    const EbIndex::RegionDir& d = index.dir[r];
+    for (int part = 0; part < (d.local_packets > 0 ? 2 : 1); ++part) {
+      const uint32_t start = part == 0 ? d.cross_start : d.local_start;
+      broadcast::ReceivedSegment seg = ReceiveSegmentAt(session, start);
+      memory.Charge(seg.payload.size());
+      if (seg.complete) {
+        ingest(std::move(seg));
+      } else {
+        stash.push_back(std::move(seg));
+        pending.push_back({start, &stash.back()});
+      }
+    }
+  }
+  if (!pending.empty()) {
+    RepairAllSegments(session, pending, options.max_repair_cycles);
+    for (auto& seg : stash) ingest(std::move(seg));
+  }
+
+  // Dijkstra over the received union; nodes beyond the radius are filtered
+  // out afterwards (the search could early-terminate at the radius, but
+  // the received subgraph is already radius-pruned by region).
+  device::Stopwatch sw_search;
+  algo::SearchTree full = algo::DijkstraSearch(
+      pg, query.source, graph::kInvalidNode, KnownEdgeFilter{&pg});
+  for (graph::NodeId v = 0; v < full.dist.size(); ++v) {
+    if (full.dist[v] <= query.radius) {
+      result.nodes.emplace_back(v, full.dist[v]);
+    }
+  }
+  std::sort(result.nodes.begin(), result.nodes.end(),
+            [](const auto& a, const auto& b) {
+              return a.second < b.second ||
+                     (a.second == b.second && a.first < b.first);
+            });
+  cpu_ms += sw_search.ElapsedMs();
+
+  result.metrics.tuning_packets = session.tuned_packets();
+  result.metrics.latency_packets = session.latency_packets();
+  result.metrics.peak_memory_bytes = memory.peak();
+  result.metrics.memory_exceeded = memory.exceeded();
+  result.metrics.cpu_ms = cpu_ms;
+  result.metrics.ok = true;
+  return result;
+}
+
+}  // namespace airindex::core

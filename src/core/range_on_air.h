@@ -1,0 +1,46 @@
+#ifndef AIRINDEX_CORE_RANGE_ON_AIR_H_
+#define AIRINDEX_CORE_RANGE_ON_AIR_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/air_system.h"
+#include "core/eb.h"
+#include "graph/types.h"
+
+namespace airindex::core {
+
+/// §8 extension ("a promising direction for future work is to consider
+/// on-air processing of spatial queries in road networks, e.g., range
+/// retrieval"): a network *range query* answered on the air.
+///
+/// Given the client's location and a network-distance radius, return every
+/// node within that graph distance. The EB index answers it with the same
+/// machinery as shortest paths: a region R can contain an in-range node
+/// only if mindist(Rs, R) <= radius, and every region a qualifying path
+/// traverses satisfies the same test, so receiving exactly those regions
+/// (full data — results may be local nodes) and running a radius-bounded
+/// Dijkstra is exact.
+struct RangeQuery {
+  graph::NodeId source = graph::kInvalidNode;
+  graph::Point source_coord;
+  graph::Dist radius = 0;
+  double tune_phase = 0.0;
+};
+
+struct RangeResult {
+  /// (node, distance) pairs with distance <= radius, ascending distance.
+  std::vector<std::pair<graph::NodeId, graph::Dist>> nodes;
+  device::QueryMetrics metrics;
+};
+
+/// Runs a range query against an EB broadcast. Lost packets are handled
+/// exactly as in the shortest-path client (§6.2).
+RangeResult RunRangeQuery(const EbSystem& system,
+                          const broadcast::BroadcastChannel& channel,
+                          const RangeQuery& query,
+                          const ClientOptions& options = {});
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_RANGE_ON_AIR_H_

@@ -1,0 +1,39 @@
+#include "core/region_data.h"
+
+#include "common/byte_io.h"
+
+namespace airindex::core {
+
+std::vector<uint8_t> EncodeRegionData(
+    const graph::Graph& g, const std::vector<graph::NodeId>& border,
+    const std::vector<graph::NodeId>& nodes) {
+  std::vector<uint8_t> out;
+  size_t bytes = 2 + border.size() * 4;
+  for (graph::NodeId v : nodes) bytes += broadcast::NodeRecordBytes(g, v);
+  out.reserve(bytes);
+  PutU16(&out, static_cast<uint16_t>(border.size()));
+  for (graph::NodeId v : border) PutU32(&out, v);
+  for (graph::NodeId v : nodes) broadcast::EncodeNodeRecord(g, v, &out);
+  return out;
+}
+
+Result<RegionData> DecodeRegionData(const std::vector<uint8_t>& payload) {
+  if (payload.size() < 2) return Status::DataLoss("truncated region header");
+  ByteReader reader(payload);
+  RegionData data;
+  const uint16_t border_count = reader.ReadU16();
+  if (reader.remaining() < static_cast<size_t>(border_count) * 4) {
+    return Status::DataLoss("truncated border list");
+  }
+  data.border.reserve(border_count);
+  for (uint16_t i = 0; i < border_count; ++i) {
+    data.border.push_back(reader.ReadU32());
+  }
+  std::vector<uint8_t> rest(payload.begin() + reader.position(),
+                            payload.end());
+  AIRINDEX_ASSIGN_OR_RETURN(data.records,
+                            broadcast::DecodeNodeRecords(rest));
+  return data;
+}
+
+}  // namespace airindex::core

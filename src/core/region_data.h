@@ -1,0 +1,39 @@
+#ifndef AIRINDEX_CORE_REGION_DATA_H_
+#define AIRINDEX_CORE_REGION_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/serialization.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace airindex::core {
+
+/// Wire format of one region's data segment (EB cross-border / local
+/// segments, NR region segments):
+///
+///   RegionPayload := border_count:u16 { border_id:u32 }^border_count
+///                    NodeRecord*
+///
+/// The border list lets clients identify the region's border nodes exactly
+/// (needed by the §6.1 super-edge processing) without guessing from
+/// adjacency; local segments carry border_count = 0.
+struct RegionData {
+  std::vector<graph::NodeId> border;
+  std::vector<broadcast::NodeRecord> records;
+};
+
+/// Encodes `nodes`' records (ascending as given) preceded by the border
+/// list.
+std::vector<uint8_t> EncodeRegionData(
+    const graph::Graph& g, const std::vector<graph::NodeId>& border,
+    const std::vector<graph::NodeId>& nodes);
+
+/// Decodes a region payload. Fails on truncation.
+Result<RegionData> DecodeRegionData(const std::vector<uint8_t>& payload);
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_REGION_DATA_H_

@@ -1,0 +1,106 @@
+#include "core/super_edge.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace airindex::core {
+
+void SuperEdgeProcessor::AddOverlayArc(graph::NodeId from, graph::NodeId to,
+                                       graph::Dist d) {
+  overlay_[from].emplace_back(to, d);
+  ++overlay_arc_count_;
+}
+
+void SuperEdgeProcessor::AddRegion(const RegionData& data) {
+  // Local dense ids over this region's received records.
+  std::unordered_map<graph::NodeId, uint32_t> local;
+  local.reserve(data.records.size());
+  for (uint32_t i = 0; i < data.records.size(); ++i) {
+    local.emplace(data.records[i].id, i);
+  }
+
+  // Anchors: the region's border nodes (from the segment header) plus the
+  // query endpoints if they live here.
+  std::vector<graph::NodeId> anchors;
+  for (graph::NodeId b : data.border) {
+    if (local.count(b)) anchors.push_back(b);
+  }
+  for (graph::NodeId endpoint : {source_, target_}) {
+    if (local.count(endpoint) &&
+        std::find(anchors.begin(), anchors.end(), endpoint) ==
+            anchors.end()) {
+      anchors.push_back(endpoint);
+    }
+  }
+
+  const uint32_t n = static_cast<uint32_t>(data.records.size());
+  std::vector<uint8_t> is_anchor(n, 0);
+  for (graph::NodeId a : anchors) is_anchor[local.at(a)] = 1;
+
+  // Local adjacency restricted to received nodes of this region. Arcs that
+  // leave the set become border edges of G' — but only from anchors:
+  // non-anchor nodes are unreachable in G' (they have no incoming
+  // super-edge), so their out-of-set arcs could never be used. This is the
+  // paper's "ignore border nodes adjacent only to irrelevant regions"
+  // pruning (dashed arrows in Fig. 8).
+  std::vector<std::vector<std::pair<uint32_t, graph::Dist>>> adj(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const auto& arc : data.records[i].arcs) {
+      auto it = local.find(arc.to);
+      if (it != local.end()) {
+        adj[i].emplace_back(it->second, arc.weight);
+      } else if (is_anchor[i]) {
+        AddOverlayArc(data.records[i].id, arc.to, arc.weight);
+      }
+    }
+  }
+  for (graph::NodeId a : anchors) {
+    std::vector<graph::Dist> dist(n, graph::kInfDist);
+    using Item = std::pair<graph::Dist, uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    const uint32_t src = local.at(a);
+    dist[src] = 0;
+    heap.emplace(0, src);
+    while (!heap.empty()) {
+      auto [d, v] = heap.top();
+      heap.pop();
+      if (d != dist[v]) continue;
+      for (auto [to, w] : adj[v]) {
+        if (d + w < dist[to]) {
+          dist[to] = d + w;
+          heap.emplace(d + w, to);
+        }
+      }
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!is_anchor[i] || i == src || dist[i] == graph::kInfDist) continue;
+      AddOverlayArc(a, data.records[i].id, dist[i]);
+    }
+  }
+}
+
+graph::Dist SuperEdgeProcessor::Solve() const {
+  std::unordered_map<graph::NodeId, graph::Dist> dist;
+  using Item = std::pair<graph::Dist, graph::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source_] = 0;
+  heap.emplace(0, source_);
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    auto it = dist.find(v);
+    if (it == dist.end() || it->second != d) continue;
+    if (v == target_) return d;
+    auto adj_it = overlay_.find(v);
+    if (adj_it == overlay_.end()) continue;
+    for (auto [to, w] : adj_it->second) {
+      auto [dit, inserted] = dist.try_emplace(to, d + w);
+      if (!inserted && dit->second <= d + w) continue;
+      dit->second = d + w;
+      heap.emplace(d + w, to);
+    }
+  }
+  return graph::kInfDist;
+}
+
+}  // namespace airindex::core

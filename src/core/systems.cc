@@ -1,0 +1,46 @@
+#include "core/systems.h"
+
+#include "core/arcflag_on_air.h"
+#include "core/dijkstra_on_air.h"
+#include "core/eb.h"
+#include "core/hiti_on_air.h"
+#include "core/landmark_on_air.h"
+#include "core/nr.h"
+#include "core/spq_on_air.h"
+
+namespace airindex::core {
+
+Result<std::vector<std::unique_ptr<AirSystem>>> BuildSystems(
+    const graph::Graph& g, const SystemParams& params) {
+  std::vector<std::unique_ptr<AirSystem>> systems;
+
+  AIRINDEX_ASSIGN_OR_RETURN(auto dj, DijkstraOnAir::Build(g));
+  systems.push_back(std::move(dj));
+
+  AIRINDEX_ASSIGN_OR_RETURN(auto nr, NrSystem::Build(g, params.nr_regions));
+  systems.push_back(std::move(nr));
+
+  AIRINDEX_ASSIGN_OR_RETURN(auto eb, EbSystem::Build(g, params.eb_regions));
+  systems.push_back(std::move(eb));
+
+  AIRINDEX_ASSIGN_OR_RETURN(auto ld,
+                            LandmarkOnAir::Build(g, params.landmarks));
+  systems.push_back(std::move(ld));
+
+  AIRINDEX_ASSIGN_OR_RETURN(
+      auto af, ArcFlagOnAir::Build(g, params.arcflag_regions));
+  systems.push_back(std::move(af));
+
+  if (params.include_spq) {
+    AIRINDEX_ASSIGN_OR_RETURN(auto spq, SpqOnAir::Build(g));
+    systems.push_back(std::move(spq));
+  }
+  if (params.include_hiti) {
+    AIRINDEX_ASSIGN_OR_RETURN(auto hiti,
+                              HiTiOnAir::Build(g, params.hiti_regions));
+    systems.push_back(std::move(hiti));
+  }
+  return systems;
+}
+
+}  // namespace airindex::core

@@ -1,0 +1,34 @@
+#ifndef AIRINDEX_CORE_SYSTEMS_H_
+#define AIRINDEX_CORE_SYSTEMS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/air_system.h"
+#include "graph/graph.h"
+
+namespace airindex::core {
+
+/// Tuning knobs of the evaluated methods (paper §7 defaults for the Germany
+/// network: ArcFlag 16 regions, EB 32, NR 32, Landmark 4 anchors).
+struct SystemParams {
+  uint32_t arcflag_regions = 16;
+  uint32_t eb_regions = 32;
+  uint32_t nr_regions = 32;
+  uint32_t landmarks = 4;
+  uint32_t hiti_regions = 32;
+  /// SPQ/HiTi pre-computation is all-pairs-ish; skip them for large inputs
+  /// unless the experiment needs their cycle sizes (Table 1).
+  bool include_spq = false;
+  bool include_hiti = false;
+};
+
+/// Builds the evaluated systems in the paper's Table 1 order
+/// (DJ, NR, EB, LD, AF, then optionally SPQ and HiTi).
+Result<std::vector<std::unique_ptr<AirSystem>>> BuildSystems(
+    const graph::Graph& g, const SystemParams& params);
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_SYSTEMS_H_

@@ -1,0 +1,44 @@
+#ifndef AIRINDEX_DEVICE_DEVICE_PROFILE_H_
+#define AIRINDEX_DEVICE_DEVICE_PROFILE_H_
+
+#include <cstddef>
+
+#include "broadcast/packet.h"
+
+namespace airindex::device {
+
+/// Channel bitrates the paper uses to express cycle durations (Table 1):
+/// typical 3G rates for static and moving devices.
+inline constexpr double kBitrateStatic3G = 2'000'000.0;  // 2 Mbps
+inline constexpr double kBitrateMoving3G = 384'000.0;    // 384 Kbps
+
+/// The simulated client device (§3.1, §7). The paper's evaluation device is
+/// a generic GPS-enabled J2ME clamshell phone whose application heap is
+/// 8 MB; radio power figures are the 802.11 WaveLAN card's.
+struct DeviceProfile {
+  /// Application heap available for query processing.
+  size_t heap_bytes = 8u * 1024 * 1024;
+  /// Radio power draw (watts) per state.
+  double receive_watts = 1.4;
+  double transmit_watts = 1.65;  // unused on a broadcast channel
+  double sleep_watts = 0.045;
+  /// Peak CPU power of the ARM processor (watts).
+  double cpu_watts = 0.2;
+
+  /// The paper's default device.
+  static DeviceProfile J2mePhone() { return DeviceProfile{}; }
+};
+
+/// Seconds it takes to broadcast one packet at `bits_per_second`.
+inline double PacketSeconds(double bits_per_second) {
+  return static_cast<double>(broadcast::kPacketSize) * 8.0 / bits_per_second;
+}
+
+/// Seconds it takes to broadcast `packets` packets (Table 1 columns).
+inline double CycleSeconds(uint64_t packets, double bits_per_second) {
+  return static_cast<double>(packets) * PacketSeconds(bits_per_second);
+}
+
+}  // namespace airindex::device
+
+#endif  // AIRINDEX_DEVICE_DEVICE_PROFILE_H_

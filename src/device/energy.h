@@ -1,0 +1,40 @@
+#ifndef AIRINDEX_DEVICE_ENERGY_H_
+#define AIRINDEX_DEVICE_ENERGY_H_
+
+#include "device/device_profile.h"
+#include "device/metrics.h"
+
+namespace airindex::device {
+
+/// Energy model of §3.1: power consumption is dominated by the radio —
+/// 1.4 W while receiving, 0.045 W while sleeping — with the ARM CPU's
+/// 0.2 W contributing only during computation. Tuning time therefore
+/// essentially determines the battery cost of a query.
+class EnergyModel {
+ public:
+  EnergyModel(DeviceProfile profile, double bits_per_second)
+      : profile_(profile), bits_per_second_(bits_per_second) {}
+
+  /// Joules spent on a query: receive power for every tuned packet, sleep
+  /// power for the rest of the latency window, CPU power for the measured
+  /// computation time.
+  double QueryJoules(const QueryMetrics& m) const {
+    const double pkt_s = PacketSeconds(bits_per_second_);
+    const double rx_s = static_cast<double>(m.tuning_packets) * pkt_s;
+    const double total_s = static_cast<double>(m.latency_packets) * pkt_s;
+    const double sleep_s = total_s > rx_s ? total_s - rx_s : 0.0;
+    return rx_s * profile_.receive_watts + sleep_s * profile_.sleep_watts +
+           (m.cpu_ms / 1000.0) * profile_.cpu_watts;
+  }
+
+  const DeviceProfile& profile() const { return profile_; }
+  double bits_per_second() const { return bits_per_second_; }
+
+ private:
+  DeviceProfile profile_;
+  double bits_per_second_;
+};
+
+}  // namespace airindex::device
+
+#endif  // AIRINDEX_DEVICE_ENERGY_H_

@@ -1,0 +1,44 @@
+#ifndef AIRINDEX_DEVICE_MEMORY_TRACKER_H_
+#define AIRINDEX_DEVICE_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace airindex::device {
+
+/// Accounts the client-side working memory of a query (§3.1's "memory"
+/// factor). Clients charge every structure they retain (raw segment
+/// buffers, decoded adjacency, index tables) and release what they drop;
+/// `peak()` is the reported metric and `exceeded()` flags a method as
+/// inapplicable on the device (Table 2) without aborting the simulation.
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(size_t budget_bytes = SIZE_MAX)
+      : budget_(budget_bytes) {}
+
+  void Charge(size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+    if (current_ > budget_) exceeded_ = true;
+  }
+
+  void Release(size_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  size_t current() const { return current_; }
+  size_t peak() const { return peak_; }
+  size_t budget() const { return budget_; }
+  /// True if the working set ever exceeded the device heap.
+  bool exceeded() const { return exceeded_; }
+
+ private:
+  size_t budget_;
+  size_t current_ = 0;
+  size_t peak_ = 0;
+  bool exceeded_ = false;
+};
+
+}  // namespace airindex::device
+
+#endif  // AIRINDEX_DEVICE_MEMORY_TRACKER_H_

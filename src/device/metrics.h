@@ -1,0 +1,85 @@
+#ifndef AIRINDEX_DEVICE_METRICS_H_
+#define AIRINDEX_DEVICE_METRICS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "graph/types.h"
+
+namespace airindex::device {
+
+/// Per-query measurements of the paper's §3.1 performance factors.
+struct QueryMetrics {
+  /// Packets the radio was awake for (tuning time; energy proxy).
+  uint64_t tuning_packets = 0;
+  /// Packets from query arrival to the last packet listened to.
+  uint64_t latency_packets = 0;
+  /// Peak client working memory.
+  size_t peak_memory_bytes = 0;
+  /// Client-side computation time (decode + search), milliseconds.
+  double cpu_ms = 0.0;
+  /// Computed shortest-path distance (kInfDist if the query failed).
+  graph::Dist distance = graph::kInfDist;
+  /// Number of region data segments received (EB/NR diagnostics).
+  uint32_t regions_received = 0;
+  /// True iff a result was produced.
+  bool ok = false;
+  /// True iff peak memory exceeded the device heap (method inapplicable).
+  bool memory_exceeded = false;
+};
+
+/// Aggregate of many queries (the paper reports per-bucket averages).
+struct MetricsSummary {
+  double avg_tuning_packets = 0;
+  double avg_latency_packets = 0;
+  double avg_peak_memory_bytes = 0;
+  double avg_cpu_ms = 0;
+  double max_peak_memory_bytes = 0;
+  size_t count = 0;
+  size_t failures = 0;
+  bool any_memory_exceeded = false;
+
+  static MetricsSummary Of(std::span<const QueryMetrics> metrics) {
+    MetricsSummary s;
+    for (const auto& m : metrics) {
+      s.avg_tuning_packets += static_cast<double>(m.tuning_packets);
+      s.avg_latency_packets += static_cast<double>(m.latency_packets);
+      s.avg_peak_memory_bytes += static_cast<double>(m.peak_memory_bytes);
+      s.avg_cpu_ms += m.cpu_ms;
+      s.max_peak_memory_bytes =
+          std::max(s.max_peak_memory_bytes,
+                   static_cast<double>(m.peak_memory_bytes));
+      s.any_memory_exceeded |= m.memory_exceeded;
+      if (!m.ok) ++s.failures;
+      ++s.count;
+    }
+    if (s.count > 0) {
+      const auto n = static_cast<double>(s.count);
+      s.avg_tuning_packets /= n;
+      s.avg_latency_packets /= n;
+      s.avg_peak_memory_bytes /= n;
+      s.avg_cpu_ms /= n;
+    }
+    return s;
+  }
+};
+
+/// Wall-clock stopwatch for the cpu_ms metric.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace airindex::device
+
+#endif  // AIRINDEX_DEVICE_METRICS_H_

@@ -1,0 +1,49 @@
+#include "graph/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generator.h"
+
+namespace airindex::graph {
+
+const std::vector<NetworkSpec>& PaperNetworks() {
+  static const std::vector<NetworkSpec>& networks =
+      *new std::vector<NetworkSpec>{
+          {"Milan", 14021, 26849, 0xA11A001},
+          {"Germany", 28867, 30429, 0xA11A002},
+          {"Argentina", 85287, 88357, 0xA11A003},
+          {"India", 149566, 155483, 0xA11A004},
+          {"SanFrancisco", 174956, 223001, 0xA11A005},
+      };
+  return networks;
+}
+
+const NetworkSpec& DefaultNetwork() { return PaperNetworks()[1]; }
+
+Result<NetworkSpec> FindNetwork(std::string_view name) {
+  for (const auto& spec : PaperNetworks()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no catalog network named '" + std::string(name) +
+                          "'");
+}
+
+Result<Graph> MakeNetwork(const NetworkSpec& spec, double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  GeneratorOptions opts;
+  opts.num_nodes = std::max<uint32_t>(
+      16, static_cast<uint32_t>(std::llround(spec.num_nodes * scale)));
+  opts.num_edges = std::max<uint32_t>(
+      opts.num_nodes - 1,
+      static_cast<uint32_t>(std::llround(spec.num_edges * scale)));
+  opts.seed = spec.seed;
+  // Dense networks (Milan, San Francisco have m/n ~ 1.9) need a larger
+  // candidate pool.
+  opts.knn = 12;
+  return GenerateRoadNetwork(opts);
+}
+
+}  // namespace airindex::graph

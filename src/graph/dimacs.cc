@@ -1,0 +1,116 @@
+#include "graph/dimacs.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace airindex::graph {
+namespace {
+
+Status ParseError(const std::string& path, size_t line,
+                  const std::string& what) {
+  std::ostringstream os;
+  os << path << ":" << line << ": " << what;
+  return Status::IOError(os.str());
+}
+
+}  // namespace
+
+Result<Graph> LoadDimacs(const std::string& gr_path,
+                         const std::string& co_path) {
+  std::ifstream gr(gr_path);
+  if (!gr) return Status::IOError("cannot open " + gr_path);
+  std::ifstream co(co_path);
+  if (!co) return Status::IOError("cannot open " + co_path);
+
+  size_t n = 0, m = 0;
+  std::vector<EdgeTriplet> edges;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(gr, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream is(line);
+    char tag;
+    is >> tag;
+    if (tag == 'p') {
+      std::string sp;
+      is >> sp >> n >> m;
+      if (!is || sp != "sp") return ParseError(gr_path, lineno, "bad p line");
+      edges.reserve(m);
+    } else if (tag == 'a') {
+      uint64_t from, to, w;
+      is >> from >> to >> w;
+      if (!is) return ParseError(gr_path, lineno, "bad a line");
+      if (from == 0 || to == 0 || from > n || to > n) {
+        return ParseError(gr_path, lineno, "node id out of range");
+      }
+      edges.push_back({static_cast<NodeId>(from - 1),
+                       static_cast<NodeId>(to - 1),
+                       static_cast<Weight>(w)});
+    } else {
+      return ParseError(gr_path, lineno, "unknown line tag");
+    }
+  }
+  if (edges.size() != m) {
+    return Status::IOError(gr_path + ": arc count does not match header");
+  }
+
+  std::vector<Point> coords(n);
+  std::vector<uint8_t> have(n, 0);
+  lineno = 0;
+  while (std::getline(co, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream is(line);
+    char tag;
+    is >> tag;
+    if (tag == 'p') continue;  // "p aux sp co <n>"
+    if (tag != 'v') return ParseError(co_path, lineno, "unknown line tag");
+    uint64_t id;
+    double x, y;
+    is >> id >> x >> y;
+    if (!is) return ParseError(co_path, lineno, "bad v line");
+    if (id == 0 || id > n) {
+      return ParseError(co_path, lineno, "node id out of range");
+    }
+    coords[id - 1] = {x, y};
+    have[id - 1] = 1;
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (!have[v]) {
+      return Status::IOError(co_path + ": missing coordinates for node " +
+                             std::to_string(v + 1));
+    }
+  }
+  return Graph::Build(std::move(coords), edges);
+}
+
+Status SaveDimacs(const Graph& g, const std::string& gr_path,
+                  const std::string& co_path) {
+  std::ofstream gr(gr_path);
+  if (!gr) return Status::IOError("cannot open " + gr_path);
+  gr << "c airindex export\n";
+  gr << "p sp " << g.num_nodes() << " " << g.num_arcs() << "\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& a : g.OutArcs(v)) {
+      gr << "a " << (v + 1) << " " << (a.to + 1) << " " << a.weight << "\n";
+    }
+  }
+  if (!gr.flush()) return Status::IOError("write failed: " + gr_path);
+
+  std::ofstream co(co_path);
+  if (!co) return Status::IOError("cannot open " + co_path);
+  co << "c airindex export\n";
+  co << "p aux sp co " << g.num_nodes() << "\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Point& p = g.Coord(v);
+    co << "v " << (v + 1) << " " << p.x << " " << p.y << "\n";
+  }
+  if (!co.flush()) return Status::IOError("write failed: " + co_path);
+  return Status::OK();
+}
+
+}  // namespace airindex::graph

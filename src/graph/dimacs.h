@@ -1,0 +1,31 @@
+#ifndef AIRINDEX_GRAPH_DIMACS_H_
+#define AIRINDEX_GRAPH_DIMACS_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace airindex::graph {
+
+/// Loader/saver for the 9th DIMACS Implementation Challenge road-network
+/// format, the standard distribution format for real road networks (the
+/// paper's networks circulate in it). Allows swapping the synthetic replicas
+/// for real data without touching any other module.
+///
+/// `.gr` file: `p sp <n> <m>` header, then `a <from> <to> <weight>` lines
+/// (1-based node ids).
+/// `.co` file: `p aux sp co <n>` header, then `v <id> <x> <y>` lines.
+/// Comment lines start with 'c'.
+
+/// Loads a graph from a distance (.gr) and a coordinate (.co) file.
+Result<Graph> LoadDimacs(const std::string& gr_path,
+                         const std::string& co_path);
+
+/// Writes `g` in DIMACS format (inverse of LoadDimacs).
+Status SaveDimacs(const Graph& g, const std::string& gr_path,
+                  const std::string& co_path);
+
+}  // namespace airindex::graph
+
+#endif  // AIRINDEX_GRAPH_DIMACS_H_

@@ -1,0 +1,246 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace airindex::graph {
+namespace {
+
+double Sq(double v) { return v * v; }
+
+double EuclidDist(const Point& a, const Point& b) {
+  return std::sqrt(Sq(a.x - b.x) + Sq(a.y - b.y));
+}
+
+Weight ToWeight(double d) {
+  auto w = static_cast<Weight>(std::llround(d));
+  return w == 0 ? 1 : w;
+}
+
+/// Union-find over node ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n), rank_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    return true;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+};
+
+/// Spatial hash grid used to find nearest-neighbour candidates in roughly
+/// O(1) per query on uniform points.
+class PointGrid {
+ public:
+  PointGrid(const std::vector<Point>& pts, double extent)
+      : pts_(pts),
+        cells_per_side_(std::max<uint32_t>(
+            1, static_cast<uint32_t>(std::sqrt(
+                   static_cast<double>(pts.size()) / 2.0)))),
+        cell_size_(extent / cells_per_side_) {
+    buckets_.resize(static_cast<size_t>(cells_per_side_) * cells_per_side_);
+    for (uint32_t i = 0; i < pts.size(); ++i) {
+      buckets_[CellOf(pts[i])].push_back(i);
+    }
+  }
+
+  /// Returns the `k` nearest points to pts_[v] (excluding v itself),
+  /// expanding ring-by-ring until enough candidates are found.
+  std::vector<uint32_t> KNearest(uint32_t v, uint32_t k) const {
+    std::vector<std::pair<double, uint32_t>> found;
+    const Point& p = pts_[v];
+    const int cx = CellX(p);
+    const int cy = CellY(p);
+    const int max_ring = static_cast<int>(cells_per_side_);
+    for (int ring = 0; ring <= max_ring; ++ring) {
+      CollectRing(cx, cy, ring, v, &found);
+      // A candidate in ring r is guaranteed closer than anything in ring
+      // r+2, so once we have k candidates after scanning one extra ring the
+      // k nearest are exact.
+      if (found.size() >= k && ring >= 1) break;
+    }
+    std::sort(found.begin(), found.end());
+    if (found.size() > k) found.resize(k);
+    std::vector<uint32_t> ids;
+    ids.reserve(found.size());
+    for (auto& [d, id] : found) ids.push_back(id);
+    return ids;
+  }
+
+ private:
+  size_t CellOf(const Point& p) const {
+    return static_cast<size_t>(CellY(p)) * cells_per_side_ + CellX(p);
+  }
+  int CellX(const Point& p) const {
+    return std::min<int>(cells_per_side_ - 1,
+                         std::max(0, static_cast<int>(p.x / cell_size_)));
+  }
+  int CellY(const Point& p) const {
+    return std::min<int>(cells_per_side_ - 1,
+                         std::max(0, static_cast<int>(p.y / cell_size_)));
+  }
+
+  void CollectRing(int cx, int cy, int ring, uint32_t self,
+                   std::vector<std::pair<double, uint32_t>>* out) const {
+    const int lo_x = cx - ring, hi_x = cx + ring;
+    const int lo_y = cy - ring, hi_y = cy + ring;
+    for (int y = lo_y; y <= hi_y; ++y) {
+      if (y < 0 || y >= static_cast<int>(cells_per_side_)) continue;
+      for (int x = lo_x; x <= hi_x; ++x) {
+        if (x < 0 || x >= static_cast<int>(cells_per_side_)) continue;
+        // Only the border of the ring (interior was collected earlier).
+        if (ring > 0 && x != lo_x && x != hi_x && y != lo_y && y != hi_y) {
+          continue;
+        }
+        for (uint32_t id :
+             buckets_[static_cast<size_t>(y) * cells_per_side_ + x]) {
+          if (id == self) continue;
+          out->emplace_back(EuclidDist(pts_[self], pts_[id]), id);
+        }
+      }
+    }
+  }
+
+  const std::vector<Point>& pts_;
+  uint32_t cells_per_side_;
+  double cell_size_;
+  std::vector<std::vector<uint32_t>> buckets_;
+};
+
+uint64_t UndirectedKey(uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Result<Graph> GenerateRoadNetwork(const GeneratorOptions& options) {
+  const uint32_t n = options.num_nodes;
+  const uint32_t m = options.num_edges;
+  if (n < 2) return Status::InvalidArgument("num_nodes must be > 1");
+  if (m < n - 1) {
+    return Status::InvalidArgument(
+        "num_edges must be >= num_nodes - 1 for a connected network");
+  }
+
+  Rng rng(options.seed);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.NextDouble() * options.extent;
+    p.y = rng.NextDouble() * options.extent;
+  }
+
+  PointGrid grid(pts, options.extent);
+
+  // Candidate undirected edges: k nearest neighbours of every node, deduped.
+  struct Cand {
+    double len;
+    uint32_t a, b;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(static_cast<size_t>(n) * options.knn / 2);
+  {
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(static_cast<size_t>(n) * options.knn);
+    for (uint32_t v = 0; v < n; ++v) {
+      for (uint32_t u : grid.KNearest(v, options.knn)) {
+        if (seen.insert(UndirectedKey(v, u)).second) {
+          cands.push_back({EuclidDist(pts[v], pts[u]), v, u});
+        }
+      }
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& x, const Cand& y) { return x.len < y.len; });
+
+  // Kruskal over candidates: short edges first => road-like local links.
+  DisjointSets dsu(n);
+  std::vector<uint8_t> used(cands.size(), 0);
+  std::vector<EdgeTriplet> arcs;
+  arcs.reserve(static_cast<size_t>(m) * 2);
+  uint32_t picked = 0;
+  auto add_edge = [&](uint32_t a, uint32_t b, double len) {
+    Weight w = ToWeight(len);
+    arcs.push_back({a, b, w});
+    arcs.push_back({b, a, w});
+    ++picked;
+  };
+
+  uint32_t components = n;
+  for (size_t i = 0; i < cands.size() && components > 1; ++i) {
+    if (dsu.Union(cands[i].a, cands[i].b)) {
+      used[i] = 1;
+      add_edge(cands[i].a, cands[i].b, cands[i].len);
+      --components;
+    }
+  }
+
+  // kNN graphs on uniform points are almost always connected, but bridge any
+  // leftover components explicitly: link each remaining component's first
+  // node to its nearest node in the giant component.
+  if (components > 1) {
+    std::unordered_set<uint64_t> have;
+    for (const auto& c : cands) have.insert(UndirectedKey(c.a, c.b));
+    uint32_t root0 = dsu.Find(0);
+    for (uint32_t v = 0; v < n && components > 1; ++v) {
+      if (dsu.Find(v) == root0) continue;
+      // Brute-force nearest node of the root component.
+      double best = std::numeric_limits<double>::max();
+      uint32_t best_u = kInvalidNode;
+      for (uint32_t u = 0; u < n; ++u) {
+        if (dsu.Find(u) != root0) continue;
+        double d = EuclidDist(pts[v], pts[u]);
+        if (d < best) {
+          best = d;
+          best_u = u;
+        }
+      }
+      dsu.Union(v, best_u);
+      if (have.insert(UndirectedKey(v, best_u)).second) {
+        add_edge(v, best_u, best);
+        --components;
+      }
+    }
+  }
+
+  // Fill the remaining budget with the shortest unused candidates.
+  for (size_t i = 0; i < cands.size() && picked < m; ++i) {
+    if (used[i]) continue;
+    used[i] = 1;
+    add_edge(cands[i].a, cands[i].b, cands[i].len);
+  }
+  if (picked < m) {
+    return Status::FailedPrecondition(
+        "candidate pool exhausted; raise GeneratorOptions::knn for this "
+        "edge density");
+  }
+
+  return Graph::Build(std::move(pts), arcs);
+}
+
+}  // namespace airindex::graph

@@ -1,0 +1,46 @@
+#ifndef AIRINDEX_GRAPH_GENERATOR_H_
+#define AIRINDEX_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace airindex::graph {
+
+/// Parameters for the synthetic road-network generator.
+///
+/// The paper evaluates on five real road networks that are not
+/// redistributable here. The generator produces *planar-style* synthetic
+/// replicas with a chosen node count and exact undirected edge count: nodes
+/// are uniform random points, a Euclidean minimum-spanning-tree-style
+/// backbone guarantees strong connectivity, and the remaining edge budget is
+/// filled with the shortest unused nearest-neighbour links. Edge weights are
+/// rounded Euclidean lengths, so the triangle-inequality locality that makes
+/// road-network pruning work (short detours, metric-ish distances) is
+/// preserved. See DESIGN.md §4 (Substitutions).
+struct GeneratorOptions {
+  /// Number of nodes (> 1).
+  uint32_t num_nodes = 1000;
+  /// Number of undirected edges; each becomes two directed arcs.
+  /// Must satisfy num_edges >= num_nodes - 1.
+  uint32_t num_edges = 1200;
+  /// PRNG seed; identical options => identical graph.
+  uint64_t seed = 1;
+  /// Side length of the square the points are drawn from.
+  double extent = 100000.0;
+  /// Nearest-neighbour candidates considered per node. Larger values allow
+  /// denser networks; the default supports m/n ratios up to ~5.
+  uint32_t knn = 12;
+};
+
+/// Generates a synthetic road network. Guarantees:
+///  * exactly options.num_nodes nodes and 2*options.num_edges directed arcs,
+///  * strong connectivity,
+///  * no self-loops or duplicate undirected edges,
+///  * every weight >= 1.
+Result<Graph> GenerateRoadNetwork(const GeneratorOptions& options);
+
+}  // namespace airindex::graph
+
+#endif  // AIRINDEX_GRAPH_GENERATOR_H_

@@ -1,0 +1,87 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace airindex::graph {
+
+Result<Graph> Graph::Build(std::vector<Point> coords,
+                           const std::vector<EdgeTriplet>& edges) {
+  const size_t n = coords.size();
+  for (const auto& e : edges) {
+    if (e.from >= n || e.to >= n) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (e.from == e.to) {
+      return Status::InvalidArgument("self-loops are not allowed");
+    }
+  }
+
+  Graph g;
+  g.coords_ = std::move(coords);
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& e : edges) g.offsets_[e.from + 1]++;
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+
+  g.arcs_.resize(edges.size());
+  std::vector<uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : edges) {
+    g.arcs_[cursor[e.from]++] = {e.to, e.weight};
+  }
+  // Sort each adjacency span by target id for deterministic iteration and
+  // binary-searchable adjacency.
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(g.arcs_.begin() + g.offsets_[v],
+              g.arcs_.begin() + g.offsets_[v + 1],
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+  return g;
+}
+
+Graph Graph::Reversed() const {
+  std::vector<EdgeTriplet> rev;
+  rev.reserve(arcs_.size());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (const Arc& a : OutArcs(v)) {
+      rev.push_back({a.to, v, a.weight});
+    }
+  }
+  auto res = Build(coords_, rev);
+  // Reversing a valid graph cannot fail.
+  return std::move(res).value();
+}
+
+size_t Graph::MemoryBytes() const {
+  return offsets_.size() * sizeof(uint32_t) + arcs_.size() * sizeof(Arc) +
+         coords_.size() * sizeof(Point);
+}
+
+bool Graph::IsStronglyConnected() const {
+  const size_t n = num_nodes();
+  if (n == 0) return true;
+
+  // BFS reachability from node 0 in G and in G^T.
+  auto reaches_all = [n](const Graph& g) {
+    std::vector<uint8_t> seen(n, 0);
+    std::vector<NodeId> stack = {0};
+    seen[0] = 1;
+    size_t count = 1;
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      for (const Arc& a : g.OutArcs(v)) {
+        if (!seen[a.to]) {
+          seen[a.to] = 1;
+          ++count;
+          stack.push_back(a.to);
+        }
+      }
+    }
+    return count == n;
+  };
+
+  if (!reaches_all(*this)) return false;
+  return reaches_all(Reversed());
+}
+
+}  // namespace airindex::graph

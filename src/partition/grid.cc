@@ -1,0 +1,53 @@
+#include "partition/grid.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace airindex::partition {
+
+Result<GridPartitioner> GridPartitioner::Build(const graph::Graph& g,
+                                               uint32_t cols, uint32_t rows) {
+  if (cols == 0 || rows == 0) {
+    return Status::InvalidArgument("grid dimensions must be positive");
+  }
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+
+  double min_x = std::numeric_limits<double>::max(), max_x = -min_x;
+  double min_y = min_x, max_y = -min_x;
+  for (const auto& p : g.coords()) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+
+  GridPartitioner grid;
+  grid.cols_ = cols;
+  grid.rows_ = rows;
+  grid.min_x_ = min_x;
+  grid.min_y_ = min_y;
+  grid.cell_w_ = std::max((max_x - min_x) / cols, 1e-12);
+  grid.cell_h_ = std::max((max_y - min_y) / rows, 1e-12);
+  return grid;
+}
+
+graph::RegionId GridPartitioner::RegionOf(graph::Point p) const {
+  auto clamp = [](double v, uint32_t n) {
+    if (v < 0) return 0u;
+    auto c = static_cast<uint32_t>(v);
+    return c >= n ? n - 1 : c;
+  };
+  const uint32_t col = clamp((p.x - min_x_) / cell_w_, cols_);
+  const uint32_t row = clamp((p.y - min_y_) / cell_h_, rows_);
+  return row * cols_ + col;
+}
+
+Partitioning GridPartitioner::Partition(const graph::Graph& g) const {
+  std::vector<graph::RegionId> labels(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    labels[v] = RegionOf(g.Coord(v));
+  }
+  return MakePartitioning(std::move(labels), num_regions());
+}
+
+}  // namespace airindex::partition

@@ -1,0 +1,40 @@
+#include "partition/partitioning.h"
+
+namespace airindex::partition {
+
+Partitioning MakePartitioning(std::vector<graph::RegionId> node_region,
+                              uint32_t num_regions) {
+  Partitioning part;
+  part.num_regions = num_regions;
+  part.node_region = std::move(node_region);
+  part.region_nodes.resize(num_regions);
+  for (graph::NodeId v = 0; v < part.node_region.size(); ++v) {
+    part.region_nodes[part.node_region[v]].push_back(v);
+  }
+  return part;
+}
+
+BorderInfo ComputeBorders(const graph::Graph& g, const Partitioning& part) {
+  BorderInfo info;
+  info.is_border.assign(g.num_nodes(), 0);
+  // One pass over all arcs marks both endpoints of every crossing arc; this
+  // covers incoming and outgoing adjacency without building the transpose.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.OutArcs(v)) {
+      if (part.node_region[v] != part.node_region[arc.to]) {
+        info.is_border[v] = 1;
+        info.is_border[arc.to] = 1;
+      }
+    }
+  }
+  info.region_border.resize(part.num_regions);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (info.is_border[v]) {
+      info.border_nodes.push_back(v);
+      info.region_border[part.node_region[v]].push_back(v);
+    }
+  }
+  return info;
+}
+
+}  // namespace airindex::partition

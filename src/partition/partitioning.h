@@ -1,0 +1,42 @@
+#ifndef AIRINDEX_PARTITION_PARTITIONING_H_
+#define AIRINDEX_PARTITION_PARTITIONING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace airindex::partition {
+
+/// A concrete assignment of network nodes to regions (paper's R1..Rn,
+/// 0-based here). Produced by a partitioner, consumed by ArcFlag, HiTi, EB
+/// and NR.
+struct Partitioning {
+  uint32_t num_regions = 0;
+  /// Region of every node.
+  std::vector<graph::RegionId> node_region;
+  /// Nodes of every region (ascending node id).
+  std::vector<std::vector<graph::NodeId>> region_nodes;
+};
+
+/// Builds the per-region node lists from a label vector.
+Partitioning MakePartitioning(std::vector<graph::RegionId> node_region,
+                              uint32_t num_regions);
+
+/// Border-node classification (§2.1): a node is a *border node* iff it is an
+/// endpoint of an arc whose endpoints lie in different regions.
+struct BorderInfo {
+  /// All border nodes, ascending.
+  std::vector<graph::NodeId> border_nodes;
+  /// is_border[v] != 0 iff v is a border node.
+  std::vector<uint8_t> is_border;
+  /// Border nodes per region, ascending.
+  std::vector<std::vector<graph::NodeId>> region_border;
+};
+
+BorderInfo ComputeBorders(const graph::Graph& g, const Partitioning& part);
+
+}  // namespace airindex::partition
+
+#endif  // AIRINDEX_PARTITION_PARTITIONING_H_

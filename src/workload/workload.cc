@@ -1,0 +1,60 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "algo/dijkstra.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace airindex::workload {
+
+Result<Workload> GenerateWorkload(const graph::Graph& g, size_t count,
+                                  uint64_t seed) {
+  if (g.num_nodes() < 2) return Status::InvalidArgument("graph too small");
+  Rng rng(seed);
+  Workload w;
+  w.queries.resize(count);
+  for (auto& q : w.queries) {
+    q.source = static_cast<graph::NodeId>(rng.NextBounded(g.num_nodes()));
+    do {
+      q.target = static_cast<graph::NodeId>(rng.NextBounded(g.num_nodes()));
+    } while (q.target == q.source);
+    q.tune_phase = rng.NextDouble();
+  }
+  ParallelFor(count, [&](size_t i) {
+    auto& q = w.queries[i];
+    q.true_dist = algo::DijkstraSearch(g, q.source, q.target,
+                                       algo::AllEdges{})
+                      .dist[q.target];
+  });
+  for (const auto& q : w.queries) {
+    if (q.true_dist == graph::kInfDist) {
+      return Status::FailedPrecondition(
+          "workload contains an unreachable pair; the network is not "
+          "strongly connected");
+    }
+  }
+  return w;
+}
+
+std::vector<std::vector<size_t>> BucketizeByLength(const Workload& w,
+                                                   int buckets) {
+  std::vector<std::vector<size_t>> out(buckets);
+  const graph::Dist max_dist = MaxTrueDist(w);
+  if (max_dist == 0) return out;
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    const auto b = static_cast<int>(
+        static_cast<unsigned long long>(w.queries[i].true_dist) * buckets /
+        (max_dist + 1));
+    out[std::min(b, buckets - 1)].push_back(i);
+  }
+  return out;
+}
+
+graph::Dist MaxTrueDist(const Workload& w) {
+  graph::Dist max_dist = 0;
+  for (const auto& q : w.queries) max_dist = std::max(max_dist, q.true_dist);
+  return max_dist;
+}
+
+}  // namespace airindex::workload

@@ -1,0 +1,45 @@
+#ifndef AIRINDEX_WORKLOAD_WORKLOAD_H_
+#define AIRINDEX_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace airindex::workload {
+
+/// One shortest-path query (§7: random source/destination nodes).
+struct Query {
+  graph::NodeId source = graph::kInvalidNode;
+  graph::NodeId target = graph::kInvalidNode;
+  /// Ground-truth distance (plain Dijkstra on the full graph).
+  graph::Dist true_dist = graph::kInfDist;
+  /// When the client tunes in, as a fraction of the broadcast cycle
+  /// (method cycles differ in length, so the instant is stored
+  /// cycle-relative).
+  double tune_phase = 0.0;
+};
+
+struct Workload {
+  std::vector<Query> queries;
+};
+
+/// Generates `count` uniform random s != t queries with ground truth
+/// (Dijkstras run in parallel) and uniform tune-in phases.
+Result<Workload> GenerateWorkload(const graph::Graph& g, size_t count,
+                                  uint64_t seed);
+
+/// Buckets query indexes by true shortest-path length into `buckets`
+/// equal-width ranges over [0, max_dist] (Fig. 10's "SP Range" axis). The
+/// paper uses 4 buckets over the observed path lengths.
+std::vector<std::vector<size_t>> BucketizeByLength(const Workload& w,
+                                                   int buckets);
+
+/// Largest ground-truth distance in the workload.
+graph::Dist MaxTrueDist(const Workload& w);
+
+}  // namespace airindex::workload
+
+#endif  // AIRINDEX_WORKLOAD_WORKLOAD_H_

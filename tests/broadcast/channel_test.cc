@@ -1,0 +1,158 @@
+#include "broadcast/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace airindex::broadcast {
+namespace {
+
+BroadcastCycle MakeCycle(size_t segments, size_t bytes_each) {
+  CycleBuilder b;
+  for (size_t i = 0; i < segments; ++i) {
+    Segment s;
+    s.type = i == 0 ? SegmentType::kGlobalIndex : SegmentType::kNetworkData;
+    s.is_index = i == 0;
+    s.id = static_cast<uint32_t>(i);
+    s.payload.assign(bytes_each, static_cast<uint8_t>(i + 1));
+    b.Add(std::move(s));
+  }
+  return std::move(b).Finalize().value();
+}
+
+TEST(ChannelTest, LosslessChannelDeliversEverything) {
+  BroadcastCycle cycle = MakeCycle(3, 400);
+  BroadcastChannel channel(&cycle, 0.0);
+  ClientSession session(&channel, 0);
+  for (uint32_t i = 0; i < cycle.total_packets(); ++i) {
+    EXPECT_TRUE(session.ReceiveNext().has_value());
+  }
+  EXPECT_EQ(session.tuned_packets(), cycle.total_packets());
+}
+
+TEST(ChannelTest, LossIsDeterministicPerPosition) {
+  BroadcastCycle cycle = MakeCycle(2, 300);
+  BroadcastChannel a(&cycle, 0.3, 99);
+  BroadcastChannel b(&cycle, 0.3, 99);
+  for (uint64_t pos = 0; pos < 1000; ++pos) {
+    EXPECT_EQ(a.IsLost(pos), b.IsLost(pos));
+  }
+}
+
+TEST(ChannelTest, LossRateRoughlyHolds) {
+  BroadcastCycle cycle = MakeCycle(2, 300);
+  BroadcastChannel channel(&cycle, 0.1, 7);
+  int lost = 0;
+  const int trials = 50000;
+  for (uint64_t pos = 0; pos < trials; ++pos) {
+    if (channel.IsLost(pos)) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / trials, 0.1, 0.01);
+}
+
+TEST(ChannelTest, BurstLossKeepsLongRunRate) {
+  BroadcastCycle cycle = MakeCycle(2, 300);
+  BroadcastChannel channel(&cycle, LossModel::Bursty(0.1, 8), 21);
+  int lost = 0;
+  const int trials = 80000;
+  for (uint64_t pos = 0; pos < trials; ++pos) {
+    if (channel.IsLost(pos)) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / trials, 0.1, 0.015);
+}
+
+TEST(ChannelTest, BurstLossArrivesInRuns) {
+  BroadcastCycle cycle = MakeCycle(2, 300);
+  BroadcastChannel channel(&cycle, LossModel::Bursty(0.1, 8), 22);
+  // Within an aligned 8-packet block, loss is all-or-nothing.
+  for (uint64_t block = 0; block < 2000; ++block) {
+    const bool first = channel.IsLost(block * 8);
+    for (uint64_t i = 1; i < 8; ++i) {
+      EXPECT_EQ(channel.IsLost(block * 8 + i), first) << block;
+    }
+  }
+}
+
+TEST(ChannelTest, SleepIsFree) {
+  BroadcastCycle cycle = MakeCycle(3, 400);
+  BroadcastChannel channel(&cycle, 0.0);
+  ClientSession session(&channel, 5);
+  session.SleepPackets(100);
+  EXPECT_EQ(session.tuned_packets(), 0u);
+  EXPECT_EQ(session.position(), 105u);
+}
+
+TEST(ChannelTest, SleepUntilCyclePosWrapsForward) {
+  BroadcastCycle cycle = MakeCycle(3, 400);  // 12 packets
+  ASSERT_EQ(cycle.total_packets(), 12u);
+  BroadcastChannel channel(&cycle, 0.0);
+  ClientSession session(&channel, 10);
+  session.SleepUntilCyclePos(2);  // 10 -> 14 (pos 2 of next cycle)
+  EXPECT_EQ(session.position(), 14u);
+  EXPECT_EQ(session.cycle_pos(), 2u);
+  session.SleepUntilCyclePos(2);  // already there: no movement
+  EXPECT_EQ(session.position(), 14u);
+}
+
+TEST(ChannelTest, LatencyCountsFromTuneIn) {
+  BroadcastCycle cycle = MakeCycle(3, 400);
+  BroadcastChannel channel(&cycle, 0.0);
+  ClientSession session(&channel, 7);
+  session.ReceiveNext();           // packet 7
+  session.SleepPackets(3);
+  session.ReceiveNext();           // packet 11
+  EXPECT_EQ(session.tuned_packets(), 2u);
+  EXPECT_EQ(session.latency_packets(), 11u - 7u + 1u);
+}
+
+TEST(ReceiveSegmentTest, AssemblesWholePayload) {
+  BroadcastCycle cycle = MakeCycle(3, 400);
+  BroadcastChannel channel(&cycle, 0.0);
+  ClientSession session(&channel, 0);
+  const uint32_t start = cycle.SegmentStart(1);
+  ReceivedSegment seg = ReceiveSegmentAt(session, start);
+  EXPECT_TRUE(seg.complete);
+  EXPECT_EQ(seg.segment_id, 1u);
+  ASSERT_EQ(seg.payload.size(), 400u);
+  for (uint8_t byte : seg.payload) EXPECT_EQ(byte, 2);
+}
+
+TEST(ReceiveSegmentTest, LossLeavesHolesAndMask) {
+  BroadcastCycle cycle = MakeCycle(2, 2000);
+  BroadcastChannel channel(&cycle, 0.4, 3);
+  ClientSession session(&channel, 0);
+  ReceivedSegment seg = ReceiveSegmentAt(session, cycle.SegmentStart(1));
+  // With 40% loss over ~17 packets a hole is near-certain.
+  ASSERT_FALSE(seg.complete);
+  bool any_missing = false;
+  for (size_t p = 0; p < seg.packet_ok.size(); ++p) {
+    if (!seg.packet_ok[p]) {
+      any_missing = true;
+      EXPECT_FALSE(seg.RangeOk(p * kPayloadSize, p * kPayloadSize + 1));
+    }
+  }
+  EXPECT_TRUE(any_missing);
+}
+
+TEST(ReceiveSegmentTest, RepairCompletesOverNextCycles) {
+  BroadcastCycle cycle = MakeCycle(2, 2000);
+  BroadcastChannel channel(&cycle, 0.3, 5);
+  ClientSession session(&channel, 0);
+  const uint32_t start = cycle.SegmentStart(1);
+  ReceivedSegment seg = ReceiveSegmentAt(session, start);
+  EXPECT_TRUE(RepairSegment(session, start, &seg, 32));
+  EXPECT_TRUE(seg.complete);
+  for (uint8_t byte : seg.payload) EXPECT_EQ(byte, 2);
+}
+
+TEST(ReceivedSegmentTest, RangeOkBoundaries) {
+  ReceivedSegment seg;
+  seg.payload.assign(3 * kPayloadSize, 0);
+  seg.packet_ok = {true, false, true};
+  EXPECT_TRUE(seg.RangeOk(0, kPayloadSize));
+  EXPECT_FALSE(seg.RangeOk(0, kPayloadSize + 1));
+  EXPECT_FALSE(seg.RangeOk(kPayloadSize, 2 * kPayloadSize));
+  EXPECT_TRUE(seg.RangeOk(2 * kPayloadSize, 3 * kPayloadSize));
+  EXPECT_TRUE(seg.RangeOk(5, 5));  // empty range
+}
+
+}  // namespace
+}  // namespace airindex::broadcast

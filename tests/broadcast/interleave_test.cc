@@ -1,0 +1,34 @@
+#include "broadcast/interleave.h"
+
+#include <gtest/gtest.h>
+
+namespace airindex::broadcast {
+namespace {
+
+TEST(InterleaveTest, PaperFormula) {
+  // m* = sqrt(data/index).
+  EXPECT_EQ(OptimalInterleaving(10000, 100), 10u);
+  EXPECT_EQ(OptimalInterleaving(400, 100), 2u);
+  EXPECT_EQ(OptimalInterleaving(100, 100), 1u);
+}
+
+TEST(InterleaveTest, RoundsToNearest) {
+  EXPECT_EQ(OptimalInterleaving(500, 100), 2u);  // sqrt(5) ~ 2.24
+  EXPECT_EQ(OptimalInterleaving(700, 100), 3u);  // sqrt(7) ~ 2.65
+}
+
+TEST(InterleaveTest, DegenerateInputs) {
+  EXPECT_EQ(OptimalInterleaving(0, 10), 1u);
+  EXPECT_EQ(OptimalInterleaving(10, 0), 1u);
+}
+
+TEST(InterleaveTest, NeverBelowOne) {
+  EXPECT_EQ(OptimalInterleaving(1, 1000000), 1u);
+}
+
+TEST(InterleaveTest, CappedByDataPackets) {
+  EXPECT_LE(OptimalInterleaving(4, 1), 4u);
+}
+
+}  // namespace
+}  // namespace airindex::broadcast

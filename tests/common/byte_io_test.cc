@@ -1,0 +1,61 @@
+#include "common/byte_io.h"
+
+#include <gtest/gtest.h>
+
+namespace airindex {
+namespace {
+
+TEST(ByteIoTest, U16RoundTrip) {
+  std::vector<uint8_t> buf;
+  PutU16(&buf, 0xBEEF);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(GetU16(buf.data()), 0xBEEF);
+}
+
+TEST(ByteIoTest, U32RoundTrip) {
+  std::vector<uint8_t> buf;
+  PutU32(&buf, 0xDEADBEEFu);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(GetU32(buf.data()), 0xDEADBEEFu);
+}
+
+TEST(ByteIoTest, U64RoundTrip) {
+  std::vector<uint8_t> buf;
+  PutU64(&buf, 0x0123456789ABCDEFull);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_EQ(GetU64(buf.data()), 0x0123456789ABCDEFull);
+}
+
+TEST(ByteIoTest, LittleEndianLayout) {
+  std::vector<uint8_t> buf;
+  PutU32(&buf, 0x04030201u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(ByteIoTest, ReaderSequencesThroughMixedFields) {
+  std::vector<uint8_t> buf;
+  PutU16(&buf, 7);
+  PutU32(&buf, 1000000);
+  PutU64(&buf, 1ull << 40);
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.remaining(), 14u);
+  EXPECT_EQ(reader.ReadU16(), 7);
+  EXPECT_EQ(reader.ReadU32(), 1000000u);
+  EXPECT_EQ(reader.ReadU64(), 1ull << 40);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteIoTest, ReaderSkip) {
+  std::vector<uint8_t> buf;
+  PutU32(&buf, 1);
+  PutU32(&buf, 2);
+  ByteReader reader(buf);
+  reader.Skip(4);
+  EXPECT_EQ(reader.ReadU32(), 2u);
+}
+
+}  // namespace
+}  // namespace airindex

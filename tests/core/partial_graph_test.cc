@@ -1,0 +1,83 @@
+#include "core/partial_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/dijkstra.h"
+#include "broadcast/serialization.h"
+#include "testing/test_graphs.h"
+
+namespace airindex::core {
+namespace {
+
+using testing_support::SmallNetwork;
+
+broadcast::NodeRecord RecordOf(const graph::Graph& g, graph::NodeId v) {
+  broadcast::NodeRecord rec;
+  rec.id = v;
+  rec.coord = g.Coord(v);
+  rec.arcs.assign(g.OutArcs(v).begin(), g.OutArcs(v).end());
+  return rec;
+}
+
+TEST(PartialGraphTest, EmptyKnowsNothing) {
+  PartialGraph pg;
+  EXPECT_EQ(pg.known_count(), 0u);
+  EXPECT_FALSE(pg.Has(0));
+  EXPECT_TRUE(pg.OutArcs(5).empty());
+}
+
+TEST(PartialGraphTest, AddRecordMakesNodeKnown) {
+  graph::Graph g = SmallNetwork(100, 160, 1);
+  PartialGraph pg;
+  pg.AddRecord(RecordOf(g, 10));
+  EXPECT_TRUE(pg.Has(10));
+  EXPECT_FALSE(pg.Has(9));
+  EXPECT_EQ(pg.OutArcs(10).size(), g.OutDegree(10));
+}
+
+TEST(PartialGraphTest, DuplicateReceiptIsIdempotent) {
+  graph::Graph g = SmallNetwork(100, 160, 2);
+  PartialGraph pg;
+  pg.AddRecord(RecordOf(g, 3));
+  const size_t mem = pg.MemoryBytes();
+  pg.AddRecord(RecordOf(g, 3));
+  EXPECT_EQ(pg.MemoryBytes(), mem);
+  EXPECT_EQ(pg.known_count(), 1u);
+}
+
+TEST(PartialGraphTest, FullGraphDijkstraMatchesOriginal) {
+  graph::Graph g = SmallNetwork(200, 320, 3);
+  PartialGraph pg;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    pg.AddRecord(RecordOf(g, v));
+  }
+  for (auto [s, t] : testing_support::RandomPairs(g, 10, 4)) {
+    algo::SearchTree tree =
+        algo::DijkstraSearch(pg, s, t, KnownEdgeFilter{&pg});
+    EXPECT_EQ(tree.dist[t], algo::DijkstraPath(g, s, t).dist);
+  }
+}
+
+TEST(PartialGraphTest, KnownEdgeFilterSkipsUnreceivedHeads) {
+  graph::Graph g = SmallNetwork(100, 160, 5);
+  PartialGraph pg;
+  pg.AddRecord(RecordOf(g, 0));
+  // Only node 0 known: Dijkstra must not escape through its arcs.
+  algo::SearchTree tree =
+      algo::DijkstraSearch(pg, 0, graph::kInvalidNode, KnownEdgeFilter{&pg});
+  EXPECT_EQ(tree.settled, 1u);
+}
+
+TEST(PartialGraphTest, MemoryGrowsWithContent) {
+  graph::Graph g = SmallNetwork(100, 160, 6);
+  PartialGraph pg;
+  size_t prev = pg.MemoryBytes();
+  for (graph::NodeId v = 0; v < 10; ++v) {
+    pg.AddRecord(RecordOf(g, v));
+    EXPECT_GT(pg.MemoryBytes(), prev);
+    prev = pg.MemoryBytes();
+  }
+}
+
+}  // namespace
+}  // namespace airindex::core

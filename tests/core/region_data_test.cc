@@ -1,0 +1,55 @@
+#include "core/region_data.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace airindex::core {
+namespace {
+
+using testing_support::SmallNetwork;
+
+TEST(RegionDataTest, RoundTripWithBorderList) {
+  graph::Graph g = SmallNetwork(100, 160, 1);
+  std::vector<graph::NodeId> border = {3, 7, 15};
+  std::vector<graph::NodeId> nodes = {3, 5, 7, 9, 15};
+  auto payload = EncodeRegionData(g, border, nodes);
+  auto decoded = DecodeRegionData(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->border, border);
+  ASSERT_EQ(decoded->records.size(), nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(decoded->records[i].id, nodes[i]);
+    EXPECT_EQ(decoded->records[i].arcs.size(), g.OutDegree(nodes[i]));
+  }
+}
+
+TEST(RegionDataTest, EmptyBorderListIsLocalSegment) {
+  graph::Graph g = SmallNetwork(50, 80, 2);
+  auto payload = EncodeRegionData(g, {}, {1, 2});
+  auto decoded = DecodeRegionData(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->border.empty());
+  EXPECT_EQ(decoded->records.size(), 2u);
+}
+
+TEST(RegionDataTest, EmptyRegion) {
+  graph::Graph g = SmallNetwork(50, 80, 3);
+  auto payload = EncodeRegionData(g, {}, {});
+  auto decoded = DecodeRegionData(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->border.empty());
+  EXPECT_TRUE(decoded->records.empty());
+}
+
+TEST(RegionDataTest, TruncationFails) {
+  graph::Graph g = SmallNetwork(50, 80, 4);
+  auto payload = EncodeRegionData(g, {1}, {1, 2, 3});
+  payload.resize(payload.size() - 3);
+  EXPECT_FALSE(DecodeRegionData(payload).ok());
+  payload.resize(1);
+  EXPECT_FALSE(DecodeRegionData(payload).ok());
+}
+
+}  // namespace
+}  // namespace airindex::core

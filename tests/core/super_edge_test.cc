@@ -1,0 +1,126 @@
+#include "core/super_edge.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/dijkstra.h"
+#include "partition/kd_tree.h"
+#include "testing/test_graphs.h"
+
+namespace airindex::core {
+namespace {
+
+using testing_support::RandomPairs;
+using testing_support::SmallNetwork;
+
+broadcast::NodeRecord RecordOf(const graph::Graph& g, graph::NodeId v) {
+  broadcast::NodeRecord rec;
+  rec.id = v;
+  rec.coord = g.Coord(v);
+  rec.arcs.assign(g.OutArcs(v).begin(), g.OutArcs(v).end());
+  return rec;
+}
+
+/// Feeds *all* regions of a partitioned graph through the processor; the
+/// overlay must then reproduce exact distances.
+class SuperEdgeExactnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SuperEdgeExactnessTest, AllRegionsGiveExactDistance) {
+  graph::Graph g = SmallNetwork(300, 480, GetParam());
+  auto kd = partition::KdTreePartitioner::Build(g, 8).value();
+  auto part = kd.Partition(g);
+  auto borders = partition::ComputeBorders(g, part);
+
+  for (auto [s, t] : RandomPairs(g, 8, GetParam() + 3)) {
+    SuperEdgeProcessor proc(s, t);
+    for (graph::RegionId r = 0; r < 8; ++r) {
+      RegionData data;
+      data.border = borders.region_border[r];
+      for (graph::NodeId v : part.region_nodes[r]) {
+        data.records.push_back(RecordOf(g, v));
+      }
+      proc.AddRegion(data);
+    }
+    EXPECT_EQ(proc.Solve(), algo::DijkstraPath(g, s, t).dist)
+        << s << "->" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuperEdgeExactnessTest,
+                         ::testing::Values(11, 12, 13));
+
+TEST(SuperEdgeTest, SameRegionEndpoints) {
+  graph::Graph g = SmallNetwork(300, 480, 21);
+  auto kd = partition::KdTreePartitioner::Build(g, 4).value();
+  auto part = kd.Partition(g);
+  auto borders = partition::ComputeBorders(g, part);
+  // Find two nodes in the same region.
+  const auto& nodes = part.region_nodes[0];
+  ASSERT_GE(nodes.size(), 2u);
+  const graph::NodeId s = nodes.front(), t = nodes.back();
+
+  SuperEdgeProcessor proc(s, t);
+  for (graph::RegionId r = 0; r < 4; ++r) {
+    RegionData data;
+    data.border = borders.region_border[r];
+    for (graph::NodeId v : part.region_nodes[r]) {
+      data.records.push_back(RecordOf(g, v));
+    }
+    proc.AddRegion(data);
+  }
+  EXPECT_EQ(proc.Solve(), algo::DijkstraPath(g, s, t).dist);
+}
+
+TEST(SuperEdgeTest, OverlayIsSmallerThanRawRegions) {
+  graph::Graph g = SmallNetwork(500, 800, 22);
+  auto kd = partition::KdTreePartitioner::Build(g, 8).value();
+  auto part = kd.Partition(g);
+  auto borders = partition::ComputeBorders(g, part);
+  SuperEdgeProcessor proc(0, static_cast<graph::NodeId>(g.num_nodes() - 1));
+  size_t raw_bytes = 0;
+  for (graph::RegionId r = 0; r < 8; ++r) {
+    RegionData data;
+    data.border = borders.region_border[r];
+    for (graph::NodeId v : part.region_nodes[r]) {
+      data.records.push_back(RecordOf(g, v));
+      raw_bytes += 24 + g.OutDegree(v) * 8;
+    }
+    proc.AddRegion(data);
+  }
+  // The point of §6.1: the retained overlay beats retaining raw regions.
+  EXPECT_LT(proc.MemoryBytes(), raw_bytes);
+}
+
+TEST(SuperEdgeTest, UnreachableWithoutIngestedRegions) {
+  SuperEdgeProcessor proc(1, 2);
+  EXPECT_EQ(proc.Solve(), graph::kInfDist);
+}
+
+TEST(SuperEdgeTest, SourceEqualsTargetIsZero) {
+  SuperEdgeProcessor proc(5, 5);
+  EXPECT_EQ(proc.Solve(), 0u);
+}
+
+TEST(SuperEdgeTest, MissingMiddleRegionCanOnlyOverestimate) {
+  graph::Graph g = SmallNetwork(300, 480, 23);
+  auto kd = partition::KdTreePartitioner::Build(g, 8).value();
+  auto part = kd.Partition(g);
+  auto borders = partition::ComputeBorders(g, part);
+  for (auto [s, t] : RandomPairs(g, 6, 24)) {
+    SuperEdgeProcessor proc(s, t);
+    for (graph::RegionId r = 0; r < 8; ++r) {
+      if (r == 3) continue;  // drop one region
+      RegionData data;
+      data.border = borders.region_border[r];
+      for (graph::NodeId v : part.region_nodes[r]) {
+        data.records.push_back(RecordOf(g, v));
+      }
+      proc.AddRegion(data);
+    }
+    const graph::Dist overlay = proc.Solve();
+    const graph::Dist truth = algo::DijkstraPath(g, s, t).dist;
+    EXPECT_GE(overlay, truth);  // a subgraph can never undercut the graph
+  }
+}
+
+}  // namespace
+}  // namespace airindex::core

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "broadcast/channel.h"
+#include "core/systems.h"
+#include "testing/test_graphs.h"
+#include "workload/workload.h"
+
+namespace airindex::core {
+namespace {
+
+using testing_support::SmallNetwork;
+
+/// §6.2 invariant: packet loss may cost tuning time and latency, but never
+/// correctness — every method still returns the exact distance.
+class SystemsLossTest
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(SystemsLossTest, AllMethodsExactUnderLoss) {
+  auto [loss, seed] = GetParam();
+  graph::Graph g = SmallNetwork(350, 560, seed);
+  SystemParams params;
+  params.arcflag_regions = 8;
+  params.eb_regions = 8;
+  params.nr_regions = 8;
+  params.landmarks = 3;
+  auto systems = BuildSystems(g, params).value();
+  auto w = workload::GenerateWorkload(g, 8, seed + 9).value();
+
+  ClientOptions opts;
+  opts.max_repair_cycles = 32;
+  for (const auto& sys : systems) {
+    broadcast::BroadcastChannel channel(&sys->cycle(), loss, seed + 17);
+    for (const auto& q : w.queries) {
+      device::QueryMetrics m =
+          sys->RunQuery(channel, MakeAirQuery(g, q), opts);
+      EXPECT_TRUE(m.ok) << sys->name() << " loss=" << loss;
+      EXPECT_EQ(m.distance, q.true_dist)
+          << sys->name() << " loss=" << loss << " " << q.source << "->"
+          << q.target;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossRates, SystemsLossTest,
+    ::testing::Combine(::testing::Values(0.001, 0.01, 0.05, 0.10),
+                       ::testing::Values(501u, 502u)));
+
+TEST(SystemsLossTest, LossIncreasesTuningTime) {
+  graph::Graph g = SmallNetwork(350, 560, 601);
+  SystemParams params;
+  params.eb_regions = 8;
+  params.nr_regions = 8;
+  auto systems = BuildSystems(g, params).value();
+  auto w = workload::GenerateWorkload(g, 10, 602).value();
+
+  for (const auto& sys : systems) {
+    uint64_t clean = 0, lossy = 0;
+    broadcast::BroadcastChannel clean_ch(&sys->cycle(), 0.0);
+    broadcast::BroadcastChannel lossy_ch(&sys->cycle(), 0.10, 603);
+    ClientOptions opts;
+    opts.max_repair_cycles = 32;
+    for (const auto& q : w.queries) {
+      clean += sys->RunQuery(clean_ch, MakeAirQuery(g, q), opts)
+                   .tuning_packets;
+      lossy += sys->RunQuery(lossy_ch, MakeAirQuery(g, q), opts)
+                   .tuning_packets;
+    }
+    EXPECT_GE(lossy, clean) << sys->name();
+  }
+}
+
+TEST(SystemsLossTest, AllMethodsExactUnderBurstLoss) {
+  // Wireless losses are bursty in practice; whole region segments can
+  // vanish in one fade. Correctness must survive that too.
+  graph::Graph g = SmallNetwork(300, 480, 621);
+  SystemParams params;
+  params.arcflag_regions = 8;
+  params.eb_regions = 8;
+  params.nr_regions = 8;
+  params.landmarks = 3;
+  auto systems = BuildSystems(g, params).value();
+  auto w = workload::GenerateWorkload(g, 6, 622).value();
+  ClientOptions opts;
+  opts.max_repair_cycles = 64;
+  for (const auto& sys : systems) {
+    broadcast::BroadcastChannel channel(
+        &sys->cycle(), broadcast::LossModel::Bursty(0.05, 12), 623);
+    for (const auto& q : w.queries) {
+      device::QueryMetrics m =
+          sys->RunQuery(channel, MakeAirQuery(g, q), opts);
+      EXPECT_TRUE(m.ok) << sys->name();
+      EXPECT_EQ(m.distance, q.true_dist) << sys->name();
+    }
+  }
+}
+
+TEST(SystemsLossTest, MemoryBoundClientsSurviveLoss) {
+  graph::Graph g = SmallNetwork(300, 480, 611);
+  SystemParams params;
+  params.eb_regions = 8;
+  params.nr_regions = 8;
+  auto systems = BuildSystems(g, params).value();
+  auto w = workload::GenerateWorkload(g, 6, 612).value();
+  ClientOptions opts;
+  opts.memory_bound = true;
+  opts.max_repair_cycles = 32;
+  for (const auto& sys : systems) {
+    if (sys->name() != "EB" && sys->name() != "NR") continue;
+    broadcast::BroadcastChannel channel(&sys->cycle(), 0.05, 613);
+    for (const auto& q : w.queries) {
+      device::QueryMetrics m =
+          sys->RunQuery(channel, MakeAirQuery(g, q), opts);
+      EXPECT_EQ(m.distance, q.true_dist) << sys->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace airindex::core

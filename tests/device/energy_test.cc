@@ -1,0 +1,52 @@
+#include "device/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace airindex::device {
+namespace {
+
+TEST(EnergyTest, PacketSecondsAtPaperBitrates) {
+  // 128 bytes = 1024 bits.
+  EXPECT_DOUBLE_EQ(PacketSeconds(kBitrateStatic3G), 1024.0 / 2e6);
+  EXPECT_DOUBLE_EQ(PacketSeconds(kBitrateMoving3G), 1024.0 / 384000.0);
+}
+
+TEST(EnergyTest, CycleSecondsMatchTable1Arithmetic) {
+  // Sanity-check against the paper's own Table 1: 14019 packets at 2 Mbps
+  // are reported as ~6.8 s and at 384 Kbps as ~40 s (the paper's figures
+  // include minor rounding).
+  EXPECT_NEAR(CycleSeconds(14019, kBitrateStatic3G), 7.2, 0.5);
+  EXPECT_NEAR(CycleSeconds(14019, kBitrateMoving3G), 37.4, 3.5);
+}
+
+TEST(EnergyTest, ReceivingDominatesSleeping) {
+  EnergyModel model(DeviceProfile::J2mePhone(), kBitrateStatic3G);
+  QueryMetrics active;
+  active.tuning_packets = 1000;
+  active.latency_packets = 1000;
+  QueryMetrics sleepy;
+  sleepy.tuning_packets = 10;
+  sleepy.latency_packets = 1000;
+  EXPECT_GT(model.QueryJoules(active), model.QueryJoules(sleepy) * 10);
+}
+
+TEST(EnergyTest, CpuContributionIsMinor) {
+  // §3.1: CPU effect is outweighed by communication.
+  EnergyModel model(DeviceProfile::J2mePhone(), kBitrateStatic3G);
+  QueryMetrics m;
+  m.tuning_packets = 1000;
+  m.latency_packets = 1000;
+  const double without_cpu = model.QueryJoules(m);
+  m.cpu_ms = 100;  // generous client CPU time
+  const double with_cpu = model.QueryJoules(m);
+  EXPECT_LT(with_cpu - without_cpu, 0.05 * without_cpu);
+}
+
+TEST(EnergyTest, ZeroQueryCostsNothing) {
+  EnergyModel model(DeviceProfile::J2mePhone(), kBitrateStatic3G);
+  QueryMetrics m;
+  EXPECT_DOUBLE_EQ(model.QueryJoules(m), 0.0);
+}
+
+}  // namespace
+}  // namespace airindex::device

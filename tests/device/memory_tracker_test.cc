@@ -1,0 +1,55 @@
+#include "device/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "device/device_profile.h"
+
+namespace airindex::device {
+namespace {
+
+TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
+  MemoryTracker mem;
+  mem.Charge(100);
+  mem.Charge(50);
+  EXPECT_EQ(mem.current(), 150u);
+  EXPECT_EQ(mem.peak(), 150u);
+  mem.Release(120);
+  EXPECT_EQ(mem.current(), 30u);
+  EXPECT_EQ(mem.peak(), 150u);
+  mem.Charge(10);
+  EXPECT_EQ(mem.peak(), 150u);  // peak unchanged below previous high water
+}
+
+TEST(MemoryTrackerTest, ReleaseClampsAtZero) {
+  MemoryTracker mem;
+  mem.Charge(10);
+  mem.Release(100);
+  EXPECT_EQ(mem.current(), 0u);
+}
+
+TEST(MemoryTrackerTest, BudgetExceededIsSticky) {
+  MemoryTracker mem(1000);
+  mem.Charge(999);
+  EXPECT_FALSE(mem.exceeded());
+  mem.Charge(2);
+  EXPECT_TRUE(mem.exceeded());
+  mem.Release(1001);
+  EXPECT_TRUE(mem.exceeded());  // sticky: the device already ran out
+}
+
+TEST(MemoryTrackerTest, DefaultBudgetIsUnlimited) {
+  MemoryTracker mem;
+  mem.Charge(SIZE_MAX / 2);
+  EXPECT_FALSE(mem.exceeded());
+}
+
+TEST(MemoryTrackerTest, J2meHeapBudget) {
+  MemoryTracker mem(DeviceProfile::J2mePhone().heap_bytes);
+  mem.Charge(8u * 1024 * 1024);
+  EXPECT_FALSE(mem.exceeded());
+  mem.Charge(1);
+  EXPECT_TRUE(mem.exceeded());
+}
+
+}  // namespace
+}  // namespace airindex::device

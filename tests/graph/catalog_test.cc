@@ -1,0 +1,62 @@
+#include "graph/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace airindex::graph {
+namespace {
+
+TEST(CatalogTest, FivePaperNetworksInTableOrder) {
+  const auto& nets = PaperNetworks();
+  ASSERT_EQ(nets.size(), 5u);
+  EXPECT_EQ(nets[0].name, "Milan");
+  EXPECT_EQ(nets[1].name, "Germany");
+  EXPECT_EQ(nets[2].name, "Argentina");
+  EXPECT_EQ(nets[3].name, "India");
+  EXPECT_EQ(nets[4].name, "SanFrancisco");
+}
+
+TEST(CatalogTest, PaperSizes) {
+  const auto& nets = PaperNetworks();
+  EXPECT_EQ(nets[0].num_nodes, 14021u);
+  EXPECT_EQ(nets[0].num_edges, 26849u);
+  EXPECT_EQ(nets[1].num_nodes, 28867u);
+  EXPECT_EQ(nets[1].num_edges, 30429u);
+  EXPECT_EQ(nets[4].num_nodes, 174956u);
+  EXPECT_EQ(nets[4].num_edges, 223001u);
+}
+
+TEST(CatalogTest, DefaultIsGermany) {
+  EXPECT_EQ(DefaultNetwork().name, "Germany");
+}
+
+TEST(CatalogTest, FindByName) {
+  auto found = FindNetwork("India");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->num_nodes, 149566u);
+  EXPECT_FALSE(FindNetwork("Atlantis").ok());
+}
+
+TEST(CatalogTest, ScaledReplicaPreservesRatio) {
+  auto g = MakeNetwork(PaperNetworks()[0], 0.1);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  // ~1402 nodes, ~2685 edges.
+  EXPECT_NEAR(static_cast<double>(g->num_nodes()), 1402, 2);
+  EXPECT_NEAR(static_cast<double>(g->num_arcs()) / 2, 2685, 2);
+  EXPECT_TRUE(g->IsStronglyConnected());
+}
+
+TEST(CatalogTest, RejectsBadScale) {
+  EXPECT_FALSE(MakeNetwork(PaperNetworks()[0], 0.0).ok());
+  EXPECT_FALSE(MakeNetwork(PaperNetworks()[0], 1.5).ok());
+}
+
+TEST(CatalogTest, SameSpecSameGraph) {
+  auto a = MakeNetwork(PaperNetworks()[1], 0.05);
+  auto b = MakeNetwork(PaperNetworks()[1], 0.05);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_nodes(), b->num_nodes());
+  EXPECT_DOUBLE_EQ(a->Coord(0).x, b->Coord(0).x);
+}
+
+}  // namespace
+}  // namespace airindex::graph

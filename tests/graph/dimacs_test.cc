@@ -1,0 +1,114 @@
+#include "graph/dimacs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/generator.h"
+
+namespace airindex::graph {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(DimacsTest, RoundTrip) {
+  GeneratorOptions opts;
+  opts.num_nodes = 120;
+  opts.num_edges = 200;
+  opts.seed = 21;
+  Graph g = GenerateRoadNetwork(opts).value();
+
+  const std::string gr = TempPath("rt.gr"), co = TempPath("rt.co");
+  ASSERT_TRUE(SaveDimacs(g, gr, co).ok());
+  auto loaded = LoadDimacs(gr, co);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_nodes(), g.num_nodes());
+  ASSERT_EQ(loaded->num_arcs(), g.num_arcs());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto a = g.OutArcs(v);
+    auto b = loaded->OutArcs(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to);
+      EXPECT_EQ(a[i].weight, b[i].weight);
+    }
+  }
+}
+
+TEST(DimacsTest, MissingFileFails) {
+  auto res = LoadDimacs(TempPath("nope.gr"), TempPath("nope.co"));
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kIOError);
+}
+
+TEST(DimacsTest, ParsesHandWrittenFiles) {
+  const std::string gr = TempPath("hand.gr"), co = TempPath("hand.co");
+  {
+    std::ofstream f(gr);
+    f << "c comment line\n";
+    f << "p sp 3 4\n";
+    f << "a 1 2 10\n";
+    f << "a 2 1 10\n";
+    f << "a 2 3 5\n";
+    f << "a 3 2 5\n";
+  }
+  {
+    std::ofstream f(co);
+    f << "p aux sp co 3\n";
+    f << "v 1 0.0 0.0\n";
+    f << "v 2 1.0 0.0\n";
+    f << "v 3 2.0 0.0\n";
+  }
+  auto g = LoadDimacs(gr, co);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_arcs(), 4u);
+  EXPECT_EQ(g->OutArcs(0)[0].weight, 10u);
+}
+
+TEST(DimacsTest, RejectsArcCountMismatch) {
+  const std::string gr = TempPath("bad.gr"), co = TempPath("bad.co");
+  {
+    std::ofstream f(gr);
+    f << "p sp 2 2\n";
+    f << "a 1 2 1\n";  // header claims 2 arcs, only 1 present
+  }
+  {
+    std::ofstream f(co);
+    f << "v 1 0 0\nv 2 1 1\n";
+  }
+  EXPECT_FALSE(LoadDimacs(gr, co).ok());
+}
+
+TEST(DimacsTest, RejectsMissingCoordinates) {
+  const std::string gr = TempPath("mc.gr"), co = TempPath("mc.co");
+  {
+    std::ofstream f(gr);
+    f << "p sp 2 2\na 1 2 1\na 2 1 1\n";
+  }
+  {
+    std::ofstream f(co);
+    f << "v 1 0 0\n";  // node 2 missing
+  }
+  EXPECT_FALSE(LoadDimacs(gr, co).ok());
+}
+
+TEST(DimacsTest, RejectsOutOfRangeNodeId) {
+  const std::string gr = TempPath("oor.gr"), co = TempPath("oor.co");
+  {
+    std::ofstream f(gr);
+    f << "p sp 2 1\na 1 9 1\n";
+  }
+  {
+    std::ofstream f(co);
+    f << "v 1 0 0\nv 2 1 1\n";
+  }
+  EXPECT_FALSE(LoadDimacs(gr, co).ok());
+}
+
+}  // namespace
+}  // namespace airindex::graph

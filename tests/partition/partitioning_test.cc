@@ -1,0 +1,87 @@
+#include "partition/partitioning.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/kd_tree.h"
+#include "testing/test_graphs.h"
+
+namespace airindex::partition {
+namespace {
+
+using testing_support::SmallNetwork;
+
+TEST(PartitioningTest, RegionNodesMatchLabels) {
+  graph::Graph g = SmallNetwork(200, 320, 1);
+  auto kd = KdTreePartitioner::Build(g, 8).value();
+  Partitioning part = kd.Partition(g);
+  for (graph::RegionId r = 0; r < 8; ++r) {
+    for (graph::NodeId v : part.region_nodes[r]) {
+      EXPECT_EQ(part.node_region[v], r);
+    }
+  }
+}
+
+TEST(BorderTest, BorderNodesHaveCrossingArcs) {
+  graph::Graph g = SmallNetwork(300, 480, 2);
+  auto kd = KdTreePartitioner::Build(g, 8).value();
+  Partitioning part = kd.Partition(g);
+  BorderInfo info = ComputeBorders(g, part);
+  ASSERT_FALSE(info.border_nodes.empty());
+  for (graph::NodeId b : info.border_nodes) {
+    bool crossing = false;
+    for (const auto& arc : g.OutArcs(b)) {
+      if (part.node_region[arc.to] != part.node_region[b]) crossing = true;
+    }
+    // Symmetric networks: an out-crossing arc exists iff an in-crossing
+    // one does.
+    EXPECT_TRUE(crossing) << b;
+  }
+}
+
+TEST(BorderTest, NonBorderNodesHaveNoCrossingArcs) {
+  graph::Graph g = SmallNetwork(300, 480, 3);
+  auto kd = KdTreePartitioner::Build(g, 8).value();
+  Partitioning part = kd.Partition(g);
+  BorderInfo info = ComputeBorders(g, part);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (info.is_border[v]) continue;
+    for (const auto& arc : g.OutArcs(v)) {
+      EXPECT_EQ(part.node_region[arc.to], part.node_region[v]);
+    }
+  }
+}
+
+TEST(BorderTest, RegionBorderListsPartitionBorderSet) {
+  graph::Graph g = SmallNetwork(400, 640, 4);
+  auto kd = KdTreePartitioner::Build(g, 16).value();
+  Partitioning part = kd.Partition(g);
+  BorderInfo info = ComputeBorders(g, part);
+  size_t total = 0;
+  for (graph::RegionId r = 0; r < 16; ++r) {
+    for (graph::NodeId b : info.region_border[r]) {
+      EXPECT_EQ(part.node_region[b], r);
+    }
+    total += info.region_border[r].size();
+  }
+  EXPECT_EQ(total, info.border_nodes.size());
+}
+
+TEST(BorderTest, MoreRegionsMeansMoreBorders) {
+  graph::Graph g = SmallNetwork(600, 960, 5);
+  auto kd8 = KdTreePartitioner::Build(g, 8).value();
+  auto kd32 = KdTreePartitioner::Build(g, 32).value();
+  BorderInfo b8 = ComputeBorders(g, kd8.Partition(g));
+  BorderInfo b32 = ComputeBorders(g, kd32.Partition(g));
+  EXPECT_LT(b8.border_nodes.size(), b32.border_nodes.size());
+}
+
+TEST(BorderTest, SingleRegionHasNoBorders) {
+  graph::Graph g = SmallNetwork(100, 160, 6);
+  Partitioning part = MakePartitioning(
+      std::vector<graph::RegionId>(g.num_nodes(), 0), 1);
+  BorderInfo info = ComputeBorders(g, part);
+  EXPECT_TRUE(info.border_nodes.empty());
+}
+
+}  // namespace
+}  // namespace airindex::partition

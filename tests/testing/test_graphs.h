@@ -1,0 +1,40 @@
+#ifndef AIRINDEX_TESTS_TESTING_TEST_GRAPHS_H_
+#define AIRINDEX_TESTS_TESTING_TEST_GRAPHS_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+
+namespace airindex::testing_support {
+
+/// A small strongly-connected synthetic road network for tests.
+inline graph::Graph SmallNetwork(uint32_t nodes = 400, uint32_t edges = 640,
+                                 uint64_t seed = 1234) {
+  graph::GeneratorOptions opts;
+  opts.num_nodes = nodes;
+  opts.num_edges = edges;
+  opts.seed = seed;
+  opts.extent = 10000.0;
+  return graph::GenerateRoadNetwork(opts).value();
+}
+
+/// Random distinct (source, target) pairs.
+inline std::vector<std::pair<graph::NodeId, graph::NodeId>> RandomPairs(
+    const graph::Graph& g, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  pairs.reserve(count);
+  while (pairs.size() < count) {
+    auto s = static_cast<graph::NodeId>(rng.NextBounded(g.num_nodes()));
+    auto t = static_cast<graph::NodeId>(rng.NextBounded(g.num_nodes()));
+    if (s != t) pairs.emplace_back(s, t);
+  }
+  return pairs;
+}
+
+}  // namespace airindex::testing_support
+
+#endif  // AIRINDEX_TESTS_TESTING_TEST_GRAPHS_H_

@@ -1,0 +1,98 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/dijkstra.h"
+#include "testing/test_graphs.h"
+
+namespace airindex::workload {
+namespace {
+
+using testing_support::SmallNetwork;
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  graph::Graph g = SmallNetwork();
+  auto w = GenerateWorkload(g, 50, 1);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->queries.size(), 50u);
+}
+
+TEST(WorkloadTest, SourcesAndTargetsDistinct) {
+  graph::Graph g = SmallNetwork();
+  auto w = GenerateWorkload(g, 100, 2);
+  ASSERT_TRUE(w.ok());
+  for (const auto& q : w->queries) {
+    EXPECT_NE(q.source, q.target);
+    EXPECT_LT(q.source, g.num_nodes());
+    EXPECT_LT(q.target, g.num_nodes());
+  }
+}
+
+TEST(WorkloadTest, GroundTruthMatchesDijkstra) {
+  graph::Graph g = SmallNetwork(200, 320, 3);
+  auto w = GenerateWorkload(g, 20, 3);
+  ASSERT_TRUE(w.ok());
+  for (const auto& q : w->queries) {
+    EXPECT_EQ(q.true_dist, algo::DijkstraPath(g, q.source, q.target).dist);
+  }
+}
+
+TEST(WorkloadTest, TunePhaseInUnitInterval) {
+  graph::Graph g = SmallNetwork();
+  auto w = GenerateWorkload(g, 100, 4);
+  ASSERT_TRUE(w.ok());
+  for (const auto& q : w->queries) {
+    EXPECT_GE(q.tune_phase, 0.0);
+    EXPECT_LT(q.tune_phase, 1.0);
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  graph::Graph g = SmallNetwork();
+  auto a = GenerateWorkload(g, 30, 5);
+  auto b = GenerateWorkload(g, 30, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(a->queries[i].source, b->queries[i].source);
+    EXPECT_EQ(a->queries[i].target, b->queries[i].target);
+    EXPECT_DOUBLE_EQ(a->queries[i].tune_phase, b->queries[i].tune_phase);
+  }
+}
+
+TEST(WorkloadTest, BucketsPartitionTheWorkload) {
+  graph::Graph g = SmallNetwork(500, 800, 6);
+  auto w = GenerateWorkload(g, 200, 6);
+  ASSERT_TRUE(w.ok());
+  auto buckets = BucketizeByLength(*w, 4);
+  ASSERT_EQ(buckets.size(), 4u);
+  size_t total = 0;
+  for (const auto& b : buckets) total += b.size();
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(WorkloadTest, BucketsAreOrderedByLength) {
+  graph::Graph g = SmallNetwork(500, 800, 7);
+  auto w = GenerateWorkload(g, 200, 7);
+  ASSERT_TRUE(w.ok());
+  auto buckets = BucketizeByLength(*w, 4);
+  const graph::Dist max_dist = MaxTrueDist(*w);
+  for (int b = 0; b < 4; ++b) {
+    const double lo = static_cast<double>(max_dist + 1) * b / 4;
+    const double hi = static_cast<double>(max_dist + 1) * (b + 1) / 4;
+    for (size_t qi : buckets[b]) {
+      const auto d = static_cast<double>(w->queries[qi].true_dist);
+      EXPECT_GE(d, lo - 1.0);
+      EXPECT_LE(d, hi + 1.0);
+    }
+  }
+}
+
+TEST(WorkloadTest, TinyGraphRejected) {
+  graph::GraphBuilder b;
+  b.AddNode({0, 0});
+  graph::Graph g = std::move(b).Build().value();
+  EXPECT_FALSE(GenerateWorkload(g, 5, 1).ok());
+}
+
+}  // namespace
+}  // namespace airindex::workload

@@ -1,0 +1,203 @@
+// airindex_cli — operator tool for the airindex library.
+//
+//   airindex_cli generate <nodes> <edges> <seed> <out.gr> <out.co>
+//       Generate a synthetic road network and save it in DIMACS format.
+//
+//   airindex_cli inspect <network> [scale] [method] [regions]
+//       Build a catalog network's broadcast cycle and print its layout
+//       (method: DJ|NR|EB|LD|AF, default NR; regions default 32).
+//
+//   airindex_cli query <network> <scale> <method> <source> <target>
+//       Run one shortest-path query through the simulated channel and
+//       print every cost factor.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "broadcast/channel.h"
+#include "core/arcflag_on_air.h"
+#include "core/dijkstra_on_air.h"
+#include "core/eb.h"
+#include "core/landmark_on_air.h"
+#include "core/nr.h"
+#include "device/energy.h"
+#include "graph/catalog.h"
+#include "graph/dimacs.h"
+#include "graph/generator.h"
+
+using namespace airindex;  // NOLINT: CLI binary
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  airindex_cli generate <nodes> <edges> <seed> <out.gr> "
+               "<out.co>\n"
+               "  airindex_cli inspect <network> [scale] [method] "
+               "[regions]\n"
+               "  airindex_cli query <network> <scale> <method> <source> "
+               "<target>\n");
+  return 2;
+}
+
+Result<std::unique_ptr<core::AirSystem>> BuildMethod(
+    const graph::Graph& g, const std::string& method, uint32_t regions) {
+  if (method == "DJ") {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys, core::DijkstraOnAir::Build(g));
+    return std::unique_ptr<core::AirSystem>(std::move(sys));
+  }
+  if (method == "NR") {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys, core::NrSystem::Build(g, regions));
+    return std::unique_ptr<core::AirSystem>(std::move(sys));
+  }
+  if (method == "EB") {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys, core::EbSystem::Build(g, regions));
+    return std::unique_ptr<core::AirSystem>(std::move(sys));
+  }
+  if (method == "LD") {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys, core::LandmarkOnAir::Build(g, 4));
+    return std::unique_ptr<core::AirSystem>(std::move(sys));
+  }
+  if (method == "AF") {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys,
+                              core::ArcFlagOnAir::Build(g, regions));
+    return std::unique_ptr<core::AirSystem>(std::move(sys));
+  }
+  return Status::InvalidArgument("unknown method " + method);
+}
+
+int Generate(int argc, char** argv) {
+  if (argc != 7) return Usage();
+  graph::GeneratorOptions opts;
+  opts.num_nodes = static_cast<uint32_t>(std::atoi(argv[2]));
+  opts.num_edges = static_cast<uint32_t>(std::atoi(argv[3]));
+  opts.seed = static_cast<uint64_t>(std::atoll(argv[4]));
+  auto g = graph::GenerateRoadNetwork(opts);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  Status st = graph::SaveDimacs(*g, argv[5], argv[6]);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu nodes / %zu arcs to %s + %s\n", g->num_nodes(),
+              g->num_arcs(), argv[5], argv[6]);
+  return 0;
+}
+
+int Inspect(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const double scale = argc > 3 ? std::atof(argv[3]) : 0.2;
+  const std::string method = argc > 4 ? argv[4] : "NR";
+  const uint32_t regions =
+      argc > 5 ? static_cast<uint32_t>(std::atoi(argv[5])) : 32;
+
+  auto spec = graph::FindNetwork(argv[2]);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto g = graph::MakeNetwork(*spec, scale);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  auto sys = BuildMethod(*g, method, regions);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "%s\n", sys.status().ToString().c_str());
+    return 1;
+  }
+  const broadcast::BroadcastCycle& cycle = (*sys)->cycle();
+  std::printf("%s on %s (scale %.2f): %zu nodes, %zu arcs\n", method.c_str(),
+              argv[2], scale, g->num_nodes(), g->num_arcs());
+  std::printf("cycle: %u packets (%zu segments, %zu payload bytes)\n",
+              cycle.total_packets(), cycle.num_segments(),
+              cycle.TotalPayloadBytes());
+  std::printf("duration: %.3f s at 2 Mbps, %.3f s at 384 Kbps\n",
+              device::CycleSeconds(cycle.total_packets(),
+                                   device::kBitrateStatic3G),
+              device::CycleSeconds(cycle.total_packets(),
+                                   device::kBitrateMoving3G));
+  // Segment type census.
+  size_t counts[4] = {0, 0, 0, 0};
+  size_t packets[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < cycle.num_segments(); ++i) {
+    const auto& seg = cycle.segment(i);
+    const int t = static_cast<int>(seg.type);
+    ++counts[t];
+    packets[t] += seg.PacketCount();
+  }
+  const char* names[4] = {"network data", "global index", "local index",
+                          "aux data"};
+  for (int t = 0; t < 4; ++t) {
+    if (counts[t] == 0) continue;
+    std::printf("  %-14s %4zu segments, %6zu packets (%.1f%%)\n", names[t],
+                counts[t], packets[t],
+                100.0 * static_cast<double>(packets[t]) /
+                    cycle.total_packets());
+  }
+  std::printf("server pre-computation: %.3f s\n",
+              (*sys)->precompute_seconds());
+  return 0;
+}
+
+int Query(int argc, char** argv) {
+  if (argc != 7) return Usage();
+  auto spec = graph::FindNetwork(argv[2]);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto g = graph::MakeNetwork(*spec, std::atof(argv[3]));
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  auto sys = BuildMethod(*g, argv[4], 32);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "%s\n", sys.status().ToString().c_str());
+    return 1;
+  }
+  workload::Query q;
+  q.source = static_cast<graph::NodeId>(std::atoi(argv[5]));
+  q.target = static_cast<graph::NodeId>(std::atoi(argv[6]));
+  if (q.source >= g->num_nodes() || q.target >= g->num_nodes()) {
+    std::fprintf(stderr, "node id out of range (max %zu)\n",
+                 g->num_nodes() - 1);
+    return 1;
+  }
+  q.tune_phase = 0.5;
+  broadcast::BroadcastChannel channel(&(*sys)->cycle(), 0.0);
+  device::QueryMetrics m =
+      (*sys)->RunQuery(channel, core::MakeAirQuery(*g, q));
+  device::EnergyModel energy(device::DeviceProfile::J2mePhone(),
+                             device::kBitrateStatic3G);
+  std::printf("%s %u -> %u\n", argv[4], q.source, q.target);
+  std::printf("  distance       : %llu\n",
+              static_cast<unsigned long long>(m.distance));
+  std::printf("  tuning         : %llu packets\n",
+              static_cast<unsigned long long>(m.tuning_packets));
+  std::printf("  latency        : %llu packets\n",
+              static_cast<unsigned long long>(m.latency_packets));
+  std::printf("  peak memory    : %.1f KB\n",
+              m.peak_memory_bytes / 1024.0);
+  std::printf("  client CPU     : %.2f ms\n", m.cpu_ms);
+  std::printf("  radio energy   : %.3f J\n", energy.QueryJoules(m));
+  return m.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
+  if (std::strcmp(argv[1], "inspect") == 0) return Inspect(argc, argv);
+  if (std::strcmp(argv[1], "query") == 0) return Query(argc, argv);
+  return Usage();
+}
