@@ -42,7 +42,7 @@ Path AStarPath(const G& g, NodeId source, NodeId target,
   };
   std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> heap;
   dist[source] = 0;
-  heap.push({lower_bound(source), 0, source});
+  heap.push({static_cast<Dist>(lower_bound(source)), 0, source});
   size_t expanded = 0;
 
   while (!heap.empty()) {
@@ -56,7 +56,7 @@ Path AStarPath(const G& g, NodeId source, NodeId target,
       if (nd < dist[arc.to]) {
         dist[arc.to] = nd;
         parent[arc.to] = v;
-        heap.push({nd + lower_bound(arc.to), nd, arc.to});
+        heap.push({nd + static_cast<Dist>(lower_bound(arc.to)), nd, arc.to});
       }
     }
   }

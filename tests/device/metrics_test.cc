@@ -55,7 +55,7 @@ TEST(MetricsSummaryTest, EmptyInput) {
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch sw;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(sw.ElapsedMs(), 0.0);
 }
 

@@ -32,8 +32,8 @@ using namespace airindex;  // NOLINT: CLI binary
 
 namespace {
 
-int Usage() {
-  std::fprintf(stderr,
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
                "usage:\n"
                "  airindex_cli generate <nodes> <edges> <seed> <out.gr> "
                "<out.co>\n"
@@ -41,6 +41,10 @@ int Usage() {
                "[regions]\n"
                "  airindex_cli query <network> <scale> <method> <source> "
                "<target>\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -196,6 +200,11 @@ int Query(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0 ||
+      std::strcmp(argv[1], "help") == 0) {
+    PrintUsage(stdout);
+    return 0;
+  }
   if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
   if (std::strcmp(argv[1], "inspect") == 0) return Inspect(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return Query(argc, argv);
