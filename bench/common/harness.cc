@@ -8,14 +8,14 @@ namespace airindex::bench {
 std::vector<device::QueryMetrics> RunQueries(
     const core::AirSystem& sys, const graph::Graph& g,
     const workload::Workload& w, double loss_rate, uint64_t loss_seed,
-    const core::ClientOptions& options) {
-  broadcast::BroadcastChannel channel(&sys.cycle(), loss_rate, loss_seed);
-  std::vector<device::QueryMetrics> out;
-  out.reserve(w.queries.size());
-  for (const auto& q : w.queries) {
-    out.push_back(sys.RunQuery(channel, core::MakeAirQuery(g, q), options));
-  }
-  return out;
+    const core::ClientOptions& options, unsigned threads) {
+  sim::SimOptions so;
+  so.threads = threads;
+  so.loss = broadcast::LossModel::Independent(loss_rate);
+  so.loss_seed = loss_seed;
+  so.client = options;
+  sim::Simulator simulator(g, so);
+  return simulator.RunSystem(sys, w).per_query;
 }
 
 std::vector<device::QueryMetrics> Select(

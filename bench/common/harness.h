@@ -9,16 +9,20 @@
 #include "device/metrics.h"
 #include "graph/catalog.h"
 #include "graph/graph.h"
+#include "sim/simulator.h"
 #include "workload/workload.h"
 
 namespace airindex::bench {
 
-/// Runs every workload query through `sys` on a channel with the given loss
-/// rate and returns the per-query metrics.
+/// Thin adapter over sim::Simulator: runs every workload query through
+/// `sys` — one simulated client per query, `threads` workers — and returns
+/// the per-query metrics. Each query listens on its own loss stream derived
+/// from (loss_seed, query index), so results are identical for every
+/// thread count.
 std::vector<device::QueryMetrics> RunQueries(
     const core::AirSystem& sys, const graph::Graph& g,
     const workload::Workload& w, double loss_rate, uint64_t loss_seed,
-    const core::ClientOptions& options);
+    const core::ClientOptions& options, unsigned threads = 1);
 
 /// Per-query metrics restricted to a subset of query indexes (Fig. 10's
 /// SP-length buckets).

@@ -23,6 +23,8 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       opts.seed = static_cast<uint64_t>(std::atoll(arg + 7));
     } else if (std::strncmp(arg, "--loss=", 7) == 0) {
       opts.loss = std::atof(arg + 7);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      opts.threads = static_cast<unsigned>(std::atoi(arg + 10));
     } else if (std::strcmp(arg, "--full") == 0) {
       opts.full = true;
     } else if (std::strcmp(arg, "--no-heavy") == 0) {
@@ -30,7 +32,7 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale=F] [--queries=N] [--seed=N] "
-                   "[--loss=F] [--full] [--no-heavy]\n",
+                   "[--loss=F] [--threads=N] [--full] [--no-heavy]\n",
                    argv[0]);
       std::exit(2);
     }

@@ -22,13 +22,18 @@ struct BenchOptions {
   /// Skip SPQ/HiTi (whose pre-computation is all-pairs-flavoured) even in
   /// benches that normally include them.
   bool no_heavy = false;
+  /// Simulation engine worker threads (0 = hardware concurrency). The
+  /// engine is bit-deterministic across thread counts, so parallel runs
+  /// report the same packet/memory numbers as serial ones; only the
+  /// wall-clock cpu_ms measurement is subject to scheduling noise.
+  unsigned threads = 1;
 
   /// Device heap budget scaled with the network.
   size_t ScaledHeapBytes() const;
 };
 
-/// Parses --scale=, --queries=, --seed=, --loss=, --full, --no-heavy.
-/// Unknown flags abort with a usage message.
+/// Parses --scale=, --queries=, --seed=, --loss=, --threads=, --full,
+/// --no-heavy. Unknown flags abort with a usage message.
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 }  // namespace airindex::bench

@@ -24,16 +24,16 @@ int main(int argc, char** argv) {
   params.eb_regions = 32;
   params.nr_regions = 32;
   params.landmarks = 4;
-  auto systems = core::BuildSystems(g, params).value();
+  auto systems = core::SystemRegistry::Global().GetAll(g, params).value();
   auto w = workload::GenerateWorkload(g, opts.queries, opts.seed).value();
   auto buckets = workload::BucketizeByLength(w, 4);
   const graph::Dist max_dist = workload::MaxTrueDist(w);
 
   // All per-query metrics per method, computed once.
   std::vector<std::vector<device::QueryMetrics>> per_method;
-  for (const auto& sys : *&systems) {
-    per_method.push_back(
-        bench::RunQueries(*sys, g, w, opts.loss, opts.seed, {}));
+  for (const auto& sys : systems) {
+    per_method.push_back(bench::RunQueries(*sys, g, w, opts.loss, opts.seed,
+                                           {}, opts.threads));
   }
 
   const char* panels[4] = {"(a) tuning time [packets]", "(b) memory [MB]",

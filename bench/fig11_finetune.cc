@@ -11,11 +11,7 @@
 
 #include "common/harness.h"
 #include "common/options.h"
-#include "core/arcflag_on_air.h"
-#include "core/dijkstra_on_air.h"
-#include "core/eb.h"
-#include "core/landmark_on_air.h"
-#include "core/nr.h"
+#include "core/systems.h"
 
 using namespace airindex;  // NOLINT: experiment binary
 
@@ -39,35 +35,28 @@ int main(int argc, char** argv) {
   const uint32_t regions[4] = {16, 32, 64, 128};
   const uint32_t landmarks[4] = {2, 4, 8, 16};
 
+  auto& registry = core::SystemRegistry::Global();
   std::vector<Row> rows;
   // Dijkstra reference (independent of the sweep).
   {
-    auto dj = core::DijkstraOnAir::Build(g).value();
-    auto m = bench::RunQueries(*dj, g, w, opts.loss, opts.seed, {});
+    auto dj = registry.Get(g, "DJ").value();
+    auto m = bench::RunQueries(*dj, g, w, opts.loss, opts.seed, {},
+                               opts.threads);
     rows.push_back({"-", "DJ", device::MetricsSummary::Of(m)});
   }
   for (int i = 0; i < 4; ++i) {
     char cfg[32];
     std::snprintf(cfg, sizeof(cfg), "%u/%u", regions[i], landmarks[i]);
-    {
-      auto nr = core::NrSystem::Build(g, regions[i]).value();
-      auto m = bench::RunQueries(*nr, g, w, opts.loss, opts.seed, {});
-      rows.push_back({cfg, "NR", device::MetricsSummary::Of(m)});
-    }
-    {
-      auto eb = core::EbSystem::Build(g, regions[i]).value();
-      auto m = bench::RunQueries(*eb, g, w, opts.loss, opts.seed, {});
-      rows.push_back({cfg, "EB", device::MetricsSummary::Of(m)});
-    }
-    {
-      auto af = core::ArcFlagOnAir::Build(g, regions[i]).value();
-      auto m = bench::RunQueries(*af, g, w, opts.loss, opts.seed, {});
-      rows.push_back({cfg, "AF", device::MetricsSummary::Of(m)});
-    }
-    {
-      auto ld = core::LandmarkOnAir::Build(g, landmarks[i]).value();
-      auto m = bench::RunQueries(*ld, g, w, opts.loss, opts.seed, {});
-      rows.push_back({cfg, "LD", device::MetricsSummary::Of(m)});
+    core::SystemParams params;
+    params.nr_regions = regions[i];
+    params.eb_regions = regions[i];
+    params.arcflag_regions = regions[i];
+    params.landmarks = landmarks[i];
+    for (const char* method : {"NR", "EB", "AF", "LD"}) {
+      auto sys = registry.Get(g, method, params).value();
+      auto m = bench::RunQueries(*sys, g, w, opts.loss, opts.seed, {},
+                                 opts.threads);
+      rows.push_back({cfg, method, device::MetricsSummary::Of(m)});
     }
   }
 

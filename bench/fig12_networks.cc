@@ -26,14 +26,14 @@ int main(int argc, char** argv) {
     params.eb_regions = 32;
     params.nr_regions = 32;
     params.landmarks = 4;
-    auto systems = core::BuildSystems(g, params).value();
+    auto systems = core::SystemRegistry::Global().GetAll(g, params).value();
     auto w = workload::GenerateWorkload(g, opts.queries, opts.seed).value();
 
     core::ClientOptions copts;
     copts.heap_bytes = opts.ScaledHeapBytes();
     for (const auto& sys : systems) {
-      auto metrics =
-          bench::RunQueries(*sys, g, w, opts.loss, opts.seed, copts);
+      auto metrics = bench::RunQueries(*sys, g, w, opts.loss, opts.seed,
+                                       copts, opts.threads);
       auto s = device::MetricsSummary::Of(metrics);
       std::printf("%-14s %-6s %12.0f %10s %12.0f %10.2f %6s\n",
                   spec.name.c_str(), std::string(sys->name()).c_str(),
@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
                   s.avg_latency_packets, s.avg_cpu_ms,
                   s.any_memory_exceeded ? "NO" : "yes");
     }
+    // The graph dies with this loop iteration; drop its cached systems.
+    core::SystemRegistry::Global().Clear();
   }
   std::printf(
       "\n# paper shape: all metrics grow with network size; NR lowest\n"

@@ -9,8 +9,7 @@
 
 #include "common/harness.h"
 #include "common/options.h"
-#include "core/eb.h"
-#include "core/nr.h"
+#include "core/systems.h"
 
 using namespace airindex;  // NOLINT: experiment binary
 
@@ -21,18 +20,17 @@ int main(int argc, char** argv) {
   graph::Graph g = bench::LoadNetwork("Germany", opts);
   auto w = workload::GenerateWorkload(g, opts.queries, opts.seed).value();
 
-  auto eb = core::EbSystem::Build(g, 32).value();
-  auto nr = core::NrSystem::Build(g, 32).value();
+  auto& registry = core::SystemRegistry::Global();
+  auto eb = registry.Get(g, "EB").value();
+  auto nr = registry.Get(g, "NR").value();
 
   std::printf("%-22s %12s %10s\n", "configuration", "mem[MB]", "cpu[ms]");
-  for (const core::AirSystem* sys :
-       {static_cast<const core::AirSystem*>(nr.get()),
-        static_cast<const core::AirSystem*>(eb.get())}) {
+  for (const core::AirSystem* sys : {nr.get(), eb.get()}) {
     for (bool membound : {true, false}) {
       core::ClientOptions copts;
       copts.memory_bound = membound;
-      auto metrics =
-          bench::RunQueries(*sys, g, w, opts.loss, opts.seed, copts);
+      auto metrics = bench::RunQueries(*sys, g, w, opts.loss, opts.seed,
+                                       copts, opts.threads);
       auto s = device::MetricsSummary::Of(metrics);
       std::printf("%-22s %12s %10.2f\n",
                   (std::string(sys->name()) +

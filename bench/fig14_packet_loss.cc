@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   params.eb_regions = 32;
   params.nr_regions = 32;
   params.landmarks = 4;
-  auto systems = core::BuildSystems(g, params).value();
+  auto systems = core::SystemRegistry::Global().GetAll(g, params).value();
   auto w = workload::GenerateWorkload(g, opts.queries, opts.seed).value();
 
   const double rates[5] = {0.001, 0.005, 0.01, 0.05, 0.10};
@@ -41,8 +41,8 @@ int main(int argc, char** argv) {
       for (const auto& sys : systems) {
         core::ClientOptions copts;
         copts.max_repair_cycles = 64;
-        auto metrics =
-            bench::RunQueries(*sys, g, w, rate, opts.seed + 31, copts);
+        auto metrics = bench::RunQueries(*sys, g, w, rate, opts.seed + 31,
+                                         copts, opts.threads);
         auto s = device::MetricsSummary::Of(metrics);
         std::printf(" %10.0f",
                     tuning ? s.avg_tuning_packets : s.avg_latency_packets);

@@ -1,6 +1,7 @@
 // Micro benchmarks (google-benchmark) for the hot substrate operations:
 // Dijkstra throughput, kd-tree construction, border-pair pre-computation,
-// network generation, and broadcast-cycle assembly.
+// network generation, broadcast-cycle assembly, and the parallel
+// simulation engine's end-to-end client throughput.
 
 #include <benchmark/benchmark.h>
 
@@ -8,9 +9,11 @@
 #include "core/border_precompute.h"
 #include "core/dijkstra_on_air.h"
 #include "core/nr.h"
+#include "core/systems.h"
 #include "graph/catalog.h"
 #include "graph/generator.h"
 #include "partition/kd_tree.h"
+#include "sim/simulator.h"
 #include "workload/workload.h"
 
 namespace {
@@ -111,5 +114,59 @@ void BM_NrClientQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NrClientQuery)->Unit(benchmark::kMillisecond);
+
+// Shared fixture for the engine benchmarks. The leaked Global() registry
+// keeps the NR system alive for the process lifetime.
+const core::AirSystem& SimBenchSystem() {
+  static const core::AirSystem& nr =
+      *core::SystemRegistry::Global().Get(BenchGraph(), "NR").value();
+  return nr;
+}
+
+const workload::Workload& SimBenchWorkload() {
+  static const auto& w = *new workload::Workload(
+      workload::GenerateWorkload(BenchGraph(), 128, 9).value());
+  return w;
+}
+
+// End-to-end engine throughput: a whole workload of NR clients fanned
+// across N worker threads. items/s is simulated queries per second; the
+// Arg sweep exposes the engine's thread scaling in CI perf tracking.
+// The lossy variant adds 1% packet loss: repair traffic lengthens each
+// client's session, which is the heavy-traffic case the engine exists
+// for.
+void SimulatorThroughput(benchmark::State& state, double loss_rate) {
+  const workload::Workload& w = SimBenchWorkload();
+  sim::SimOptions so;
+  so.threads = static_cast<unsigned>(state.range(0));
+  so.loss = broadcast::LossModel::Independent(loss_rate);
+  so.deterministic = true;
+  sim::Simulator simulator(BenchGraph(), so);
+  for (auto _ : state) {
+    auto r = simulator.RunSystem(SimBenchSystem(), w);
+    benchmark::DoNotOptimize(r.aggregate.tuning_packets.mean);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.queries.size()));
+}
+
+void BM_SimulatorThroughputNr(benchmark::State& state) {
+  SimulatorThroughput(state, 0.0);
+}
+BENCHMARK(BM_SimulatorThroughputNr)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorThroughputNrLossy(benchmark::State& state) {
+  SimulatorThroughput(state, 0.01);
+}
+BENCHMARK(BM_SimulatorThroughputNrLossy)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

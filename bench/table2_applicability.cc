@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     params.eb_regions = 32;
     params.nr_regions = 32;
     params.landmarks = 4;
-    auto systems = core::BuildSystems(g, params);
+    auto systems = core::SystemRegistry::Global().GetAll(g, params);
     if (!systems.ok()) {
       std::fprintf(stderr, "%s\n", systems.status().ToString().c_str());
       return 1;
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     const char* order[5] = {"AF", "LD", "DJ", "EB", "NR"};
     for (const auto& sys : *systems) {
       auto metrics = bench::RunQueries(*sys, g, w, opts.loss, opts.seed,
-                                       copts);
+                                       copts, opts.threads);
       auto summary = device::MetricsSummary::Of(metrics);
       for (int c = 0; c < 5; ++c) {
         if (sys->name() == order[c]) {
@@ -58,6 +58,8 @@ int main(int argc, char** argv) {
                 spec.name.c_str(), g.num_nodes(), g.num_arcs() / 2,
                 cell[0].c_str(), cell[1].c_str(), cell[2].c_str(),
                 cell[3].c_str(), cell[4].c_str());
+    // The graph dies with this loop iteration; drop its cached systems.
+    core::SystemRegistry::Global().Clear();
   }
   std::printf(
       "\n# paper: AF/LD only Milan+Germany; DJ up to Argentina; EB up to\n"

@@ -9,9 +9,8 @@
 
 #include "common/harness.h"
 #include "common/options.h"
-#include "core/arcflag_on_air.h"
 #include "core/border_precompute.h"
-#include "core/landmark_on_air.h"
+#include "core/systems.h"
 #include "partition/kd_tree.h"
 
 using namespace airindex;  // NOLINT: experiment binary
@@ -28,12 +27,14 @@ int main(int argc, char** argv) {
     auto kd = partition::KdTreePartitioner::Build(g, 32).value();
     auto pre = core::ComputeBorderPrecompute(g, kd.Partition(g)).value();
 
-    auto af = core::ArcFlagOnAir::Build(g, 16).value();
-    auto ld = core::LandmarkOnAir::Build(g, 4).value();
+    auto& registry = core::SystemRegistry::Global();
+    auto af = registry.Get(g, "AF").value();
+    auto ld = registry.Get(g, "LD").value();
 
     std::printf("%-14s %12.3f %12.3f %12.3f\n", spec.name.c_str(),
                 pre.seconds, af->precompute_seconds(),
                 ld->precompute_seconds());
+    registry.Clear();  // the graph dies with this loop iteration
   }
   std::printf(
       "\n# paper (full scale, 3 GHz single core): Germany 61.8/58.1/1.0;\n"

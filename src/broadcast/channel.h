@@ -29,6 +29,12 @@ struct LossModel {
 /// transmitted packets per a LossModel (§6.2). Loss is a deterministic
 /// function of (seed, absolute position), so a given channel replays
 /// identically for every client and every rerun.
+///
+/// Thread-safety: a channel is immutable after construction (IsLost is a
+/// pure function; there is no per-call state), so any number of client
+/// sessions — including sessions on different threads — may share one
+/// instance. Per-client progress lives entirely in ClientSession, which is
+/// single-threaded by design.
 class BroadcastChannel {
  public:
   /// `cycle` must outlive the channel.

@@ -45,6 +45,18 @@ struct ClientOptions {
 /// One broadcast method: a server-built cycle plus the matching client
 /// algorithm. Implementations: DijkstraOnAir, LandmarkOnAir, ArcFlagOnAir,
 /// HiTiOnAir, SpqOnAir, EbSystem, NrSystem.
+///
+/// Thread-safety contract: after Build() returns, an AirSystem is
+/// immutable — RunQuery and every accessor are const and touch no hidden
+/// mutable state (no caches, no scratch members, no const_cast, no
+/// function-local statics). Any number of threads may therefore call
+/// RunQuery concurrently on one instance against a shared
+/// broadcast::BroadcastChannel (itself a pure function of (seed,
+/// position) — see channel.h). Each call keeps all client state — the
+/// ClientSession, partial graph, decode buffers — on its own stack. The
+/// sim::Simulator relies on this to fan a workload out across threads with
+/// bit-identical results to a serial run. Implementers of new methods must
+/// preserve this guarantee.
 class AirSystem {
  public:
   virtual ~AirSystem() = default;
@@ -67,9 +79,15 @@ class AirSystem {
 };
 
 /// Absolute tune-in position for a query phase on this system's cycle.
+/// Phases are nominally in [0, 1); an inclusive 1.0 (or floating-point
+/// round-up) is clamped to the last packet instead of indexing one past
+/// the cycle end.
 inline uint64_t TuneInPosition(const broadcast::BroadcastCycle& cycle,
                                double phase) {
-  return static_cast<uint64_t>(phase * cycle.total_packets());
+  const uint64_t total = cycle.total_packets();
+  if (total == 0) return 0;
+  const auto pos = static_cast<uint64_t>(phase * static_cast<double>(total));
+  return pos >= total ? total - 1 : pos;
 }
 
 }  // namespace airindex::core

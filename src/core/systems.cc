@@ -10,37 +10,131 @@
 
 namespace airindex::core {
 
+namespace {
+
+/// The one parameter that distinguishes two builds of the same method
+/// (region count or landmark count; 0 for the parameterless methods).
+uint32_t MethodKnob(std::string_view method, const SystemParams& params) {
+  if (method == "NR") return params.nr_regions;
+  if (method == "EB") return params.eb_regions;
+  if (method == "AF") return params.arcflag_regions;
+  if (method == "LD") return params.landmarks;
+  if (method == "HiTi") return params.hiti_regions;
+  return 0;  // DJ, SPQ
+}
+
+}  // namespace
+
+std::vector<std::string_view> SystemNames(const SystemParams& params) {
+  std::vector<std::string_view> names = {"DJ", "NR", "EB", "LD", "AF"};
+  if (params.include_spq) names.push_back("SPQ");
+  if (params.include_hiti) names.push_back("HiTi");
+  return names;
+}
+
+Result<std::unique_ptr<AirSystem>> BuildSystem(const graph::Graph& g,
+                                               std::string_view method,
+                                               const SystemParams& params) {
+  if (method == "DJ") {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys, DijkstraOnAir::Build(g));
+    return std::unique_ptr<AirSystem>(std::move(sys));
+  }
+  if (method == "NR") {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys, NrSystem::Build(g, params.nr_regions));
+    return std::unique_ptr<AirSystem>(std::move(sys));
+  }
+  if (method == "EB") {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys, EbSystem::Build(g, params.eb_regions));
+    return std::unique_ptr<AirSystem>(std::move(sys));
+  }
+  if (method == "LD") {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys,
+                              LandmarkOnAir::Build(g, params.landmarks));
+    return std::unique_ptr<AirSystem>(std::move(sys));
+  }
+  if (method == "AF") {
+    AIRINDEX_ASSIGN_OR_RETURN(
+        auto sys, ArcFlagOnAir::Build(g, params.arcflag_regions));
+    return std::unique_ptr<AirSystem>(std::move(sys));
+  }
+  if (method == "SPQ") {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys, SpqOnAir::Build(g));
+    return std::unique_ptr<AirSystem>(std::move(sys));
+  }
+  if (method == "HiTi") {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys,
+                              HiTiOnAir::Build(g, params.hiti_regions));
+    return std::unique_ptr<AirSystem>(std::move(sys));
+  }
+  return Status::InvalidArgument("unknown method " + std::string(method));
+}
+
 Result<std::vector<std::unique_ptr<AirSystem>>> BuildSystems(
     const graph::Graph& g, const SystemParams& params) {
   std::vector<std::unique_ptr<AirSystem>> systems;
-
-  AIRINDEX_ASSIGN_OR_RETURN(auto dj, DijkstraOnAir::Build(g));
-  systems.push_back(std::move(dj));
-
-  AIRINDEX_ASSIGN_OR_RETURN(auto nr, NrSystem::Build(g, params.nr_regions));
-  systems.push_back(std::move(nr));
-
-  AIRINDEX_ASSIGN_OR_RETURN(auto eb, EbSystem::Build(g, params.eb_regions));
-  systems.push_back(std::move(eb));
-
-  AIRINDEX_ASSIGN_OR_RETURN(auto ld,
-                            LandmarkOnAir::Build(g, params.landmarks));
-  systems.push_back(std::move(ld));
-
-  AIRINDEX_ASSIGN_OR_RETURN(
-      auto af, ArcFlagOnAir::Build(g, params.arcflag_regions));
-  systems.push_back(std::move(af));
-
-  if (params.include_spq) {
-    AIRINDEX_ASSIGN_OR_RETURN(auto spq, SpqOnAir::Build(g));
-    systems.push_back(std::move(spq));
-  }
-  if (params.include_hiti) {
-    AIRINDEX_ASSIGN_OR_RETURN(auto hiti,
-                              HiTiOnAir::Build(g, params.hiti_regions));
-    systems.push_back(std::move(hiti));
+  for (std::string_view name : SystemNames(params)) {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys, BuildSystem(g, name, params));
+    systems.push_back(std::move(sys));
   }
   return systems;
+}
+
+size_t SystemRegistry::KeyHash::operator()(const Key& k) const {
+  // Boost-style hash combining over the key fields.
+  size_t h = std::hash<const void*>{}(k.graph);
+  auto mix = [&h](size_t v) {
+    h ^= v + 0x9E3779B97f4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<size_t>{}(k.nodes));
+  mix(std::hash<size_t>{}(k.arcs));
+  mix(std::hash<std::string>{}(k.method));
+  mix(std::hash<uint32_t>{}(k.knob));
+  return h;
+}
+
+SystemRegistry& SystemRegistry::Global() {
+  static SystemRegistry* registry = new SystemRegistry();
+  return *registry;
+}
+
+Result<std::shared_ptr<const AirSystem>> SystemRegistry::Get(
+    const graph::Graph& g, std::string_view method,
+    const SystemParams& params) {
+  Key key{&g, g.num_nodes(), g.num_arcs(), std::string(method),
+          MethodKnob(method, params)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Build outside the lock: pre-computation can take seconds and other
+  // methods' lookups shouldn't serialize behind it. A racing builder of the
+  // same key loses to whichever insert lands first.
+  AIRINDEX_ASSIGN_OR_RETURN(auto built, BuildSystem(g, method, params));
+  std::shared_ptr<const AirSystem> sys(std::move(built));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(std::move(key), std::move(sys));
+  return it->second;
+}
+
+Result<SharedSystems> SystemRegistry::GetAll(const graph::Graph& g,
+                                             const SystemParams& params) {
+  SharedSystems systems;
+  for (std::string_view name : SystemNames(params)) {
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys, Get(g, name, params));
+    systems.push_back(std::move(sys));
+  }
+  return systems;
+}
+
+size_t SystemRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void SystemRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
 }
 
 }  // namespace airindex::core

@@ -2,6 +2,10 @@
 #define AIRINDEX_CORE_SYSTEMS_H_
 
 #include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -22,12 +26,76 @@ struct SystemParams {
   /// unless the experiment needs their cycle sizes (Table 1).
   bool include_spq = false;
   bool include_hiti = false;
+
+  bool operator==(const SystemParams&) const = default;
 };
+
+/// Method names in the paper's Table 1 order, honouring the params'
+/// include_spq/include_hiti flags: DJ, NR, EB, LD, AF (, SPQ, HiTi).
+std::vector<std::string_view> SystemNames(const SystemParams& params);
+
+/// Builds one method by its paper name ("DJ", "NR", "EB", "LD", "AF",
+/// "SPQ", "HiTi"), taking its knob from `params`.
+Result<std::unique_ptr<AirSystem>> BuildSystem(const graph::Graph& g,
+                                               std::string_view method,
+                                               const SystemParams& params);
 
 /// Builds the evaluated systems in the paper's Table 1 order
 /// (DJ, NR, EB, LD, AF, then optionally SPQ and HiTi).
 Result<std::vector<std::unique_ptr<AirSystem>>> BuildSystems(
     const graph::Graph& g, const SystemParams& params);
+
+/// A list of ready broadcast systems, shared with the registry cache.
+using SharedSystems = std::vector<std::shared_ptr<const AirSystem>>;
+
+/// Process-wide cache of built systems keyed by (graph identity, method,
+/// relevant parameter). Building a method's broadcast cycle dominates
+/// experiment start-up (border-pair Dijkstras, kd-tree splits, cycle
+/// layout); the registry pays that cost once per (graph, config) and hands
+/// every caller the same immutable instance. Thread-safe; the returned
+/// systems are safe for concurrent RunQuery calls (see air_system.h).
+///
+/// The cache key includes the graph's address plus its node/arc counts, so
+/// entries are only valid while the caller keeps the graph alive; call
+/// Clear() when discarding graphs wholesale (e.g. between networks of a
+/// memory-tight sweep).
+class SystemRegistry {
+ public:
+  /// The process-wide instance used by benches and the CLI.
+  static SystemRegistry& Global();
+
+  /// Returns the cached system for `method` on `g`, building it on miss.
+  Result<std::shared_ptr<const AirSystem>> Get(const graph::Graph& g,
+                                               std::string_view method,
+                                               const SystemParams& params = {});
+
+  /// Table-1-ordered systems per `params` (cache-backed, one Get each).
+  Result<SharedSystems> GetAll(const graph::Graph& g,
+                               const SystemParams& params = {});
+
+  /// Number of cached systems.
+  size_t size() const;
+
+  /// Drops every cached system.
+  void Clear();
+
+ private:
+  struct Key {
+    const graph::Graph* graph = nullptr;
+    size_t nodes = 0;
+    size_t arcs = 0;
+    std::string method;
+    uint32_t knob = 0;
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const AirSystem>, KeyHash> cache_;
+};
 
 }  // namespace airindex::core
 

@@ -28,6 +28,8 @@ struct QueryMetrics {
   bool ok = false;
   /// True iff peak memory exceeded the device heap (method inapplicable).
   bool memory_exceeded = false;
+
+  bool operator==(const QueryMetrics&) const = default;
 };
 
 /// Aggregate of many queries (the paper reports per-bucket averages).

@@ -1,0 +1,64 @@
+#include "sim/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace airindex::sim {
+
+namespace {
+
+double NearestRank(const std::vector<double>& sorted, double q) {
+  const auto n = static_cast<double>(sorted.size());
+  const auto rank = static_cast<size_t>(std::ceil(q * n));
+  const size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Stat StatOf(std::span<const double> values) {
+  Stat s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  s.p50 = NearestRank(sorted, 0.50);
+  s.p95 = NearestRank(sorted, 0.95);
+  s.max = sorted.back();
+  return s;
+}
+
+Aggregate Aggregate::Of(std::string_view system,
+                        std::span<const device::QueryMetrics> metrics,
+                        const device::EnergyModel& energy) {
+  Aggregate agg;
+  agg.system = std::string(system);
+  agg.queries = metrics.size();
+
+  std::vector<double> tuning, latency, memory, cpu, joules;
+  tuning.reserve(metrics.size());
+  latency.reserve(metrics.size());
+  memory.reserve(metrics.size());
+  cpu.reserve(metrics.size());
+  joules.reserve(metrics.size());
+  for (const auto& m : metrics) {
+    tuning.push_back(static_cast<double>(m.tuning_packets));
+    latency.push_back(static_cast<double>(m.latency_packets));
+    memory.push_back(static_cast<double>(m.peak_memory_bytes));
+    cpu.push_back(m.cpu_ms);
+    joules.push_back(energy.QueryJoules(m));
+    if (!m.ok) ++agg.failures;
+    if (m.memory_exceeded) ++agg.memory_exceeded;
+  }
+  agg.tuning_packets = StatOf(tuning);
+  agg.latency_packets = StatOf(latency);
+  agg.peak_memory_bytes = StatOf(memory);
+  agg.cpu_ms = StatOf(cpu);
+  agg.energy_joules = StatOf(joules);
+  return agg;
+}
+
+}  // namespace airindex::sim

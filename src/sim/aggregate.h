@@ -1,0 +1,53 @@
+#ifndef AIRINDEX_SIM_AGGREGATE_H_
+#define AIRINDEX_SIM_AGGREGATE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "device/energy.h"
+#include "device/metrics.h"
+
+namespace airindex::sim {
+
+/// Distribution summary of one per-query cost factor. The paper reports
+/// averages; the engine adds tail percentiles because a broadcast system
+/// serving many clients is judged by its slowest tune-ins, not its mean.
+struct Stat {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+
+  bool operator==(const Stat&) const = default;
+};
+
+/// Nearest-rank summary of `values` (the input is copied and sorted).
+/// Percentile q maps to sorted[ceil(q*n)-1]; an empty input yields zeros.
+Stat StatOf(std::span<const double> values);
+
+/// Aggregated §3.1 cost factors of one system over one workload: tuning
+/// time, access latency, peak memory, client CPU, and the device energy
+/// each query cost under the configured EnergyModel.
+struct Aggregate {
+  std::string system;
+  size_t queries = 0;
+  size_t failures = 0;
+  size_t memory_exceeded = 0;
+  Stat tuning_packets;
+  Stat latency_packets;
+  Stat peak_memory_bytes;
+  Stat cpu_ms;
+  Stat energy_joules;
+
+  bool operator==(const Aggregate&) const = default;
+
+  static Aggregate Of(std::string_view system,
+                      std::span<const device::QueryMetrics> metrics,
+                      const device::EnergyModel& energy);
+};
+
+}  // namespace airindex::sim
+
+#endif  // AIRINDEX_SIM_AGGREGATE_H_

@@ -1,0 +1,31 @@
+#ifndef AIRINDEX_SIM_REPORT_H_
+#define AIRINDEX_SIM_REPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "sim/simulator.h"
+
+namespace airindex::sim {
+
+/// Identifier stamped into every JSON report; FromJson rejects others.
+inline constexpr std::string_view kReportSchema = "airindex.sim.batch/v1";
+
+/// Human-readable table of a batch (one row per system: mean/p50/p95 of
+/// each cost factor, failure counts, throughput).
+std::string ToText(const BatchResult& batch);
+
+/// Serializes the batch aggregates as JSON (stable key order; doubles
+/// printed shortest-round-trip so FromJson reproduces them exactly).
+/// Per-query metric vectors are deliberately not serialized — reports
+/// carry the distribution summaries, not megabytes of raw samples.
+std::string ToJson(const BatchResult& batch);
+
+/// Parses a ToJson report back into a BatchResult (per_query left empty).
+/// Returns InvalidArgument on malformed input or a schema mismatch.
+Result<BatchResult> FromJson(std::string_view json);
+
+}  // namespace airindex::sim
+
+#endif  // AIRINDEX_SIM_REPORT_H_

@@ -1,0 +1,74 @@
+#include "sim/simulator.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace airindex::sim {
+
+unsigned Simulator::effective_threads() const {
+  if (options_.threads != 0) return options_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+uint64_t QueryLossSeed(uint64_t base_seed, size_t index) {
+  // SplitMix64 over the batch seed and the query ordinal.
+  uint64_t z = base_seed + 0x9E3779B97f4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+SystemResult Simulator::RunSystem(const core::AirSystem& sys,
+                                  const workload::Workload& w) const {
+  SystemResult result;
+  result.system = std::string(sys.name());
+  result.per_query.resize(w.queries.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  ParallelFor(
+      w.queries.size(),
+      [&](size_t i) {
+        broadcast::BroadcastChannel channel(
+            &sys.cycle(), options_.loss,
+            QueryLossSeed(options_.loss_seed, i));
+        device::QueryMetrics m = sys.RunQuery(
+            channel, core::MakeAirQuery(*graph_, w.queries[i]),
+            options_.client);
+        if (options_.deterministic) m.cpu_ms = 0.0;
+        result.per_query[i] = m;
+      },
+      options_.threads);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.queries_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(w.queries.size()) / result.wall_seconds
+          : 0.0;
+
+  result.aggregate =
+      Aggregate::Of(result.system, result.per_query, energy_model());
+  return result;
+}
+
+BatchResult Simulator::Run(std::span<const core::AirSystem* const> systems,
+                           const workload::Workload& w) const {
+  BatchResult batch;
+  batch.num_queries = w.queries.size();
+  batch.threads = effective_threads();
+  batch.loss_rate = options_.loss.rate;
+  batch.loss_seed = options_.loss_seed;
+  const auto start = std::chrono::steady_clock::now();
+  for (const core::AirSystem* sys : systems) {
+    batch.systems.push_back(RunSystem(*sys, w));
+  }
+  batch.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return batch;
+}
+
+}  // namespace airindex::sim

@@ -1,0 +1,105 @@
+#ifndef AIRINDEX_SIM_SIMULATOR_H_
+#define AIRINDEX_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "broadcast/channel.h"
+#include "core/air_system.h"
+#include "device/device_profile.h"
+#include "device/metrics.h"
+#include "graph/graph.h"
+#include "sim/aggregate.h"
+#include "workload/workload.h"
+
+namespace airindex::sim {
+
+/// Configuration of one simulation batch: how many client threads to fan
+/// the workload across, the channel loss model, and the device the energy
+/// figures are computed for.
+struct SimOptions {
+  /// Worker threads the clients are spread over (0 = hardware concurrency).
+  unsigned threads = 1;
+  /// Channel loss model shared by every client.
+  broadcast::LossModel loss = broadcast::LossModel::None();
+  /// Base seed of the per-query loss streams (see QueryLossSeed).
+  uint64_t loss_seed = 0x10552;
+  /// Per-client device configuration.
+  core::ClientOptions client;
+  /// Device whose radio/CPU power figures price each query.
+  device::DeviceProfile profile = device::DeviceProfile::J2mePhone();
+  /// Broadcast bitrate used for the energy model.
+  double bits_per_second = device::kBitrateStatic3G;
+  /// Zeroes the wall-clock-measured cpu_ms field of every query so
+  /// aggregates are bit-reproducible across runs and thread counts (the
+  /// remaining metrics are deterministic by construction).
+  bool deterministic = false;
+};
+
+/// One system's outcome over a workload.
+struct SystemResult {
+  std::string system;
+  std::vector<device::QueryMetrics> per_query;
+  Aggregate aggregate;
+  /// Wall time of the batch and resulting simulation throughput.
+  double wall_seconds = 0.0;
+  double queries_per_second = 0.0;
+};
+
+/// A whole batch: every requested system over the same workload.
+struct BatchResult {
+  size_t num_queries = 0;
+  /// Effective worker count (a SimOptions::threads of 0 is resolved to the
+  /// hardware concurrency before being recorded here).
+  unsigned threads = 1;
+  double loss_rate = 0.0;
+  uint64_t loss_seed = 0;
+  double wall_seconds = 0.0;
+  std::vector<SystemResult> systems;
+};
+
+/// The loss-RNG seed of query `index`. Every query gets its own stream,
+/// derived by SplitMix64 from the batch seed, so a query's channel replay
+/// depends only on (batch seed, query index) — never on which thread ran
+/// it or in what order. This is what makes parallel runs bit-identical to
+/// serial ones.
+uint64_t QueryLossSeed(uint64_t base_seed, size_t index);
+
+/// The parallel simulation engine: fans a workload's clients out across a
+/// thread pool against one shared read-only system + cycle. Results are
+/// deterministic for every thread count (see QueryLossSeed and the
+/// AirSystem thread-safety contract in air_system.h); cpu_ms is the one
+/// wall-clock-measured field, zeroed under SimOptions::deterministic.
+class Simulator {
+ public:
+  /// `g` must outlive the simulator.
+  Simulator(const graph::Graph& g, SimOptions options)
+      : graph_(&g), options_(options) {}
+
+  const SimOptions& options() const { return options_; }
+  device::EnergyModel energy_model() const {
+    return device::EnergyModel(options_.profile, options_.bits_per_second);
+  }
+  /// Worker count actually used (options().threads with 0 resolved to the
+  /// hardware concurrency).
+  unsigned effective_threads() const;
+
+  /// Runs every workload query through `sys`, one simulated client per
+  /// query, across options().threads workers.
+  SystemResult RunSystem(const core::AirSystem& sys,
+                         const workload::Workload& w) const;
+
+  /// Runs the workload through each system in turn.
+  BatchResult Run(std::span<const core::AirSystem* const> systems,
+                  const workload::Workload& w) const;
+
+ private:
+  const graph::Graph* graph_;
+  SimOptions options_;
+};
+
+}  // namespace airindex::sim
+
+#endif  // AIRINDEX_SIM_SIMULATOR_H_

@@ -181,6 +181,24 @@ TEST(SystemsMetricsTest, EbInterleavingUsesMultipleCopies) {
   EXPECT_EQ(eb->index().copy_starts.size(), eb->interleaving_m());
 }
 
+TEST(SystemsMetricsTest, TuneInPositionClampsInclusivePhase) {
+  Fixture f = MakeFixture(400, 640, 910, 1);
+  const AirSystem& sys = *f.systems.front();
+  const auto total = sys.cycle().total_packets();
+  // phase == 1.0 used to index one past the cycle end; it must clamp to
+  // the last packet, and every query built from it must still succeed.
+  EXPECT_EQ(TuneInPosition(sys.cycle(), 1.0), total - 1);
+  EXPECT_EQ(TuneInPosition(sys.cycle(), 0.0), 0u);
+  EXPECT_LT(TuneInPosition(sys.cycle(), 0.999999999), total);
+
+  broadcast::BroadcastChannel channel(&sys.cycle(), 0.0);
+  workload::Query q = f.w.queries.front();
+  q.tune_phase = 1.0;
+  device::QueryMetrics m = sys.RunQuery(channel, MakeAirQuery(f.g, q));
+  EXPECT_TRUE(m.ok);
+  EXPECT_EQ(m.distance, q.true_dist);
+}
+
 TEST(SystemsMetricsTest, RegionsReceivedReported) {
   Fixture f = MakeFixture(500, 800, 909, 6);
   for (std::string_view name : {"EB", "NR"}) {

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/systems.h"
+#include "testing/test_graphs.h"
+
+namespace airindex::core {
+namespace {
+
+using testing_support::SmallNetwork;
+
+TEST(SystemRegistryTest, SecondGetReturnsTheCachedInstance) {
+  SystemRegistry registry;
+  graph::Graph g = SmallNetwork(300, 480, 21);
+  SystemParams params;
+  params.nr_regions = 8;
+
+  auto first = registry.Get(g, "NR", params);
+  ASSERT_TRUE(first.ok());
+  auto second = registry.Get(g, "NR", params);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(SystemRegistryTest, DifferentKnobsAreDifferentEntries) {
+  SystemRegistry registry;
+  graph::Graph g = SmallNetwork(300, 480, 21);
+  SystemParams small;
+  small.nr_regions = 4;
+  SystemParams large;
+  large.nr_regions = 8;
+
+  auto a = registry.Get(g, "NR", small);
+  auto b = registry.Get(g, "NR", large);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(SystemRegistryTest, IrrelevantKnobsShareOneEntry) {
+  // An NR build does not depend on the ArcFlag region count; the cache key
+  // must only include the method's own parameter.
+  SystemRegistry registry;
+  graph::Graph g = SmallNetwork(300, 480, 21);
+  SystemParams a;
+  a.nr_regions = 8;
+  a.arcflag_regions = 4;
+  SystemParams b;
+  b.nr_regions = 8;
+  b.arcflag_regions = 64;
+
+  auto first = registry.Get(g, "NR", a);
+  auto second = registry.Get(g, "NR", b);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());
+}
+
+TEST(SystemRegistryTest, GetAllFollowsTableOneOrder) {
+  SystemRegistry registry;
+  graph::Graph g = SmallNetwork(300, 480, 21);
+  SystemParams params;
+  params.nr_regions = 8;
+  params.eb_regions = 8;
+  params.arcflag_regions = 8;
+  params.landmarks = 3;
+
+  auto systems = registry.GetAll(g, params);
+  ASSERT_TRUE(systems.ok());
+  ASSERT_EQ(systems->size(), 5u);
+  const char* order[5] = {"DJ", "NR", "EB", "LD", "AF"};
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ((*systems)[i]->name(), order[i]);
+  }
+  // A second GetAll is served entirely from cache.
+  auto again = registry.GetAll(g, params);
+  ASSERT_TRUE(again.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ((*systems)[i].get(), (*again)[i].get());
+  }
+}
+
+TEST(SystemRegistryTest, SharedInstancesSurviveClear) {
+  SystemRegistry registry;
+  graph::Graph g = SmallNetwork(300, 480, 21);
+  auto sys = registry.Get(g, "DJ").value();
+  registry.Clear();
+  EXPECT_EQ(registry.size(), 0u);
+  // The caller's shared_ptr keeps the system alive past the cache drop.
+  EXPECT_EQ(sys->name(), "DJ");
+  EXPECT_GT(sys->cycle().total_packets(), 0u);
+}
+
+TEST(SystemRegistryTest, UnknownMethodIsAnError) {
+  SystemRegistry registry;
+  graph::Graph g = SmallNetwork(300, 480, 21);
+  EXPECT_FALSE(registry.Get(g, "XX").ok());
+}
+
+TEST(SystemNamesTest, HeavyMethodsAreOptIn) {
+  SystemParams params;
+  EXPECT_EQ(SystemNames(params).size(), 5u);
+  params.include_spq = true;
+  params.include_hiti = true;
+  auto names = SystemNames(params);
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names[5], "SPQ");
+  EXPECT_EQ(names[6], "HiTi");
+}
+
+}  // namespace
+}  // namespace airindex::core

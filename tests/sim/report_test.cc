@@ -1,0 +1,109 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace airindex::sim {
+namespace {
+
+Stat MakeStat(double base) {
+  Stat s;
+  s.mean = base + 0.123456789012345;  // exercise shortest-round-trip output
+  s.p50 = base;
+  s.p95 = base * 1.9;
+  s.max = base * 2.5e3;
+  return s;
+}
+
+BatchResult MakeBatch() {
+  BatchResult batch;
+  batch.num_queries = 128;
+  batch.threads = 4;
+  batch.loss_rate = 0.015;
+  // Above 2^53: a parser that routed integers through double would
+  // silently round this seed.
+  batch.loss_seed = (1ULL << 53) + 1;
+  batch.wall_seconds = 1.75e-3;
+
+  SystemResult r;
+  r.system = "NR";
+  r.wall_seconds = 0.125;
+  r.queries_per_second = 1024.5;
+  r.aggregate.system = "NR";
+  r.aggregate.queries = 128;
+  r.aggregate.failures = 3;
+  r.aggregate.memory_exceeded = 1;
+  r.aggregate.tuning_packets = MakeStat(431.0);
+  r.aggregate.latency_packets = MakeStat(900.0);
+  r.aggregate.peak_memory_bytes = MakeStat(1.5e6);
+  r.aggregate.cpu_ms = MakeStat(0.25);
+  r.aggregate.energy_joules = MakeStat(1e-9);
+  batch.systems.push_back(r);
+
+  SystemResult dj = r;
+  dj.system = "DJ";
+  dj.aggregate.system = "DJ";
+  dj.aggregate.failures = 0;
+  dj.aggregate.tuning_packets = MakeStat(14019.0);
+  batch.systems.push_back(dj);
+  return batch;
+}
+
+TEST(ReportTest, JsonRoundTripIsExact) {
+  const BatchResult batch = MakeBatch();
+  const std::string json = ToJson(batch);
+
+  auto parsed = FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->num_queries, batch.num_queries);
+  EXPECT_EQ(parsed->threads, batch.threads);
+  EXPECT_EQ(parsed->loss_rate, batch.loss_rate);
+  EXPECT_EQ(parsed->loss_seed, batch.loss_seed);
+  EXPECT_EQ(parsed->wall_seconds, batch.wall_seconds);
+  ASSERT_EQ(parsed->systems.size(), batch.systems.size());
+  for (size_t i = 0; i < batch.systems.size(); ++i) {
+    const SystemResult& in = batch.systems[i];
+    const SystemResult& out = parsed->systems[i];
+    EXPECT_EQ(out.system, in.system);
+    EXPECT_EQ(out.wall_seconds, in.wall_seconds);
+    EXPECT_EQ(out.queries_per_second, in.queries_per_second);
+    // The aggregates must survive bit-exactly (operator== compares every
+    // stat of every cost factor).
+    EXPECT_EQ(out.aggregate, in.aggregate);
+  }
+}
+
+TEST(ReportTest, SecondRoundTripIsIdentityOnTheText) {
+  const std::string json = ToJson(MakeBatch());
+  auto parsed = FromJson(json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ToJson(*parsed), json);
+}
+
+TEST(ReportTest, JsonCarriesSchemaTag) {
+  const std::string json = ToJson(MakeBatch());
+  EXPECT_NE(json.find(kReportSchema), std::string::npos);
+}
+
+TEST(ReportTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(FromJson("not json at all").ok());
+  EXPECT_FALSE(FromJson("{}").ok());
+  EXPECT_FALSE(FromJson("{\"schema\": \"something/else\"}").ok());
+  EXPECT_FALSE(FromJson("{\"schema\": \"airindex.sim.batch/v1\"}").ok());
+  // Trailing garbage after a valid value.
+  EXPECT_FALSE(FromJson(ToJson(MakeBatch()) + "x").ok());
+}
+
+TEST(ReportTest, TextReportListsEverySystem) {
+  const BatchResult batch = MakeBatch();
+  const std::string text = ToText(batch);
+  EXPECT_NE(text.find("NR"), std::string::npos);
+  EXPECT_NE(text.find("DJ"), std::string::npos);
+  EXPECT_NE(text.find("tuning[pkt]"), std::string::npos);
+  EXPECT_NE(text.find("qps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace airindex::sim

@@ -10,23 +10,27 @@
 //   airindex_cli query <network> <scale> <method> <source> <target>
 //       Run one shortest-path query through the simulated channel and
 //       print every cost factor.
+//
+//   airindex_cli run <network> [flags]
+//       Batch-simulate a multi-client workload through the parallel
+//       engine and report aggregate metrics (text or JSON).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "broadcast/channel.h"
-#include "core/arcflag_on_air.h"
-#include "core/dijkstra_on_air.h"
-#include "core/eb.h"
-#include "core/landmark_on_air.h"
-#include "core/nr.h"
+#include "core/systems.h"
 #include "device/energy.h"
 #include "graph/catalog.h"
 #include "graph/dimacs.h"
 #include "graph/generator.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
 
 using namespace airindex;  // NOLINT: CLI binary
 
@@ -40,7 +44,20 @@ void PrintUsage(std::FILE* out) {
                "  airindex_cli inspect <network> [scale] [method] "
                "[regions]\n"
                "  airindex_cli query <network> <scale> <method> <source> "
-               "<target>\n");
+               "<target>\n"
+               "  airindex_cli run <network> [--scale=F] [--queries=N] "
+               "[--seed=N]\n"
+               "      [--loss=F] [--threads=N] [--systems=DJ,NR,...] "
+               "[--regions=N]\n"
+               "      [--landmarks=N] [--json[=FILE]] [--deterministic]\n"
+               "      Simulate a batch of clients through the parallel "
+               "engine\n"
+               "      (--threads=0 uses all cores; --deterministic zeroes "
+               "the\n"
+               "      wall-clock cpu_ms field so the aggregate metrics "
+               "are\n"
+               "      bit-reproducible; timing fields still vary by "
+               "run).\n");
 }
 
 int Usage() {
@@ -50,28 +67,12 @@ int Usage() {
 
 Result<std::unique_ptr<core::AirSystem>> BuildMethod(
     const graph::Graph& g, const std::string& method, uint32_t regions) {
-  if (method == "DJ") {
-    AIRINDEX_ASSIGN_OR_RETURN(auto sys, core::DijkstraOnAir::Build(g));
-    return std::unique_ptr<core::AirSystem>(std::move(sys));
-  }
-  if (method == "NR") {
-    AIRINDEX_ASSIGN_OR_RETURN(auto sys, core::NrSystem::Build(g, regions));
-    return std::unique_ptr<core::AirSystem>(std::move(sys));
-  }
-  if (method == "EB") {
-    AIRINDEX_ASSIGN_OR_RETURN(auto sys, core::EbSystem::Build(g, regions));
-    return std::unique_ptr<core::AirSystem>(std::move(sys));
-  }
-  if (method == "LD") {
-    AIRINDEX_ASSIGN_OR_RETURN(auto sys, core::LandmarkOnAir::Build(g, 4));
-    return std::unique_ptr<core::AirSystem>(std::move(sys));
-  }
-  if (method == "AF") {
-    AIRINDEX_ASSIGN_OR_RETURN(auto sys,
-                              core::ArcFlagOnAir::Build(g, regions));
-    return std::unique_ptr<core::AirSystem>(std::move(sys));
-  }
-  return Status::InvalidArgument("unknown method " + method);
+  core::SystemParams params;
+  params.nr_regions = regions;
+  params.eb_regions = regions;
+  params.arcflag_regions = regions;
+  params.hiti_regions = regions;
+  return core::BuildSystem(g, method, params);
 }
 
 int Generate(int argc, char** argv) {
@@ -196,6 +197,135 @@ int Query(int argc, char** argv) {
   return m.ok ? 0 : 1;
 }
 
+/// Splits a comma-separated --systems= value.
+std::vector<std::string> SplitNames(const char* csv) {
+  std::vector<std::string> names;
+  std::string current;
+  for (const char* p = csv; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!current.empty()) names.push_back(current);
+      current.clear();
+    } else {
+      current += *p;
+    }
+  }
+  if (!current.empty()) names.push_back(current);
+  return names;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  double scale = 0.2;
+  size_t queries = 100;
+  uint64_t seed = 20100913;
+  double loss = 0.0;
+  unsigned threads = 0;  // all cores: the engine's reason to exist
+  uint32_t regions = 32;
+  uint32_t landmarks = 4;
+  bool deterministic = false;
+  bool emit_json = false;
+  std::string json_path;
+  std::vector<std::string> names = {"DJ", "NR", "EB", "LD", "AF"};
+
+  for (int i = 3; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      queries = static_cast<size_t>(std::atoll(arg + 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--loss=", 7) == 0) {
+      loss = std::atof(arg + 7);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--regions=", 10) == 0) {
+      regions = static_cast<uint32_t>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--landmarks=", 12) == 0) {
+      landmarks = static_cast<uint32_t>(std::atoi(arg + 12));
+    } else if (std::strncmp(arg, "--systems=", 10) == 0) {
+      names = SplitNames(arg + 10);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      emit_json = true;
+      json_path = arg + 7;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      emit_json = true;
+    } else if (std::strcmp(arg, "--deterministic") == 0) {
+      deterministic = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (names.empty()) return Usage();
+
+  auto spec = graph::FindNetwork(argv[2]);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto g = graph::MakeNetwork(*spec, scale);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+
+  core::SystemParams params;
+  params.nr_regions = regions;
+  params.eb_regions = regions;
+  params.arcflag_regions = regions;
+  params.hiti_regions = regions;
+  params.landmarks = landmarks;
+  std::vector<std::shared_ptr<const core::AirSystem>> systems;
+  std::vector<const core::AirSystem*> system_ptrs;
+  for (const std::string& name : names) {
+    auto sys = core::SystemRegistry::Global().Get(*g, name, params);
+    if (!sys.ok()) {
+      std::fprintf(stderr, "%s\n", sys.status().ToString().c_str());
+      return 1;
+    }
+    system_ptrs.push_back(sys->get());
+    systems.push_back(std::move(sys).value());
+  }
+
+  auto w = workload::GenerateWorkload(*g, queries, seed);
+  if (!w.ok()) {
+    std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+    return 1;
+  }
+
+  sim::SimOptions so;
+  so.threads = threads;
+  so.loss = broadcast::LossModel::Independent(loss);
+  so.loss_seed = seed;
+  so.deterministic = deterministic;
+  sim::Simulator simulator(*g, so);
+  sim::BatchResult batch = simulator.Run(system_ptrs, *w);
+
+  if (emit_json) {
+    const std::string json = sim::ToJson(batch);
+    if (json_path.empty()) {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        return 1;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  } else {
+    std::printf("# %s at scale %.2f: %zu nodes, %zu arcs\n", argv[2], scale,
+                g->num_nodes(), g->num_arcs());
+    std::fputs(sim::ToText(batch).c_str(), stdout);
+  }
+  for (const auto& r : batch.systems) {
+    if (r.aggregate.failures > 0) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,5 +338,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
   if (std::strcmp(argv[1], "inspect") == 0) return Inspect(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return Query(argc, argv);
+  if (std::strcmp(argv[1], "run") == 0) return Run(argc, argv);
   return Usage();
 }
