@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
   core::ClientOptions no_opt;
   no_opt.cross_border_opt = false;
 
-  auto with_m = bench::RunQueries(*eb, g, w, opts.loss, opts.seed, with_opt,
+  auto with_m = bench::RunQueries(*eb, g, w, opts.Loss(), opts.seed, with_opt,
                                   opts.threads);
-  auto without_m = bench::RunQueries(*eb, g, w, opts.loss, opts.seed, no_opt,
+  auto without_m = bench::RunQueries(*eb, g, w, opts.Loss(), opts.seed, no_opt,
                                      opts.threads);
   auto with_s = device::MetricsSummary::Of(with_m);
   auto without_s = device::MetricsSummary::Of(without_m);

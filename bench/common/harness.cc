@@ -7,11 +7,12 @@ namespace airindex::bench {
 
 std::vector<device::QueryMetrics> RunQueries(
     const core::AirSystem& sys, const graph::Graph& g,
-    const workload::Workload& w, double loss_rate, uint64_t loss_seed,
-    const core::ClientOptions& options, unsigned threads) {
+    const workload::Workload& w, broadcast::LossModel loss,
+    uint64_t loss_seed, const core::ClientOptions& options,
+    unsigned threads) {
   sim::SimOptions so;
   so.threads = threads;
-  so.loss = broadcast::LossModel::Independent(loss_rate);
+  so.loss = loss;
   so.loss_seed = loss_seed;
   so.client = options;
   sim::Simulator simulator(g, so);
@@ -47,9 +48,16 @@ graph::Graph LoadNetwork(const std::string& name, const BenchOptions& opts) {
 void PrintHeader(const std::string& title, const BenchOptions& opts) {
   std::printf("==================================================\n");
   std::printf("%s\n", title.c_str());
-  std::printf("scale=%.2f queries=%zu seed=%llu loss=%.4f\n", opts.scale,
-              opts.queries, static_cast<unsigned long long>(opts.seed),
-              opts.loss);
+  if (opts.burst > 1) {
+    std::printf("scale=%.2f queries=%zu seed=%llu loss=%.4f burst=%u\n",
+                opts.scale, opts.queries,
+                static_cast<unsigned long long>(opts.seed), opts.loss,
+                opts.burst);
+  } else {
+    std::printf("scale=%.2f queries=%zu seed=%llu loss=%.4f\n", opts.scale,
+                opts.queries, static_cast<unsigned long long>(opts.seed),
+                opts.loss);
+  }
   std::printf("==================================================\n");
 }
 

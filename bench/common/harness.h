@@ -18,11 +18,13 @@ namespace airindex::bench {
 /// `sys` — one simulated client per query, `threads` workers — and returns
 /// the per-query metrics. Each query listens on its own loss stream derived
 /// from (loss_seed, query index), so results are identical for every
-/// thread count.
+/// thread count. The loss model carries both rate and burst length
+/// (BenchOptions::Loss()).
 std::vector<device::QueryMetrics> RunQueries(
     const core::AirSystem& sys, const graph::Graph& g,
-    const workload::Workload& w, double loss_rate, uint64_t loss_seed,
-    const core::ClientOptions& options, unsigned threads = 1);
+    const workload::Workload& w, broadcast::LossModel loss,
+    uint64_t loss_seed, const core::ClientOptions& options,
+    unsigned threads = 1);
 
 /// Per-query metrics restricted to a subset of query indexes (Fig. 10's
 /// SP-length buckets).

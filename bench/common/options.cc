@@ -23,6 +23,9 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       opts.seed = static_cast<uint64_t>(std::atoll(arg + 7));
     } else if (std::strncmp(arg, "--loss=", 7) == 0) {
       opts.loss = std::atof(arg + 7);
+    } else if (std::strncmp(arg, "--burst=", 8) == 0) {
+      const int burst = std::atoi(arg + 8);  // negatives must not wrap
+      opts.burst = burst > 1 ? static_cast<uint32_t>(burst) : 1;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       opts.threads = static_cast<unsigned>(std::atoi(arg + 10));
     } else if (std::strcmp(arg, "--full") == 0) {
@@ -32,7 +35,8 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale=F] [--queries=N] [--seed=N] "
-                   "[--loss=F] [--threads=N] [--full] [--no-heavy]\n",
+                   "[--loss=F] [--burst=N] [--threads=N] [--full] "
+                   "[--no-heavy]\n",
                    argv[0]);
       std::exit(2);
     }

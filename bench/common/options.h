@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "broadcast/channel.h"
+
 namespace airindex::bench {
 
 /// Command-line options shared by every experiment binary.
@@ -18,6 +20,9 @@ struct BenchOptions {
   size_t queries = 100;
   uint64_t seed = 20100913;  // VLDB'10 opening day
   double loss = 0.0;
+  /// Loss burst length: 1 = independent losses, >1 groups losses into
+  /// fade bursts of that many packets at the same long-run rate.
+  uint32_t burst = 1;
   bool full = false;
   /// Skip SPQ/HiTi (whose pre-computation is all-pairs-flavoured) even in
   /// benches that normally include them.
@@ -30,10 +35,15 @@ struct BenchOptions {
 
   /// Device heap budget scaled with the network.
   size_t ScaledHeapBytes() const;
+
+  /// The configured channel loss model (--loss + --burst).
+  broadcast::LossModel Loss() const {
+    return broadcast::LossModel::Of(loss, burst);
+  }
 };
 
-/// Parses --scale=, --queries=, --seed=, --loss=, --threads=, --full,
-/// --no-heavy. Unknown flags abort with a usage message.
+/// Parses --scale=, --queries=, --seed=, --loss=, --burst=, --threads=,
+/// --full, --no-heavy. Unknown flags abort with a usage message.
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 }  // namespace airindex::bench

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   // All per-query metrics per method, computed once.
   std::vector<std::vector<device::QueryMetrics>> per_method;
   for (const auto& sys : systems) {
-    per_method.push_back(bench::RunQueries(*sys, g, w, opts.loss, opts.seed,
+    per_method.push_back(bench::RunQueries(*sys, g, w, opts.Loss(), opts.seed,
                                            {}, opts.threads));
   }
 

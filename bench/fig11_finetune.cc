@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   // Dijkstra reference (independent of the sweep).
   {
     auto dj = registry.Get(g, "DJ").value();
-    auto m = bench::RunQueries(*dj, g, w, opts.loss, opts.seed, {},
+    auto m = bench::RunQueries(*dj, g, w, opts.Loss(), opts.seed, {},
                                opts.threads);
     rows.push_back({"-", "DJ", device::MetricsSummary::Of(m)});
   }
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     params.landmarks = landmarks[i];
     for (const char* method : {"NR", "EB", "AF", "LD"}) {
       auto sys = registry.Get(g, method, params).value();
-      auto m = bench::RunQueries(*sys, g, w, opts.loss, opts.seed, {},
+      auto m = bench::RunQueries(*sys, g, w, opts.Loss(), opts.seed, {},
                                  opts.threads);
       rows.push_back({cfg, method, device::MetricsSummary::Of(m)});
     }

@@ -1,6 +1,10 @@
 // Reproduces Figure 12 (a-d, Appendix C.3): tuning time, memory, access
 // latency and CPU time across the five evaluation networks.
 //
+// Thin wrapper over the scenario engine: each network runs the catalog's
+// "paper-baseline" scenario (one uniform J2ME group, the §7 population)
+// with the figure's system knobs and the bench's scale/queries/loss.
+//
 // Expected shape (paper): every metric grows with network size; NR is the
 // only method that stays comfortable on the largest networks; methods that
 // exceed the device heap are flagged.
@@ -9,7 +13,9 @@
 
 #include "common/harness.h"
 #include "common/options.h"
-#include "core/systems.h"
+#include "graph/catalog.h"
+#include "sim/scenario.h"
+#include "sim/scenario_catalog.h"
 
 using namespace airindex;  // NOLINT: experiment binary
 
@@ -17,33 +23,46 @@ int main(int argc, char** argv) {
   bench::BenchOptions opts = bench::ParseBenchOptions(argc, argv);
   bench::PrintHeader("Figure 12: performance across networks", opts);
 
+  sim::Scenario base = sim::FindScenario("paper-baseline").value();
+  base.scale = opts.scale;
+  base.total_queries = opts.queries;
+  base.seed = opts.seed;
+  base.systems = {"DJ", "NR", "EB", "LD", "AF"};
+  base.params.arcflag_regions = 16;
+  base.params.eb_regions = 32;
+  base.params.nr_regions = 32;
+  base.params.landmarks = 4;
+  for (auto& group : base.groups) {
+    group.loss = opts.Loss();
+    group.client.heap_bytes = opts.ScaledHeapBytes();
+    // Pin the workload stream to the bench seed (instead of the scenario's
+    // derived per-group stream) so --seed reproduces prior fig12 runs.
+    group.workload.seed = opts.seed;
+  }
+
+  sim::ScenarioRunner::RunOptions ro;
+  ro.threads = opts.threads;
+  sim::ScenarioRunner runner(ro);
+
   std::printf("%-14s %-6s %12s %10s %12s %10s %6s\n", "network", "method",
               "tuning[pkt]", "mem[MB]", "latency[pkt]", "cpu[ms]", "fits");
   for (const auto& spec : graph::PaperNetworks()) {
-    graph::Graph g = bench::LoadNetwork(spec.name, opts);
-    core::SystemParams params;
-    params.arcflag_regions = 16;
-    params.eb_regions = 32;
-    params.nr_regions = 32;
-    params.landmarks = 4;
-    auto systems = core::SystemRegistry::Global().GetAll(g, params).value();
-    auto w = workload::GenerateWorkload(g, opts.queries, opts.seed).value();
-
-    core::ClientOptions copts;
-    copts.heap_bytes = opts.ScaledHeapBytes();
-    for (const auto& sys : systems) {
-      auto metrics = bench::RunQueries(*sys, g, w, opts.loss, opts.seed,
-                                       copts, opts.threads);
-      auto s = device::MetricsSummary::Of(metrics);
-      std::printf("%-14s %-6s %12.0f %10s %12.0f %10.2f %6s\n",
-                  spec.name.c_str(), std::string(sys->name()).c_str(),
-                  s.avg_tuning_packets,
-                  bench::Mb(s.avg_peak_memory_bytes).c_str(),
-                  s.avg_latency_packets, s.avg_cpu_ms,
-                  s.any_memory_exceeded ? "NO" : "yes");
+    base.network = spec.name;
+    auto result = runner.Run(base);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
     }
-    // The graph dies with this loop iteration; drop its cached systems.
-    core::SystemRegistry::Global().Clear();
+    for (const sim::SystemResult& r : result->fleet) {
+      const sim::Aggregate& a = r.aggregate;
+      std::printf("%-14s %-6s %12.0f %10s %12.0f %10.2f %6s\n",
+                  spec.name.c_str(), a.system.c_str(),
+                  a.tuning_packets.mean,
+                  bench::Mb(a.peak_memory_bytes.mean).c_str(),
+                  a.latency_packets.mean, a.cpu_ms.mean,
+                  a.memory_exceeded > 0 ? "NO" : "yes");
+    }
   }
   std::printf(
       "\n# paper shape: all metrics grow with network size; NR lowest\n"

@@ -2,6 +2,10 @@
 // shortest-path-computation CPU time for EB and NR, with and without the
 // §6.1 client-side super-edge pre-computation.
 //
+// Thin wrapper over the scenario engine: the catalog's
+// "membound-precompute" scenario already encodes the comparison as two
+// client groups (with/without pre-computation) over identical workloads.
+//
 // Expected shape (paper): ~35% lower peak memory with pre-computation, at
 // extra CPU cost during region reception.
 
@@ -9,7 +13,8 @@
 
 #include "common/harness.h"
 #include "common/options.h"
-#include "core/systems.h"
+#include "sim/scenario.h"
+#include "sim/scenario_catalog.h"
 
 using namespace airindex;  // NOLINT: experiment binary
 
@@ -17,26 +22,43 @@ int main(int argc, char** argv) {
   bench::BenchOptions opts = bench::ParseBenchOptions(argc, argv);
   bench::PrintHeader(
       "Figure 13: client-side pre-computation (memory-bound mode)", opts);
-  graph::Graph g = bench::LoadNetwork("Germany", opts);
-  auto w = workload::GenerateWorkload(g, opts.queries, opts.seed).value();
 
-  auto& registry = core::SystemRegistry::Global();
-  auto eb = registry.Get(g, "EB").value();
-  auto nr = registry.Get(g, "NR").value();
+  sim::Scenario scenario = sim::FindScenario("membound-precompute").value();
+  scenario.systems = {"EB", "NR"};  // the figure's two methods
+  scenario.scale = opts.scale;
+  scenario.total_queries = opts.queries * scenario.groups.size();
+  scenario.seed = opts.seed;
+  for (auto& group : scenario.groups) {
+    group.loss = opts.Loss();
+    // Identical workload AND channel replay in both groups: the ablation
+    // isolates pre-computation, not sampling noise.
+    group.workload.seed = opts.seed;
+    group.loss_seed = opts.seed;
+  }
+
+  sim::ScenarioRunner::RunOptions ro;
+  ro.threads = opts.threads;
+  auto result = sim::ScenarioRunner(ro).Run(scenario);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("%-22s %12s %10s\n", "configuration", "mem[MB]", "cpu[ms]");
-  for (const core::AirSystem* sys : {nr.get(), eb.get()}) {
-    for (bool membound : {true, false}) {
-      core::ClientOptions copts;
-      copts.memory_bound = membound;
-      auto metrics = bench::RunQueries(*sys, g, w, opts.loss, opts.seed,
-                                       copts, opts.threads);
-      auto s = device::MetricsSummary::Of(metrics);
-      std::printf("%-22s %12s %10.2f\n",
-                  (std::string(sys->name()) +
-                   (membound ? " (w/ precomp)" : " (w/o precomp)"))
-                      .c_str(),
-                  bench::Mb(s.avg_peak_memory_bytes).c_str(), s.avg_cpu_ms);
+  // Group 0 is "with-precomp", group 1 "without-precomp"; print per system
+  // in the paper's NR-then-EB order.
+  for (const char* method : {"NR", "EB"}) {
+    for (const sim::GroupResult& gr : result->groups) {
+      for (const sim::SystemResult& r : gr.systems) {
+        if (r.system != method) continue;
+        const bool membound = gr.spec.client.memory_bound;
+        std::printf("%-22s %12s %10.2f\n",
+                    (r.system + std::string(membound ? " (w/ precomp)"
+                                                     : " (w/o precomp)"))
+                        .c_str(),
+                    bench::Mb(r.aggregate.peak_memory_bytes.mean).c_str(),
+                    r.aggregate.cpu_ms.mean);
+      }
     }
   }
   std::printf(

@@ -38,10 +38,11 @@ int main(int argc, char** argv) {
     std::printf("\n");
     for (double rate : rates) {
       std::printf("%-10.1f%%", rate * 100);
+      const auto loss = broadcast::LossModel::Of(rate, opts.burst);
       for (const auto& sys : systems) {
         core::ClientOptions copts;
         copts.max_repair_cycles = 64;
-        auto metrics = bench::RunQueries(*sys, g, w, rate, opts.seed + 31,
+        auto metrics = bench::RunQueries(*sys, g, w, loss, opts.seed + 31,
                                          copts, opts.threads);
         auto s = device::MetricsSummary::Of(metrics);
         std::printf(" %10.0f",

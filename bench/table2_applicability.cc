@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     std::string cell[5];
     const char* order[5] = {"AF", "LD", "DJ", "EB", "NR"};
     for (const auto& sys : *systems) {
-      auto metrics = bench::RunQueries(*sys, g, w, opts.loss, opts.seed,
+      auto metrics = bench::RunQueries(*sys, g, w, opts.Loss(), opts.seed,
                                        copts, opts.threads);
       auto summary = device::MetricsSummary::Of(metrics);
       for (int c = 0; c < 5; ++c) {

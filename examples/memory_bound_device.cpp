@@ -1,14 +1,18 @@
 // Memory-bound processing (§6.1): a device with a tiny application heap
 // collapses each received region into super-edges instead of keeping the
-// raw data, trading CPU for peak memory. Distances stay exact.
+// raw data, trading CPU for peak memory. Distances stay exact. Systems
+// come from the core catalog (core::BuildSystem); the heap budget comes
+// from the device catalog's iot-sensor profile.
 //
 //   $ ./memory_bound_device
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "broadcast/channel.h"
-#include "core/eb.h"
-#include "core/nr.h"
+#include "core/systems.h"
+#include "device/profile_catalog.h"
 #include "graph/generator.h"
 #include "workload/workload.h"
 
@@ -21,18 +25,27 @@ int main() {
   gen.seed = 12;
   graph::Graph network = graph::GenerateRoadNetwork(gen).value();
 
-  auto eb = core::EbSystem::Build(network, 16).value();
-  auto nr = core::NrSystem::Build(network, 16).value();
+  std::vector<std::unique_ptr<core::AirSystem>> systems;
+  core::SystemParams params;
+  params.eb_regions = 16;
+  params.nr_regions = 16;
+  for (const char* method : {"EB", "NR"}) {
+    systems.push_back(core::BuildSystem(network, method, params).value());
+  }
   auto w = workload::GenerateWorkload(network, 30, 6).value();
+
+  const device::DeviceProfile sensor =
+      device::FindProfile("iot-sensor").value();
+  std::printf("device: iot-sensor, %.1f MB heap\n",
+              static_cast<double>(sensor.heap_bytes) / (1024.0 * 1024.0));
 
   std::printf("%-4s %-14s %12s %10s %8s\n", "", "mode", "peak mem[KB]",
               "cpu[ms]", "exact");
-  for (const core::AirSystem* sys :
-       {static_cast<const core::AirSystem*>(eb.get()),
-        static_cast<const core::AirSystem*>(nr.get())}) {
+  for (const auto& sys : systems) {
     for (bool membound : {false, true}) {
       broadcast::BroadcastChannel channel(&sys->cycle(), 0.0);
       core::ClientOptions opts;
+      opts.heap_bytes = sensor.heap_bytes;
       opts.memory_bound = membound;
       double mem = 0, cpu = 0;
       bool all_exact = true;

@@ -23,6 +23,10 @@ struct LossModel {
   static LossModel Bursty(double rate, uint32_t burst_len) {
     return {rate, burst_len};
   }
+  /// Rate + burst length in one step: burst_len <= 1 means independent.
+  static LossModel Of(double rate, uint32_t burst_len) {
+    return {rate, burst_len > 1 ? burst_len : 1};
+  }
 };
 
 /// The wireless channel: endlessly replays a broadcast cycle and drops

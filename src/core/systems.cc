@@ -137,4 +137,15 @@ void SystemRegistry::Clear() {
   cache_.clear();
 }
 
+void SystemRegistry::Evict(const graph::Graph& g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.graph == &g) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 }  // namespace airindex::core

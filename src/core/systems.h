@@ -79,6 +79,12 @@ class SystemRegistry {
   /// Drops every cached system.
   void Clear();
 
+  /// Drops the cached systems of one graph (all methods/knobs). Callers
+  /// that own a graph with a narrower lifetime than the process — the
+  /// scenario runner, per-network bench loops — evict on teardown instead
+  /// of clearing other graphs' caches wholesale.
+  void Evict(const graph::Graph& g);
+
  private:
   struct Key {
     const graph::Graph* graph = nullptr;

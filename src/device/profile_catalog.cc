@@ -1,0 +1,57 @@
+#include "device/profile_catalog.h"
+
+#include <array>
+#include <string>
+
+namespace airindex::device {
+
+namespace {
+
+constexpr DeviceProfile Smartphone() {
+  DeviceProfile p;
+  p.heap_bytes = 64u * 1024 * 1024;
+  p.receive_watts = 0.9;
+  p.transmit_watts = 1.1;
+  p.sleep_watts = 0.02;
+  p.cpu_watts = 1.2;
+  return p;
+}
+
+constexpr DeviceProfile IotSensor() {
+  DeviceProfile p;
+  p.heap_bytes = 1u * 1024 * 1024;
+  p.receive_watts = 0.08;
+  p.transmit_watts = 0.1;
+  p.sleep_watts = 0.002;
+  p.cpu_watts = 0.02;
+  return p;
+}
+
+const std::array<ProfileSpec, 3> kCatalog = {{
+    {"j2me", "paper's J2ME clamshell phone (8 MB heap, WaveLAN radio)",
+     DeviceProfile::J2mePhone()},
+    {"smartphone", "modern handset (64 MB heap, efficient radio, fast CPU)",
+     Smartphone()},
+    {"iot-sensor", "battery sensor node (1 MB heap, low-power radio/MCU)",
+     IotSensor()},
+}};
+
+}  // namespace
+
+std::span<const ProfileSpec> ProfileCatalog() { return kCatalog; }
+
+Result<DeviceProfile> FindProfile(std::string_view name) {
+  for (const ProfileSpec& spec : kCatalog) {
+    if (spec.name == name) return spec.profile;
+  }
+  std::string known;
+  for (const ProfileSpec& spec : kCatalog) {
+    if (!known.empty()) known += ", ";
+    known += spec.name;
+  }
+  return Status::InvalidArgument("unknown device profile \"" +
+                                 std::string(name) + "\" (known: " + known +
+                                 ")");
+}
+
+}  // namespace airindex::device

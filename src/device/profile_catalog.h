@@ -1,0 +1,34 @@
+#ifndef AIRINDEX_DEVICE_PROFILE_CATALOG_H_
+#define AIRINDEX_DEVICE_PROFILE_CATALOG_H_
+
+#include <span>
+#include <string_view>
+
+#include "common/result.h"
+#include "device/device_profile.h"
+
+namespace airindex::device {
+
+/// One named device in the catalog. Named profiles replace ad-hoc
+/// DeviceProfile{} literals so scenarios, benches, and reports all refer to
+/// the same device by one string.
+struct ProfileSpec {
+  std::string_view name;
+  std::string_view description;
+  DeviceProfile profile;
+};
+
+/// The built-in device catalog:
+///   j2me        — the paper's GPS clamshell phone (8 MB heap, WaveLAN radio)
+///   smartphone  — a modern handset (64 MB app heap, efficient radio,
+///                 power-hungry application CPU)
+///   iot-sensor  — a battery sensor node (1 MB heap, low-power radio/MCU)
+std::span<const ProfileSpec> ProfileCatalog();
+
+/// Looks a profile up by (case-sensitive) name; InvalidArgument lists the
+/// known names on miss.
+Result<DeviceProfile> FindProfile(std::string_view name);
+
+}  // namespace airindex::device
+
+#endif  // AIRINDEX_DEVICE_PROFILE_CATALOG_H_

@@ -34,22 +34,29 @@ Stat StatOf(std::span<const double> values) {
 Aggregate Aggregate::Of(std::string_view system,
                         std::span<const device::QueryMetrics> metrics,
                         const device::EnergyModel& energy) {
+  std::vector<double> joules;
+  joules.reserve(metrics.size());
+  for (const auto& m : metrics) joules.push_back(energy.QueryJoules(m));
+  return Of(system, metrics, joules);
+}
+
+Aggregate Aggregate::Of(std::string_view system,
+                        std::span<const device::QueryMetrics> metrics,
+                        std::span<const double> joules) {
   Aggregate agg;
   agg.system = std::string(system);
   agg.queries = metrics.size();
 
-  std::vector<double> tuning, latency, memory, cpu, joules;
+  std::vector<double> tuning, latency, memory, cpu;
   tuning.reserve(metrics.size());
   latency.reserve(metrics.size());
   memory.reserve(metrics.size());
   cpu.reserve(metrics.size());
-  joules.reserve(metrics.size());
   for (const auto& m : metrics) {
     tuning.push_back(static_cast<double>(m.tuning_packets));
     latency.push_back(static_cast<double>(m.latency_packets));
     memory.push_back(static_cast<double>(m.peak_memory_bytes));
     cpu.push_back(m.cpu_ms);
-    joules.push_back(energy.QueryJoules(m));
     if (!m.ok) ++agg.failures;
     if (m.memory_exceeded) ++agg.memory_exceeded;
   }

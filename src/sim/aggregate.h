@@ -46,6 +46,14 @@ struct Aggregate {
   static Aggregate Of(std::string_view system,
                       std::span<const device::QueryMetrics> metrics,
                       const device::EnergyModel& energy);
+
+  /// Variant with pre-priced energy (`joules[i]` belongs to `metrics[i]`).
+  /// This is the fleet-merge path: a heterogeneous scenario prices each
+  /// group's queries under that group's device/bitrate, then aggregates
+  /// the concatenated samples — one EnergyModel could not do that.
+  static Aggregate Of(std::string_view system,
+                      std::span<const device::QueryMetrics> metrics,
+                      std::span<const double> joules);
 };
 
 }  // namespace airindex::sim

@@ -1,107 +1,17 @@
 #include "sim/report.h"
 
-#include <array>
-#include <cctype>
-#include <charconv>
 #include <cstdio>
-#include <map>
-#include <memory>
-#include <vector>
 
 namespace airindex::sim {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Writing
-// ---------------------------------------------------------------------------
-
-/// Shortest representation that round-trips through a double exactly.
-std::string DoubleToString(double v) {
-  std::array<char, 32> buf;
-  auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
-  return std::string(buf.data(), end);
-}
-
-class JsonWriter {
- public:
-  std::string Take() && { return std::move(out_); }
-
-  void BeginObject() {
-    Separate();
-    out_ += '{';
-    fresh_ = true;
-    ++depth_;
-  }
-  void EndObject() {
-    --depth_;
-    out_ += '\n';
-    Indent();
-    out_ += '}';
-    fresh_ = false;
-  }
-  void BeginArray(std::string_view key) {
-    Key(key);
-    out_ += '[';
-    pending_ = false;
-    fresh_ = true;
-    ++depth_;
-  }
-  void EndArray() {
-    --depth_;
-    out_ += '\n';
-    Indent();
-    out_ += ']';
-    fresh_ = false;
-  }
-  void Key(std::string_view key) {
-    Separate();
-    out_ += '"';
-    out_ += key;  // keys are known identifiers; no escaping needed
-    out_ += "\": ";
-    pending_ = true;
-  }
-  void Field(std::string_view key, double v) {
-    Key(key);
-    out_ += DoubleToString(v);
-    pending_ = false;
-  }
-  void Field(std::string_view key, uint64_t v) {
-    Key(key);
-    out_ += std::to_string(v);
-    pending_ = false;
-  }
-  void Field(std::string_view key, std::string_view v) {
-    Key(key);
-    out_ += '"';
-    for (char c : v) {
-      if (c == '"' || c == '\\') out_ += '\\';
-      out_ += c;
-    }
-    out_ += '"';
-    pending_ = false;
-  }
-
- private:
-  void Indent() { out_.append(static_cast<size_t>(depth_) * 2, ' '); }
-  void Separate() {
-    // A key was just written: the next token is its value, already
-    // prefixed with ": " — no comma or newline.
-    if (pending_) {
-      pending_ = false;
-      return;
-    }
-    if (!fresh_) out_ += ',';
-    if (depth_ > 0 || !fresh_) out_ += '\n';
-    Indent();
-    fresh_ = false;
-  }
-
-  std::string out_;
-  int depth_ = 0;
-  bool fresh_ = true;
-  bool pending_ = false;
-};
+using jsonutil::GetNumber;
+using jsonutil::GetString;
+using jsonutil::GetUint64;
+using jsonutil::GetUint64Or;
+using jsonutil::JsonValue;
+using jsonutil::JsonWriter;
 
 void WriteStat(JsonWriter& w, std::string_view key, const Stat& s) {
   w.Key(key);
@@ -111,199 +21,6 @@ void WriteStat(JsonWriter& w, std::string_view key, const Stat& s) {
   w.Field("p95", s.p95);
   w.Field("max", s.max);
   w.EndObject();
-}
-
-// ---------------------------------------------------------------------------
-// Parsing: a minimal JSON reader covering the subset ToJson emits
-// (objects, arrays, strings, numbers).
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Type { kNull, kNumber, kString, kObject, kArray } type =
-      Type::kNull;
-  double number = 0.0;
-  /// For numbers, the raw token — integer fields re-parse it as uint64 so
-  /// seeds above 2^53 survive the round-trip exactly.
-  std::string string;
-  std::map<std::string, JsonValue, std::less<>> object;
-  std::vector<JsonValue> array;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  Result<JsonValue> Parse() {
-    AIRINDEX_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
-    SkipSpace();
-    if (pos_ != text_.size()) {
-      return Status::InvalidArgument("trailing characters after JSON value");
-    }
-    return v;
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  Result<char> Peek() {
-    SkipSpace();
-    if (pos_ >= text_.size()) {
-      return Status::InvalidArgument("unexpected end of JSON");
-    }
-    return text_[pos_];
-  }
-
-  Status Expect(char c) {
-    AIRINDEX_ASSIGN_OR_RETURN(char got, Peek());
-    if (got != c) {
-      return Status::InvalidArgument(std::string("expected '") + c +
-                                     "' in JSON");
-    }
-    ++pos_;
-    return Status::OK();
-  }
-
-  Result<JsonValue> ParseValue() {
-    AIRINDEX_ASSIGN_OR_RETURN(char c, Peek());
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') {
-      JsonValue v;
-      v.type = JsonValue::Type::kString;
-      AIRINDEX_ASSIGN_OR_RETURN(v.string, ParseString());
-      return v;
-    }
-    return ParseNumber();
-  }
-
-  Result<std::string> ParseString() {
-    AIRINDEX_RETURN_IF_ERROR(Expect('"'));
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) {
-          return Status::InvalidArgument("unterminated escape in JSON");
-        }
-        c = text_[pos_++];
-      }
-      out += c;
-    }
-    if (pos_ >= text_.size()) {
-      return Status::InvalidArgument("unterminated JSON string");
-    }
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  Result<JsonValue> ParseNumber() {
-    SkipSpace();
-    const size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    v.string = std::string(text_.substr(start, pos_ - start));
-    auto [end, ec] = std::from_chars(text_.data() + start,
-                                     text_.data() + pos_, v.number);
-    if (ec != std::errc() || end != text_.data() + pos_ || start == pos_) {
-      return Status::InvalidArgument("malformed JSON number");
-    }
-    return v;
-  }
-
-  Result<JsonValue> ParseObject() {
-    AIRINDEX_RETURN_IF_ERROR(Expect('{'));
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    AIRINDEX_ASSIGN_OR_RETURN(char c, Peek());
-    if (c == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      AIRINDEX_ASSIGN_OR_RETURN(std::string key, ParseString());
-      AIRINDEX_RETURN_IF_ERROR(Expect(':'));
-      AIRINDEX_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
-      v.object.emplace(std::move(key), std::move(member));
-      AIRINDEX_ASSIGN_OR_RETURN(char next, Peek());
-      ++pos_;
-      if (next == '}') return v;
-      if (next != ',') {
-        return Status::InvalidArgument("expected ',' or '}' in JSON object");
-      }
-    }
-  }
-
-  Result<JsonValue> ParseArray() {
-    AIRINDEX_RETURN_IF_ERROR(Expect('['));
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    AIRINDEX_ASSIGN_OR_RETURN(char c, Peek());
-    if (c == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      AIRINDEX_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
-      v.array.push_back(std::move(element));
-      AIRINDEX_ASSIGN_OR_RETURN(char next, Peek());
-      ++pos_;
-      if (next == ']') return v;
-      if (next != ',') {
-        return Status::InvalidArgument("expected ',' or ']' in JSON array");
-      }
-    }
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-Result<double> GetNumber(const JsonValue& obj, std::string_view key) {
-  auto it = obj.object.find(key);
-  if (it == obj.object.end() ||
-      it->second.type != JsonValue::Type::kNumber) {
-    return Status::InvalidArgument("missing numeric field " +
-                                   std::string(key));
-  }
-  return it->second.number;
-}
-
-Result<uint64_t> GetUint64(const JsonValue& obj, std::string_view key) {
-  auto it = obj.object.find(key);
-  if (it == obj.object.end() ||
-      it->second.type != JsonValue::Type::kNumber) {
-    return Status::InvalidArgument("missing numeric field " +
-                                   std::string(key));
-  }
-  const std::string& raw = it->second.string;
-  uint64_t v = 0;
-  auto [end, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), v);
-  if (ec != std::errc() || end != raw.data() + raw.size()) {
-    return Status::InvalidArgument("field " + std::string(key) +
-                                   " is not an unsigned integer");
-  }
-  return v;
-}
-
-Result<std::string> GetString(const JsonValue& obj, std::string_view key) {
-  auto it = obj.object.find(key);
-  if (it == obj.object.end() ||
-      it->second.type != JsonValue::Type::kString) {
-    return Status::InvalidArgument("missing string field " +
-                                   std::string(key));
-  }
-  return it->second.string;
 }
 
 Result<Stat> StatFromJson(const JsonValue& obj, std::string_view key) {
@@ -322,12 +39,71 @@ Result<Stat> StatFromJson(const JsonValue& obj, std::string_view key) {
 
 }  // namespace
 
+namespace detail {
+
+void WriteSystemEntry(JsonWriter& w, const SystemResult& r) {
+  const Aggregate& a = r.aggregate;
+  w.BeginObject();
+  w.Field("system", a.system);
+  w.Field("queries", static_cast<uint64_t>(a.queries));
+  w.Field("failures", static_cast<uint64_t>(a.failures));
+  w.Field("memory_exceeded", static_cast<uint64_t>(a.memory_exceeded));
+  w.Field("wall_seconds", r.wall_seconds);
+  w.Field("queries_per_second", r.queries_per_second);
+  WriteStat(w, "tuning_packets", a.tuning_packets);
+  WriteStat(w, "latency_packets", a.latency_packets);
+  WriteStat(w, "peak_memory_bytes", a.peak_memory_bytes);
+  WriteStat(w, "cpu_ms", a.cpu_ms);
+  WriteStat(w, "energy_joules", a.energy_joules);
+  w.EndObject();
+}
+
+Result<SystemResult> SystemEntryFromJson(const JsonValue& entry) {
+  if (entry.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("system entry must be an object");
+  }
+  SystemResult r;
+  Aggregate& a = r.aggregate;
+  AIRINDEX_ASSIGN_OR_RETURN(a.system, GetString(entry, "system"));
+  r.system = a.system;
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t queries, GetUint64(entry, "queries"));
+  a.queries = static_cast<size_t>(queries);
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t failures, GetUint64(entry, "failures"));
+  a.failures = static_cast<size_t>(failures);
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t exceeded,
+                            GetUint64(entry, "memory_exceeded"));
+  a.memory_exceeded = static_cast<size_t>(exceeded);
+  AIRINDEX_ASSIGN_OR_RETURN(r.wall_seconds,
+                            GetNumber(entry, "wall_seconds"));
+  AIRINDEX_ASSIGN_OR_RETURN(r.queries_per_second,
+                            GetNumber(entry, "queries_per_second"));
+  AIRINDEX_ASSIGN_OR_RETURN(a.tuning_packets,
+                            StatFromJson(entry, "tuning_packets"));
+  AIRINDEX_ASSIGN_OR_RETURN(a.latency_packets,
+                            StatFromJson(entry, "latency_packets"));
+  AIRINDEX_ASSIGN_OR_RETURN(a.peak_memory_bytes,
+                            StatFromJson(entry, "peak_memory_bytes"));
+  AIRINDEX_ASSIGN_OR_RETURN(a.cpu_ms, StatFromJson(entry, "cpu_ms"));
+  AIRINDEX_ASSIGN_OR_RETURN(a.energy_joules,
+                            StatFromJson(entry, "energy_joules"));
+  return r;
+}
+
+}  // namespace detail
+
 std::string ToText(const BatchResult& batch) {
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof(line),
-                "# %zu queries, %u thread(s), loss=%.4f\n", batch.num_queries,
-                batch.threads, batch.loss_rate);
+  if (batch.loss_burst_len > 1) {
+    std::snprintf(line, sizeof(line),
+                  "# %zu queries, %u thread(s), loss=%.4f (bursts of %u)\n",
+                  batch.num_queries, batch.threads, batch.loss_rate,
+                  batch.loss_burst_len);
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "# %zu queries, %u thread(s), loss=%.4f\n",
+                  batch.num_queries, batch.threads, batch.loss_rate);
+  }
   out += line;
   std::snprintf(line, sizeof(line),
                 "%-6s %12s %12s %12s %10s %10s %8s %10s %6s\n", "method",
@@ -359,25 +135,11 @@ std::string ToJson(const BatchResult& batch) {
   w.Field("num_queries", static_cast<uint64_t>(batch.num_queries));
   w.Field("threads", static_cast<uint64_t>(batch.threads));
   w.Field("loss_rate", batch.loss_rate);
+  w.Field("loss_burst_len", static_cast<uint64_t>(batch.loss_burst_len));
   w.Field("loss_seed", static_cast<uint64_t>(batch.loss_seed));
   w.Field("wall_seconds", batch.wall_seconds);
   w.BeginArray("systems");
-  for (const auto& r : batch.systems) {
-    const Aggregate& a = r.aggregate;
-    w.BeginObject();
-    w.Field("system", a.system);
-    w.Field("queries", static_cast<uint64_t>(a.queries));
-    w.Field("failures", static_cast<uint64_t>(a.failures));
-    w.Field("memory_exceeded", static_cast<uint64_t>(a.memory_exceeded));
-    w.Field("wall_seconds", r.wall_seconds);
-    w.Field("queries_per_second", r.queries_per_second);
-    WriteStat(w, "tuning_packets", a.tuning_packets);
-    WriteStat(w, "latency_packets", a.latency_packets);
-    WriteStat(w, "peak_memory_bytes", a.peak_memory_bytes);
-    WriteStat(w, "cpu_ms", a.cpu_ms);
-    WriteStat(w, "energy_joules", a.energy_joules);
-    w.EndObject();
-  }
+  for (const auto& r : batch.systems) detail::WriteSystemEntry(w, r);
   w.EndArray();
   w.EndObject();
   std::string out = std::move(w).Take();
@@ -386,7 +148,7 @@ std::string ToJson(const BatchResult& batch) {
 }
 
 Result<BatchResult> FromJson(std::string_view json) {
-  AIRINDEX_ASSIGN_OR_RETURN(JsonValue root, JsonParser(json).Parse());
+  AIRINDEX_ASSIGN_OR_RETURN(JsonValue root, jsonutil::ParseJson(json));
   if (root.type != JsonValue::Type::kObject) {
     return Status::InvalidArgument("report root must be a JSON object");
   }
@@ -401,6 +163,10 @@ Result<BatchResult> FromJson(std::string_view json) {
   AIRINDEX_ASSIGN_OR_RETURN(uint64_t threads, GetUint64(root, "threads"));
   batch.threads = static_cast<unsigned>(threads);
   AIRINDEX_ASSIGN_OR_RETURN(batch.loss_rate, GetNumber(root, "loss_rate"));
+  // Additive in-schema field: absent in reports from older v1 writers.
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t burst,
+                            GetUint64Or(root, "loss_burst_len", 1));
+  batch.loss_burst_len = static_cast<uint32_t>(burst);
   AIRINDEX_ASSIGN_OR_RETURN(batch.loss_seed, GetUint64(root, "loss_seed"));
   AIRINDEX_ASSIGN_OR_RETURN(batch.wall_seconds,
                             GetNumber(root, "wall_seconds"));
@@ -411,35 +177,8 @@ Result<BatchResult> FromJson(std::string_view json) {
     return Status::InvalidArgument("missing systems array");
   }
   for (const JsonValue& entry : it->second.array) {
-    if (entry.type != JsonValue::Type::kObject) {
-      return Status::InvalidArgument("system entry must be an object");
-    }
-    SystemResult r;
-    Aggregate& a = r.aggregate;
-    AIRINDEX_ASSIGN_OR_RETURN(a.system, GetString(entry, "system"));
-    r.system = a.system;
-    AIRINDEX_ASSIGN_OR_RETURN(uint64_t queries,
-                              GetUint64(entry, "queries"));
-    a.queries = static_cast<size_t>(queries);
-    AIRINDEX_ASSIGN_OR_RETURN(uint64_t failures,
-                              GetUint64(entry, "failures"));
-    a.failures = static_cast<size_t>(failures);
-    AIRINDEX_ASSIGN_OR_RETURN(uint64_t exceeded,
-                              GetUint64(entry, "memory_exceeded"));
-    a.memory_exceeded = static_cast<size_t>(exceeded);
-    AIRINDEX_ASSIGN_OR_RETURN(r.wall_seconds,
-                              GetNumber(entry, "wall_seconds"));
-    AIRINDEX_ASSIGN_OR_RETURN(r.queries_per_second,
-                              GetNumber(entry, "queries_per_second"));
-    AIRINDEX_ASSIGN_OR_RETURN(a.tuning_packets,
-                              StatFromJson(entry, "tuning_packets"));
-    AIRINDEX_ASSIGN_OR_RETURN(a.latency_packets,
-                              StatFromJson(entry, "latency_packets"));
-    AIRINDEX_ASSIGN_OR_RETURN(a.peak_memory_bytes,
-                              StatFromJson(entry, "peak_memory_bytes"));
-    AIRINDEX_ASSIGN_OR_RETURN(a.cpu_ms, StatFromJson(entry, "cpu_ms"));
-    AIRINDEX_ASSIGN_OR_RETURN(a.energy_joules,
-                              StatFromJson(entry, "energy_joules"));
+    AIRINDEX_ASSIGN_OR_RETURN(SystemResult r,
+                              detail::SystemEntryFromJson(entry));
     batch.systems.push_back(std::move(r));
   }
   return batch;

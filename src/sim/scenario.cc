@@ -1,0 +1,695 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "device/energy.h"
+#include "device/profile_catalog.h"
+#include "graph/catalog.h"
+#include "sim/report.h"
+
+namespace airindex::sim {
+
+namespace {
+
+using jsonutil::GetBoolOr;
+using jsonutil::GetNumber;
+using jsonutil::GetNumberOr;
+using jsonutil::GetString;
+using jsonutil::GetStringOr;
+using jsonutil::GetUint64;
+using jsonutil::GetUint64Or;
+using jsonutil::JsonValue;
+using jsonutil::JsonWriter;
+
+constexpr uint64_t kWorkloadSalt = 0x5EEDB07ull;
+constexpr uint64_t kLossSalt = 0x10552AAull;
+
+/// Derived per-group seed: a SplitMix64 mix of (scenario seed, salt, group
+/// index) via the engine's QueryLossSeed, so every group samples an
+/// independent stream regardless of thread count or run order.
+uint64_t DeriveSeed(uint64_t scenario_seed, uint64_t salt,
+                    size_t group_index) {
+  return QueryLossSeed(scenario_seed ^ salt, group_index);
+}
+
+const std::vector<std::string>& AllSystems() {
+  static const std::vector<std::string> kAll = {"DJ", "NR", "EB",  "LD",
+                                                "AF", "SPQ", "HiTi"};
+  return kAll;
+}
+
+}  // namespace
+
+std::vector<std::string> Scenario::EffectiveSystems() const {
+  return systems.empty() ? AllSystems() : systems;
+}
+
+Result<std::vector<size_t>> ResolveGroupCounts(const Scenario& s) {
+  if (s.groups.empty()) {
+    return Status::InvalidArgument("scenario has no client groups");
+  }
+  std::vector<size_t> counts(s.groups.size(), 0);
+  size_t explicit_total = 0;
+  double weight_total = 0.0;
+  for (size_t i = 0; i < s.groups.size(); ++i) {
+    const ClientGroupSpec& g = s.groups[i];
+    if (g.queries > 0) {
+      counts[i] = g.queries;
+      explicit_total += g.queries;
+    } else {
+      if (g.weight <= 0.0) {
+        return Status::InvalidArgument("group \"" + g.name +
+                                       "\" needs queries > 0 or weight > 0");
+      }
+      weight_total += g.weight;
+    }
+  }
+  if (weight_total == 0.0) return counts;  // all explicit
+  const size_t budget =
+      s.total_queries > explicit_total ? s.total_queries - explicit_total : 0;
+  if (budget == 0) {
+    return Status::InvalidArgument(
+        "total_queries leaves no budget for weighted groups");
+  }
+  // Largest-remainder allocation, stable order on ties.
+  size_t assigned = 0;
+  std::vector<std::pair<double, size_t>> remainders;
+  for (size_t i = 0; i < s.groups.size(); ++i) {
+    if (counts[i] > 0) continue;
+    const double share = static_cast<double>(budget) *
+                         (s.groups[i].weight / weight_total);
+    counts[i] = static_cast<size_t>(share);
+    assigned += counts[i];
+    remainders.emplace_back(share - static_cast<double>(counts[i]), i);
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t r = 0; assigned < budget; r = (r + 1) % remainders.size()) {
+    ++counts[remainders[r].second];
+    ++assigned;
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      return Status::InvalidArgument("group \"" + s.groups[i].name +
+                                     "\" resolved to zero queries; raise "
+                                     "total_queries");
+    }
+  }
+  return counts;
+}
+
+Result<SystemResult> MergeGroupResults(std::span<const GroupResult> groups,
+                                       size_t sys_index) {
+  if (groups.empty()) return Status::InvalidArgument("no groups to merge");
+  SystemResult fleet;
+  std::vector<device::QueryMetrics> metrics;
+  std::vector<double> joules;
+  for (const GroupResult& gr : groups) {
+    if (sys_index >= gr.systems.size()) {
+      return Status::InvalidArgument("group \"" + gr.spec.name +
+                                     "\" is missing a system result");
+    }
+    const SystemResult& r = gr.systems[sys_index];
+    if (fleet.system.empty()) {
+      fleet.system = r.system;
+    } else if (fleet.system != r.system) {
+      return Status::InvalidArgument("group system order mismatch: " +
+                                     fleet.system + " vs " + r.system);
+    }
+    AIRINDEX_ASSIGN_OR_RETURN(device::DeviceProfile profile,
+                              device::FindProfile(gr.spec.profile));
+    const device::EnergyModel energy(profile, gr.spec.bits_per_second);
+    for (const device::QueryMetrics& m : r.per_query) {
+      metrics.push_back(m);
+      joules.push_back(energy.QueryJoules(m));
+    }
+    fleet.wall_seconds += r.wall_seconds;
+  }
+  fleet.aggregate = Aggregate::Of(fleet.system, metrics, joules);
+  fleet.queries_per_second =
+      fleet.wall_seconds > 0.0
+          ? static_cast<double>(metrics.size()) / fleet.wall_seconds
+          : 0.0;
+  return fleet;
+}
+
+Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s) const {
+  AIRINDEX_ASSIGN_OR_RETURN(graph::NetworkSpec spec,
+                            graph::FindNetwork(s.network));
+  AIRINDEX_ASSIGN_OR_RETURN(graph::Graph g,
+                            graph::MakeNetwork(spec, s.scale));
+  auto result = Run(s, g);
+  // The graph dies with this frame; its registry entries must not outlive
+  // it (cache keys are graph-address-based).
+  core::SystemRegistry::Global().Evict(g);
+  return result;
+}
+
+Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
+                                           const graph::Graph& g) const {
+  AIRINDEX_ASSIGN_OR_RETURN(std::vector<size_t> counts,
+                            ResolveGroupCounts(s));
+  const std::vector<std::string> systems = s.EffectiveSystems();
+  if (systems.empty()) {
+    return Status::InvalidArgument("scenario lists no systems");
+  }
+
+  // One build per (method, knob) across all groups, via the registry.
+  core::SharedSystems shared;
+  for (const std::string& name : systems) {
+    AIRINDEX_ASSIGN_OR_RETURN(
+        auto sys, core::SystemRegistry::Global().Get(g, name, s.params));
+    shared.push_back(std::move(sys));
+  }
+
+  ScenarioResult result;
+  result.scenario = s.name;
+  result.network = s.network;
+  result.scale = s.scale;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t gi = 0; gi < s.groups.size(); ++gi) {
+    GroupResult gr;
+    gr.spec = s.groups[gi];
+    gr.spec.queries = counts[gi];
+
+    AIRINDEX_ASSIGN_OR_RETURN(device::DeviceProfile profile,
+                              device::FindProfile(gr.spec.profile));
+    if (gr.spec.client.heap_bytes == 0) {
+      gr.spec.client.heap_bytes = profile.heap_bytes;
+    }
+
+    workload::WorkloadSpec wspec = gr.spec.workload;
+    wspec.count = counts[gi];
+    if (wspec.seed == 0) wspec.seed = DeriveSeed(s.seed, kWorkloadSalt, gi);
+    gr.workload_seed = wspec.seed;
+    AIRINDEX_ASSIGN_OR_RETURN(workload::Workload w,
+                              workload::GenerateWorkload(g, wspec));
+
+    SimOptions so;
+    so.threads = options_.threads;
+    so.loss = gr.spec.loss;
+    so.loss_seed = gr.spec.loss_seed != 0
+                       ? gr.spec.loss_seed
+                       : DeriveSeed(s.seed, kLossSalt, gi);
+    gr.loss_seed = so.loss_seed;
+    so.client = gr.spec.client;
+    so.profile = profile;
+    so.bits_per_second = gr.spec.bits_per_second;
+    so.deterministic = options_.deterministic;
+    Simulator simulator(g, so);
+    result.threads = simulator.effective_threads();
+
+    for (const auto& sys : shared) {
+      gr.systems.push_back(simulator.RunSystem(*sys, w));
+    }
+    result.num_queries += counts[gi];
+    result.groups.push_back(std::move(gr));
+  }
+
+  for (size_t si = 0; si < systems.size(); ++si) {
+    AIRINDEX_ASSIGN_OR_RETURN(SystemResult fleet,
+                              MergeGroupResults(result.groups, si));
+    result.fleet.push_back(std::move(fleet));
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Spec JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result<workload::WorkloadSpec> WorkloadSpecFromJson(const JsonValue& obj) {
+  workload::WorkloadSpec w = ClientGroupSpec::DefaultWorkload();
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t seed, GetUint64Or(obj, "seed", w.seed));
+  w.seed = seed;
+
+  AIRINDEX_ASSIGN_OR_RETURN(std::string dest,
+                            GetStringOr(obj, "destinations", "uniform"));
+  if (dest == "zipf") {
+    w.dest = workload::WorkloadSpec::Dest::kZipf;
+  } else if (dest != "uniform") {
+    return Status::InvalidArgument("unknown destination distribution \"" +
+                                   dest + "\" (uniform|zipf)");
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(w.zipf_s, GetNumberOr(obj, "zipf_s", w.zipf_s));
+
+  AIRINDEX_ASSIGN_OR_RETURN(std::string source,
+                            GetStringOr(obj, "sources", "uniform"));
+  if (source == "clustered") {
+    w.source = workload::WorkloadSpec::Source::kClustered;
+  } else if (source != "uniform") {
+    return Status::InvalidArgument("unknown source distribution \"" +
+                                   source + "\" (uniform|clustered)");
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(
+      uint64_t cells,
+      GetUint64Or(obj, "partition_regions", w.partition_regions));
+  w.partition_regions = static_cast<uint32_t>(cells);
+  if (auto it = obj.object.find("source_regions"); it != obj.object.end()) {
+    if (it->second.type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("source_regions must be an array");
+    }
+    for (const JsonValue& v : it->second.array) {
+      if (v.type != JsonValue::Type::kNumber) {
+        return Status::InvalidArgument("source_regions must hold numbers");
+      }
+      w.source_regions.push_back(static_cast<uint32_t>(v.number));
+    }
+  }
+
+  AIRINDEX_ASSIGN_OR_RETURN(std::string phase,
+                            GetStringOr(obj, "phases", "uniform"));
+  if (phase == "rush-hour") {
+    w.phase = workload::WorkloadSpec::Phase::kRushHour;
+  } else if (phase != "uniform") {
+    return Status::InvalidArgument("unknown phase distribution \"" + phase +
+                                   "\" (uniform|rush-hour)");
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(w.phase_peak,
+                            GetNumberOr(obj, "phase_peak", w.phase_peak));
+  AIRINDEX_ASSIGN_OR_RETURN(w.phase_width,
+                            GetNumberOr(obj, "phase_width", w.phase_width));
+  return w;
+}
+
+Result<ClientGroupSpec> GroupFromJson(const JsonValue& obj) {
+  ClientGroupSpec g;
+  AIRINDEX_ASSIGN_OR_RETURN(g.name, GetString(obj, "name"));
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t queries,
+                            GetUint64Or(obj, "queries", 0));
+  g.queries = static_cast<size_t>(queries);
+  AIRINDEX_ASSIGN_OR_RETURN(g.weight, GetNumberOr(obj, "weight", g.weight));
+  AIRINDEX_ASSIGN_OR_RETURN(g.profile,
+                            GetStringOr(obj, "profile", g.profile));
+  AIRINDEX_ASSIGN_OR_RETURN(
+      g.bits_per_second,
+      GetNumberOr(obj, "bits_per_second", g.bits_per_second));
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t loss_seed,
+                            GetUint64Or(obj, "loss_seed", 0));
+  g.loss_seed = loss_seed;
+
+  if (auto it = obj.object.find("loss"); it != obj.object.end()) {
+    if (it->second.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("loss must be an object");
+    }
+    AIRINDEX_ASSIGN_OR_RETURN(g.loss.rate,
+                              GetNumberOr(it->second, "rate", 0.0));
+    AIRINDEX_ASSIGN_OR_RETURN(uint64_t burst,
+                              GetUint64Or(it->second, "burst_len", 1));
+    g.loss.burst_len = static_cast<uint32_t>(burst);
+    if (g.loss.burst_len == 0) {
+      return Status::InvalidArgument("loss burst_len must be >= 1");
+    }
+  }
+
+  if (auto it = obj.object.find("client"); it != obj.object.end()) {
+    if (it->second.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("client must be an object");
+    }
+    const JsonValue& c = it->second;
+    AIRINDEX_ASSIGN_OR_RETURN(uint64_t heap,
+                              GetUint64Or(c, "heap_bytes", 0));
+    g.client.heap_bytes = static_cast<size_t>(heap);
+    AIRINDEX_ASSIGN_OR_RETURN(
+        g.client.memory_bound,
+        GetBoolOr(c, "memory_bound", g.client.memory_bound));
+    AIRINDEX_ASSIGN_OR_RETURN(
+        g.client.cross_border_opt,
+        GetBoolOr(c, "cross_border_opt", g.client.cross_border_opt));
+    AIRINDEX_ASSIGN_OR_RETURN(
+        uint64_t repair,
+        GetUint64Or(c, "max_repair_cycles",
+                    static_cast<uint64_t>(g.client.max_repair_cycles)));
+    g.client.max_repair_cycles = static_cast<int>(repair);
+  }
+
+  if (auto it = obj.object.find("workload"); it != obj.object.end()) {
+    if (it->second.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("workload must be an object");
+    }
+    AIRINDEX_ASSIGN_OR_RETURN(g.workload,
+                              WorkloadSpecFromJson(it->second));
+  }
+  return g;
+}
+
+Result<core::SystemParams> ParamsFromJson(const JsonValue& obj) {
+  core::SystemParams p;
+  AIRINDEX_ASSIGN_OR_RETURN(
+      uint64_t v, GetUint64Or(obj, "arcflag_regions", p.arcflag_regions));
+  p.arcflag_regions = static_cast<uint32_t>(v);
+  AIRINDEX_ASSIGN_OR_RETURN(v, GetUint64Or(obj, "eb_regions", p.eb_regions));
+  p.eb_regions = static_cast<uint32_t>(v);
+  AIRINDEX_ASSIGN_OR_RETURN(v, GetUint64Or(obj, "nr_regions", p.nr_regions));
+  p.nr_regions = static_cast<uint32_t>(v);
+  AIRINDEX_ASSIGN_OR_RETURN(v, GetUint64Or(obj, "landmarks", p.landmarks));
+  p.landmarks = static_cast<uint32_t>(v);
+  AIRINDEX_ASSIGN_OR_RETURN(v,
+                            GetUint64Or(obj, "hiti_regions", p.hiti_regions));
+  p.hiti_regions = static_cast<uint32_t>(v);
+  return p;
+}
+
+}  // namespace
+
+Result<Scenario> ScenarioFromJson(std::string_view json) {
+  AIRINDEX_ASSIGN_OR_RETURN(JsonValue root, jsonutil::ParseJson(json));
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("scenario root must be a JSON object");
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(std::string schema, GetString(root, "schema"));
+  if (schema != kScenarioSchema) {
+    return Status::InvalidArgument("unsupported scenario schema " + schema);
+  }
+
+  Scenario s;
+  AIRINDEX_ASSIGN_OR_RETURN(s.name, GetString(root, "name"));
+  AIRINDEX_ASSIGN_OR_RETURN(s.description,
+                            GetStringOr(root, "description", ""));
+  AIRINDEX_ASSIGN_OR_RETURN(s.network,
+                            GetStringOr(root, "network", s.network));
+  AIRINDEX_ASSIGN_OR_RETURN(s.scale, GetNumberOr(root, "scale", s.scale));
+  AIRINDEX_ASSIGN_OR_RETURN(s.seed, GetUint64Or(root, "seed", s.seed));
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t total,
+                            GetUint64Or(root, "total_queries",
+                                        s.total_queries));
+  s.total_queries = static_cast<size_t>(total);
+
+  if (auto it = root.object.find("systems"); it != root.object.end()) {
+    if (it->second.type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("systems must be an array");
+    }
+    for (const JsonValue& v : it->second.array) {
+      if (v.type != JsonValue::Type::kString) {
+        return Status::InvalidArgument("systems must hold strings");
+      }
+      s.systems.push_back(v.string);
+    }
+  }
+  if (auto it = root.object.find("params"); it != root.object.end()) {
+    if (it->second.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("params must be an object");
+    }
+    AIRINDEX_ASSIGN_OR_RETURN(s.params, ParamsFromJson(it->second));
+  }
+
+  auto it = root.object.find("groups");
+  if (it == root.object.end() ||
+      it->second.type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument("missing groups array");
+  }
+  for (const JsonValue& entry : it->second.array) {
+    if (entry.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("group entry must be an object");
+    }
+    AIRINDEX_ASSIGN_OR_RETURN(ClientGroupSpec g, GroupFromJson(entry));
+    s.groups.push_back(std::move(g));
+  }
+  if (s.groups.empty()) {
+    return Status::InvalidArgument("scenario has no client groups");
+  }
+  return s;
+}
+
+namespace {
+
+void WriteWorkloadSpec(JsonWriter& w, const workload::WorkloadSpec& spec) {
+  w.Key("workload");
+  w.BeginObject();
+  w.Field("destinations",
+          spec.dest == workload::WorkloadSpec::Dest::kZipf ? "zipf"
+                                                           : "uniform");
+  if (spec.dest == workload::WorkloadSpec::Dest::kZipf) {
+    w.Field("zipf_s", spec.zipf_s);
+  }
+  w.Field("sources",
+          spec.source == workload::WorkloadSpec::Source::kClustered
+              ? "clustered"
+              : "uniform");
+  if (spec.source == workload::WorkloadSpec::Source::kClustered) {
+    w.Field("partition_regions",
+            static_cast<uint64_t>(spec.partition_regions));
+    w.BeginArray("source_regions");
+    for (uint32_t cell : spec.source_regions) {
+      w.Element(static_cast<uint64_t>(cell));
+    }
+    w.EndArray();
+  }
+  w.Field("phases",
+          spec.phase == workload::WorkloadSpec::Phase::kRushHour
+              ? "rush-hour"
+              : "uniform");
+  if (spec.phase == workload::WorkloadSpec::Phase::kRushHour) {
+    w.Field("phase_peak", spec.phase_peak);
+    w.Field("phase_width", spec.phase_width);
+  }
+  if (spec.seed != 0) w.Field("seed", static_cast<uint64_t>(spec.seed));
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ScenarioToJson(const Scenario& s) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("schema", kScenarioSchema);
+  w.Field("name", s.name);
+  w.Field("description", s.description);
+  w.Field("network", s.network);
+  w.Field("scale", s.scale);
+  w.Field("seed", static_cast<uint64_t>(s.seed));
+  w.Field("total_queries", static_cast<uint64_t>(s.total_queries));
+  w.BeginArray("systems");
+  for (const std::string& name : s.EffectiveSystems()) w.Element(name);
+  w.EndArray();
+  w.Key("params");
+  w.BeginObject();
+  w.Field("arcflag_regions", static_cast<uint64_t>(s.params.arcflag_regions));
+  w.Field("eb_regions", static_cast<uint64_t>(s.params.eb_regions));
+  w.Field("nr_regions", static_cast<uint64_t>(s.params.nr_regions));
+  w.Field("landmarks", static_cast<uint64_t>(s.params.landmarks));
+  w.Field("hiti_regions", static_cast<uint64_t>(s.params.hiti_regions));
+  w.EndObject();
+  w.BeginArray("groups");
+  for (const ClientGroupSpec& g : s.groups) {
+    w.BeginObject();
+    w.Field("name", g.name);
+    if (g.queries > 0) {
+      w.Field("queries", static_cast<uint64_t>(g.queries));
+    } else {
+      w.Field("weight", g.weight);
+    }
+    w.Field("profile", g.profile);
+    w.Field("bits_per_second", g.bits_per_second);
+    w.Key("loss");
+    w.BeginObject();
+    w.Field("rate", g.loss.rate);
+    w.Field("burst_len", static_cast<uint64_t>(g.loss.burst_len));
+    w.EndObject();
+    w.Key("client");
+    w.BeginObject();
+    w.Field("heap_bytes", static_cast<uint64_t>(g.client.heap_bytes));
+    w.FieldBool("memory_bound", g.client.memory_bound);
+    w.FieldBool("cross_border_opt", g.client.cross_border_opt);
+    w.Field("max_repair_cycles",
+            static_cast<uint64_t>(g.client.max_repair_cycles));
+    w.EndObject();
+    WriteWorkloadSpec(w, g.workload);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  std::string out = std::move(w).Take();
+  out += '\n';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void AppendSystemRows(std::string& out,
+                      const std::vector<SystemResult>& systems) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-6s %12s %12s %12s %10s %10s %8s %10s %6s\n", "method",
+                "tuning[pkt]", "p95[pkt]", "latency[pkt]", "mem[MB]",
+                "energy[J]", "cpu[ms]", "qps", "fail");
+  out += line;
+  for (const SystemResult& r : systems) {
+    const Aggregate& a = r.aggregate;
+    std::snprintf(line, sizeof(line),
+                  "%-6s %12.0f %12.0f %12.0f %10.2f %10.3f %8.2f %10.0f "
+                  "%6zu\n",
+                  a.system.c_str(), a.tuning_packets.mean,
+                  a.tuning_packets.p95, a.latency_packets.mean,
+                  a.peak_memory_bytes.mean / (1024.0 * 1024.0),
+                  a.energy_joules.mean, a.cpu_ms.mean, r.queries_per_second,
+                  a.failures);
+    out += line;
+  }
+}
+
+}  // namespace
+
+std::string ScenarioToText(const ScenarioResult& r) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "# scenario %s on %s (scale %.2f): %zu queries, %zu "
+                "group(s), %u thread(s)\n",
+                r.scenario.c_str(), r.network.c_str(), r.scale,
+                r.num_queries, r.groups.size(), r.threads);
+  out += line;
+  for (const GroupResult& gr : r.groups) {
+    if (gr.spec.loss.burst_len > 1) {
+      std::snprintf(line, sizeof(line),
+                    "\n## group %s: %zu queries, profile=%s, %.0f kbps, "
+                    "loss=%.2f%% (bursts of %u)\n",
+                    gr.spec.name.c_str(), gr.spec.queries,
+                    gr.spec.profile.c_str(),
+                    gr.spec.bits_per_second / 1000.0,
+                    gr.spec.loss.rate * 100.0, gr.spec.loss.burst_len);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "\n## group %s: %zu queries, profile=%s, %.0f kbps, "
+                    "loss=%.2f%%\n",
+                    gr.spec.name.c_str(), gr.spec.queries,
+                    gr.spec.profile.c_str(),
+                    gr.spec.bits_per_second / 1000.0,
+                    gr.spec.loss.rate * 100.0);
+    }
+    out += line;
+    AppendSystemRows(out, gr.systems);
+  }
+  std::snprintf(line, sizeof(line), "\n## fleet (%zu queries)\n",
+                r.num_queries);
+  out += line;
+  AppendSystemRows(out, r.fleet);
+  std::snprintf(line, sizeof(line), "# wall %.3f s total\n",
+                r.wall_seconds);
+  out += line;
+  return out;
+}
+
+std::string ScenarioReportToJson(const ScenarioResult& r) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("schema", kScenarioSchema);
+  w.Field("scenario", r.scenario);
+  w.Field("network", r.network);
+  w.Field("scale", r.scale);
+  w.Field("num_queries", static_cast<uint64_t>(r.num_queries));
+  w.Field("threads", static_cast<uint64_t>(r.threads));
+  w.Field("wall_seconds", r.wall_seconds);
+  w.BeginArray("groups");
+  for (const GroupResult& gr : r.groups) {
+    w.BeginObject();
+    w.Field("group", gr.spec.name);
+    w.Field("queries", static_cast<uint64_t>(gr.spec.queries));
+    w.Field("profile", gr.spec.profile);
+    w.Field("bits_per_second", gr.spec.bits_per_second);
+    w.Field("loss_rate", gr.spec.loss.rate);
+    w.Field("loss_burst_len", static_cast<uint64_t>(gr.spec.loss.burst_len));
+    w.Field("loss_seed", static_cast<uint64_t>(gr.loss_seed));
+    w.Field("workload_seed", static_cast<uint64_t>(gr.workload_seed));
+    w.BeginArray("systems");
+    for (const SystemResult& sr : gr.systems) {
+      detail::WriteSystemEntry(w, sr);
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.BeginArray("fleet");
+  for (const SystemResult& sr : r.fleet) detail::WriteSystemEntry(w, sr);
+  w.EndArray();
+  w.EndObject();
+  std::string out = std::move(w).Take();
+  out += '\n';
+  return out;
+}
+
+Result<ScenarioResult> ScenarioReportFromJson(std::string_view json) {
+  AIRINDEX_ASSIGN_OR_RETURN(JsonValue root, jsonutil::ParseJson(json));
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("report root must be a JSON object");
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(std::string schema, GetString(root, "schema"));
+  if (schema != kScenarioSchema) {
+    return Status::InvalidArgument("unsupported scenario schema " + schema);
+  }
+  auto fleet_it = root.object.find("fleet");
+  if (fleet_it == root.object.end() ||
+      fleet_it->second.type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument(
+        "missing fleet array (is this a spec, not a report?)");
+  }
+
+  ScenarioResult r;
+  AIRINDEX_ASSIGN_OR_RETURN(r.scenario, GetString(root, "scenario"));
+  AIRINDEX_ASSIGN_OR_RETURN(r.network, GetString(root, "network"));
+  AIRINDEX_ASSIGN_OR_RETURN(r.scale, GetNumber(root, "scale"));
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t nq, GetUint64(root, "num_queries"));
+  r.num_queries = static_cast<size_t>(nq);
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t threads, GetUint64(root, "threads"));
+  r.threads = static_cast<unsigned>(threads);
+  AIRINDEX_ASSIGN_OR_RETURN(r.wall_seconds,
+                            GetNumber(root, "wall_seconds"));
+
+  auto groups_it = root.object.find("groups");
+  if (groups_it == root.object.end() ||
+      groups_it->second.type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument("missing groups array");
+  }
+  for (const JsonValue& entry : groups_it->second.array) {
+    if (entry.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("group entry must be an object");
+    }
+    GroupResult gr;
+    AIRINDEX_ASSIGN_OR_RETURN(gr.spec.name, GetString(entry, "group"));
+    AIRINDEX_ASSIGN_OR_RETURN(uint64_t queries,
+                              GetUint64(entry, "queries"));
+    gr.spec.queries = static_cast<size_t>(queries);
+    AIRINDEX_ASSIGN_OR_RETURN(gr.spec.profile, GetString(entry, "profile"));
+    AIRINDEX_ASSIGN_OR_RETURN(gr.spec.bits_per_second,
+                              GetNumber(entry, "bits_per_second"));
+    AIRINDEX_ASSIGN_OR_RETURN(gr.spec.loss.rate,
+                              GetNumber(entry, "loss_rate"));
+    AIRINDEX_ASSIGN_OR_RETURN(uint64_t burst,
+                              GetUint64(entry, "loss_burst_len"));
+    gr.spec.loss.burst_len = static_cast<uint32_t>(burst);
+    AIRINDEX_ASSIGN_OR_RETURN(gr.loss_seed, GetUint64(entry, "loss_seed"));
+    AIRINDEX_ASSIGN_OR_RETURN(gr.workload_seed,
+                              GetUint64(entry, "workload_seed"));
+    auto sys_it = entry.object.find("systems");
+    if (sys_it == entry.object.end() ||
+        sys_it->second.type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("group entry missing systems array");
+    }
+    for (const JsonValue& sys_entry : sys_it->second.array) {
+      AIRINDEX_ASSIGN_OR_RETURN(SystemResult sr,
+                                detail::SystemEntryFromJson(sys_entry));
+      gr.systems.push_back(std::move(sr));
+    }
+    r.groups.push_back(std::move(gr));
+  }
+  for (const JsonValue& sys_entry : fleet_it->second.array) {
+    AIRINDEX_ASSIGN_OR_RETURN(SystemResult sr,
+                              detail::SystemEntryFromJson(sys_entry));
+    r.fleet.push_back(std::move(sr));
+  }
+  return r;
+}
+
+}  // namespace airindex::sim

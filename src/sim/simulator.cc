@@ -60,6 +60,7 @@ BatchResult Simulator::Run(std::span<const core::AirSystem* const> systems,
   batch.num_queries = w.queries.size();
   batch.threads = effective_threads();
   batch.loss_rate = options_.loss.rate;
+  batch.loss_burst_len = options_.loss.burst_len;
   batch.loss_seed = options_.loss_seed;
   const auto start = std::chrono::steady_clock::now();
   for (const core::AirSystem* sys : systems) {

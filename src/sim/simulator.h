@@ -54,7 +54,10 @@ struct BatchResult {
   /// Effective worker count (a SimOptions::threads of 0 is resolved to the
   /// hardware concurrency before being recorded here).
   unsigned threads = 1;
+  /// The full channel loss model (not just the rate): bursty runs were
+  /// previously reported as if their losses were independent.
   double loss_rate = 0.0;
+  uint32_t loss_burst_len = 1;
   uint64_t loss_seed = 0;
   double wall_seconds = 0.0;
   std::vector<SystemResult> systems;

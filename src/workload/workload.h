@@ -26,8 +26,49 @@ struct Workload {
   std::vector<Query> queries;
 };
 
-/// Generates `count` uniform random s != t queries with ground truth
-/// (Dijkstras run in parallel) and uniform tune-in phases.
+/// Declarative description of a query population. The paper evaluates one
+/// homogeneous population (uniform random s/t, uniform tune-in); the spec
+/// generalizes each axis independently so scenario client groups can model
+/// hotspot destinations, commuter source clusters, and rush-hour tune-in
+/// bursts without new generator code per combination.
+struct WorkloadSpec {
+  size_t count = 100;
+  uint64_t seed = 20100913;
+
+  /// Destination choice. kZipf ranks nodes by a seed-derived permutation
+  /// and samples rank r with probability ∝ 1/(r+1)^zipf_s, concentrating
+  /// queries onto a few hotspot destinations (downtown, the stadium).
+  enum class Dest { kUniform, kZipf } dest = Dest::kUniform;
+  double zipf_s = 1.1;
+
+  /// Source choice. kClustered draws sources only from the nodes of the
+  /// named kd-tree cells (the same §4.1 partitioner the indexes broadcast),
+  /// modelling clients concentrated in a few districts.
+  enum class Source { kUniform, kClustered } source = Source::kUniform;
+  /// Kd-tree leaf count used to resolve source_regions (power of two >= 2).
+  uint32_t partition_regions = 16;
+  /// Cells sources are drawn from (required non-empty for kClustered).
+  std::vector<uint32_t> source_regions;
+
+  /// Tune-in instant. kRushHour concentrates phases in a triangular burst
+  /// of half-width phase_width around phase_peak (wrapped mod 1), modelling
+  /// synchronized commute-time tune-ins.
+  enum class Phase { kUniform, kRushHour } phase = Phase::kUniform;
+  double phase_peak = 0.35;
+  double phase_width = 0.08;
+
+  bool operator==(const WorkloadSpec&) const = default;
+};
+
+/// Generates a workload per `spec` with ground truth (Dijkstras run in
+/// parallel; the sampling pass is serial, so results are identical for
+/// every thread count). A default-constructed spec reproduces the paper's
+/// population — and the exact query sequence of the (count, seed) overload.
+Result<Workload> GenerateWorkload(const graph::Graph& g,
+                                  const WorkloadSpec& spec);
+
+/// Generates `count` uniform random s != t queries with ground truth and
+/// uniform tune-in phases (the paper's §7 population).
 Result<Workload> GenerateWorkload(const graph::Graph& g, size_t count,
                                   uint64_t seed);
 

@@ -21,6 +21,7 @@ BatchResult MakeBatch() {
   batch.num_queries = 128;
   batch.threads = 4;
   batch.loss_rate = 0.015;
+  batch.loss_burst_len = 6;  // bursty channels must round-trip, not flatten
   // Above 2^53: a parser that routed integers through double would
   // silently round this seed.
   batch.loss_seed = (1ULL << 53) + 1;
@@ -60,6 +61,7 @@ TEST(ReportTest, JsonRoundTripIsExact) {
   EXPECT_EQ(parsed->num_queries, batch.num_queries);
   EXPECT_EQ(parsed->threads, batch.threads);
   EXPECT_EQ(parsed->loss_rate, batch.loss_rate);
+  EXPECT_EQ(parsed->loss_burst_len, batch.loss_burst_len);
   EXPECT_EQ(parsed->loss_seed, batch.loss_seed);
   EXPECT_EQ(parsed->wall_seconds, batch.wall_seconds);
   ASSERT_EQ(parsed->systems.size(), batch.systems.size());
@@ -80,6 +82,24 @@ TEST(ReportTest, SecondRoundTripIsIdentityOnTheText) {
   auto parsed = FromJson(json);
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(ToJson(*parsed), json);
+}
+
+TEST(ReportTest, AcceptsLegacyReportsWithoutBurstField) {
+  // loss_burst_len is additive within airindex.sim.batch/v1: documents
+  // from older writers (no such field) must keep parsing, defaulting to
+  // independent losses.
+  BatchResult batch = MakeBatch();
+  batch.loss_burst_len = 1;
+  std::string json = ToJson(batch);
+  const std::string field = "  \"loss_burst_len\": 1,\n";
+  const size_t pos = json.find(field);
+  ASSERT_NE(pos, std::string::npos);
+  json.erase(pos, field.size());
+
+  auto parsed = FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->loss_burst_len, 1u);
+  EXPECT_EQ(parsed->loss_rate, batch.loss_rate);
 }
 
 TEST(ReportTest, JsonCarriesSchemaTag) {

@@ -1,0 +1,309 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "device/energy.h"
+#include "device/profile_catalog.h"
+#include "sim/scenario_catalog.h"
+
+namespace airindex::sim {
+namespace {
+
+/// A two-group heterogeneous scenario small enough for unit tests: tiny
+/// catalog network, two systems, different device/bitrate/loss per group.
+Scenario SmallScenario() {
+  Scenario s;
+  s.name = "test-fleet";
+  s.network = "Milan";
+  s.scale = 0.02;
+  s.seed = 7;
+  s.total_queries = 12;
+  s.systems = {"DJ", "NR"};
+  s.params.nr_regions = 8;
+
+  ClientGroupSpec phones;
+  phones.name = "phones";
+  phones.weight = 2.0;
+  s.groups.push_back(phones);
+
+  ClientGroupSpec sensors;
+  sensors.name = "sensors";
+  sensors.weight = 1.0;
+  sensors.profile = "iot-sensor";
+  sensors.bits_per_second = device::kBitrateMoving3G;
+  sensors.loss = broadcast::LossModel::Bursty(0.02, 4);
+  sensors.client.max_repair_cycles = 64;
+  s.groups.push_back(sensors);
+  return s;
+}
+
+TEST(ResolveGroupCountsTest, WeightsSplitTheBudget) {
+  Scenario s = SmallScenario();
+  auto counts = ResolveGroupCounts(s);
+  ASSERT_TRUE(counts.ok()) << counts.status().ToString();
+  EXPECT_EQ((*counts)[0], 8u);
+  EXPECT_EQ((*counts)[1], 4u);
+}
+
+TEST(ResolveGroupCountsTest, ExplicitCountsWinOverWeights) {
+  Scenario s = SmallScenario();
+  s.groups[0].queries = 5;
+  auto counts = ResolveGroupCounts(s);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ((*counts)[0], 5u);
+  EXPECT_EQ((*counts)[1], 7u);  // the rest of the 12-query budget
+}
+
+TEST(ResolveGroupCountsTest, RejectsZeroAllocations) {
+  Scenario s = SmallScenario();
+  s.total_queries = 1;
+  s.groups[0].queries = 1;
+  EXPECT_FALSE(ResolveGroupCounts(s).ok());
+}
+
+class ScenarioRunnerTest : public ::testing::Test {
+ protected:
+  static ScenarioResult RunDeterministic(const Scenario& s,
+                                         unsigned threads) {
+    ScenarioRunner::RunOptions ro;
+    ro.threads = threads;
+    ro.deterministic = true;
+    auto result = ScenarioRunner(ro).Run(s);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+};
+
+TEST_F(ScenarioRunnerTest, FleetAggregateEqualsMergeOfGroups) {
+  const ScenarioResult r = RunDeterministic(SmallScenario(), 1);
+  ASSERT_EQ(r.groups.size(), 2u);
+  ASSERT_EQ(r.fleet.size(), 2u);
+  EXPECT_EQ(r.num_queries, 12u);
+
+  for (size_t si = 0; si < r.fleet.size(); ++si) {
+    // Independent re-merge: concatenate every group's per-query metrics
+    // and price each group's energy under its own device/bitrate.
+    std::vector<device::QueryMetrics> metrics;
+    std::vector<double> joules;
+    for (const GroupResult& gr : r.groups) {
+      const device::EnergyModel energy(
+          device::FindProfile(gr.spec.profile).value(),
+          gr.spec.bits_per_second);
+      for (const auto& m : gr.systems[si].per_query) {
+        metrics.push_back(m);
+        joules.push_back(energy.QueryJoules(m));
+      }
+    }
+    const Aggregate expected =
+        Aggregate::Of(r.fleet[si].system, metrics, joules);
+    EXPECT_EQ(r.fleet[si].aggregate, expected) << r.fleet[si].system;
+    EXPECT_EQ(r.fleet[si].aggregate.queries, r.num_queries);
+  }
+}
+
+TEST_F(ScenarioRunnerTest, GroupsDifferingOnlyInLossAreThreadInvariant) {
+  // The acceptance shape: two groups identical except for the loss model
+  // must produce bit-identical aggregates at 1 and 4 threads.
+  Scenario s = SmallScenario();
+  s.groups[1] = s.groups[0];
+  s.groups[1].name = "bursty";
+  s.groups[1].loss = broadcast::LossModel::Bursty(0.02, 8);
+  s.groups[1].client.max_repair_cycles = 64;
+  s.groups[0].loss = broadcast::LossModel::Independent(0.02);
+  s.groups[0].client.max_repair_cycles = 64;
+
+  const ScenarioResult serial = RunDeterministic(s, 1);
+  const ScenarioResult parallel = RunDeterministic(s, 4);
+  ASSERT_EQ(serial.groups.size(), parallel.groups.size());
+  for (size_t gi = 0; gi < serial.groups.size(); ++gi) {
+    ASSERT_EQ(serial.groups[gi].systems.size(),
+              parallel.groups[gi].systems.size());
+    for (size_t si = 0; si < serial.groups[gi].systems.size(); ++si) {
+      EXPECT_EQ(serial.groups[gi].systems[si].per_query,
+                parallel.groups[gi].systems[si].per_query);
+      EXPECT_EQ(serial.groups[gi].systems[si].aggregate,
+                parallel.groups[gi].systems[si].aggregate);
+    }
+  }
+  for (size_t si = 0; si < serial.fleet.size(); ++si) {
+    EXPECT_EQ(serial.fleet[si].aggregate, parallel.fleet[si].aggregate);
+  }
+  // The two loss models genuinely differ in effect.
+  EXPECT_NE(serial.groups[0].systems[0].aggregate.latency_packets,
+            serial.groups[1].systems[0].aggregate.latency_packets);
+}
+
+TEST_F(ScenarioRunnerTest, ReportJsonRoundTrips) {
+  const ScenarioResult r = RunDeterministic(SmallScenario(), 1);
+  const std::string json = ScenarioReportToJson(r);
+  EXPECT_NE(json.find(kScenarioSchema), std::string::npos);
+
+  auto parsed = ScenarioReportFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->scenario, r.scenario);
+  EXPECT_EQ(parsed->network, r.network);
+  EXPECT_EQ(parsed->num_queries, r.num_queries);
+  ASSERT_EQ(parsed->groups.size(), r.groups.size());
+  for (size_t gi = 0; gi < r.groups.size(); ++gi) {
+    EXPECT_EQ(parsed->groups[gi].spec.name, r.groups[gi].spec.name);
+    EXPECT_EQ(parsed->groups[gi].spec.loss.burst_len,
+              r.groups[gi].spec.loss.burst_len);
+    for (size_t si = 0; si < r.groups[gi].systems.size(); ++si) {
+      EXPECT_EQ(parsed->groups[gi].systems[si].aggregate,
+                r.groups[gi].systems[si].aggregate);
+    }
+  }
+  ASSERT_EQ(parsed->fleet.size(), r.fleet.size());
+  for (size_t si = 0; si < r.fleet.size(); ++si) {
+    EXPECT_EQ(parsed->fleet[si].aggregate, r.fleet[si].aggregate);
+  }
+  // Serialization is a fixed point.
+  EXPECT_EQ(ScenarioReportToJson(*parsed), json);
+}
+
+TEST(ScenarioSpecJsonTest, ParsesAFullSpec) {
+  const char* json = R"({
+    "schema": "airindex.sim.scenario/v1",
+    "name": "commute",
+    "description": "two-group commute",
+    "network": "Milan",
+    "scale": 0.05,
+    "seed": 42,
+    "total_queries": 30,
+    "systems": ["NR", "EB"],
+    "params": {"nr_regions": 8, "eb_regions": 8},
+    "groups": [
+      {
+        "name": "commuters",
+        "weight": 2,
+        "profile": "smartphone",
+        "bits_per_second": 384000,
+        "loss": {"rate": 0.01, "burst_len": 4},
+        "client": {"memory_bound": true, "max_repair_cycles": 32},
+        "workload": {
+          "destinations": "zipf", "zipf_s": 1.3,
+          "sources": "clustered", "partition_regions": 8,
+          "source_regions": [0, 1],
+          "phases": "rush-hour", "phase_peak": 0.4, "phase_width": 0.1
+        }
+      },
+      {"name": "rest", "queries": 10}
+    ]
+  })";
+  auto s = ScenarioFromJson(json);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->name, "commute");
+  EXPECT_EQ(s->network, "Milan");
+  EXPECT_EQ(s->seed, 42u);
+  EXPECT_EQ(s->total_queries, 30u);
+  EXPECT_EQ(s->systems, (std::vector<std::string>{"NR", "EB"}));
+  EXPECT_EQ(s->params.nr_regions, 8u);
+  ASSERT_EQ(s->groups.size(), 2u);
+
+  const ClientGroupSpec& g = s->groups[0];
+  EXPECT_EQ(g.profile, "smartphone");
+  EXPECT_EQ(g.bits_per_second, 384000.0);
+  EXPECT_EQ(g.loss.rate, 0.01);
+  EXPECT_EQ(g.loss.burst_len, 4u);
+  EXPECT_TRUE(g.client.memory_bound);
+  EXPECT_EQ(g.client.max_repair_cycles, 32);
+  EXPECT_EQ(g.workload.dest, workload::WorkloadSpec::Dest::kZipf);
+  EXPECT_EQ(g.workload.zipf_s, 1.3);
+  EXPECT_EQ(g.workload.source, workload::WorkloadSpec::Source::kClustered);
+  EXPECT_EQ(g.workload.source_regions, (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(g.workload.phase, workload::WorkloadSpec::Phase::kRushHour);
+  EXPECT_EQ(s->groups[1].queries, 10u);
+}
+
+TEST(ScenarioSpecJsonTest, SpecSerializationRoundTrips) {
+  for (const Scenario& s : ScenarioCatalog()) {
+    const std::string json = ScenarioToJson(s);
+    auto parsed = ScenarioFromJson(json);
+    ASSERT_TRUE(parsed.ok()) << s.name << ": "
+                             << parsed.status().ToString();
+    EXPECT_EQ(parsed->name, s.name);
+    EXPECT_EQ(parsed->network, s.network);
+    EXPECT_EQ(parsed->total_queries, s.total_queries);
+    ASSERT_EQ(parsed->groups.size(), s.groups.size()) << s.name;
+    for (size_t gi = 0; gi < s.groups.size(); ++gi) {
+      EXPECT_EQ(parsed->groups[gi].workload, s.groups[gi].workload)
+          << s.name << " group " << gi;
+      EXPECT_EQ(parsed->groups[gi].profile, s.groups[gi].profile);
+      EXPECT_EQ(parsed->groups[gi].loss.burst_len,
+                s.groups[gi].loss.burst_len);
+    }
+  }
+}
+
+TEST(ScenarioSpecJsonTest, DecodesStandardStringEscapes) {
+  // Hand-written spec files may use any standard JSON escape, not just
+  // the \" and \\ this library's writers emit.
+  const char* json = R"({
+    "schema": "airindex.sim.scenario/v1",
+    "name": "esc",
+    "description": "line1\nline2 \u00e9 tab\there",
+    "groups": [{"name": "g"}]
+  })";
+  auto s = ScenarioFromJson(json);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->description, "line1\nline2 \xC3\xA9 tab\there");
+  EXPECT_FALSE(ScenarioFromJson(R"({"schema": "airindex.sim.scenario/v1",
+    "name": "bad\q", "groups": [{"name": "g"}]})")
+                   .ok());
+}
+
+TEST(ScenarioSpecJsonTest, RejectsGarbage) {
+  EXPECT_FALSE(ScenarioFromJson("nope").ok());
+  EXPECT_FALSE(ScenarioFromJson("{}").ok());
+  EXPECT_FALSE(
+      ScenarioFromJson(R"({"schema": "other/v1", "name": "x"})").ok());
+  // Schema right but no groups.
+  EXPECT_FALSE(ScenarioFromJson(
+                   R"({"schema": "airindex.sim.scenario/v1", "name": "x"})")
+                   .ok());
+  // A report is not a spec: ScenarioReportFromJson requires "fleet".
+  EXPECT_FALSE(ScenarioReportFromJson(
+                   R"({"schema": "airindex.sim.scenario/v1", "name": "x"})")
+                   .ok());
+}
+
+TEST(ScenarioCatalogTest, EveryBuiltinCompilesAndRunsTiny) {
+  for (const Scenario& entry : ScenarioCatalog()) {
+    Scenario s = entry;
+    // Smoke scale: shrink the network and the fleet, keep the group
+    // structure and every system under test.
+    s.scale = 0.02;
+    for (auto& g : s.groups) {
+      g.queries = 0;
+      g.weight = 1.0;
+    }
+    s.total_queries = 2 * s.groups.size();
+
+    ScenarioRunner::RunOptions ro;
+    ro.threads = 1;
+    ro.deterministic = true;
+    auto result = ScenarioRunner(ro).Run(s);
+    ASSERT_TRUE(result.ok()) << s.name << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->num_queries, s.total_queries) << s.name;
+    EXPECT_EQ(result->fleet.size(), s.EffectiveSystems().size()) << s.name;
+    for (const auto& fleet : result->fleet) {
+      EXPECT_LT(fleet.aggregate.failures, fleet.aggregate.queries)
+          << s.name << " " << fleet.system;
+    }
+  }
+}
+
+TEST(ScenarioCatalogTest, FindScenarioReportsKnownNames) {
+  EXPECT_TRUE(FindScenario("paper-baseline").ok());
+  auto miss = FindScenario("no-such-scenario");
+  ASSERT_FALSE(miss.ok());
+  EXPECT_NE(miss.status().ToString().find("paper-baseline"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace airindex::sim

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <vector>
+
 #include "algo/dijkstra.h"
+#include "partition/kd_tree.h"
 #include "testing/test_graphs.h"
 
 namespace airindex::workload {
@@ -92,6 +97,166 @@ TEST(WorkloadTest, TinyGraphRejected) {
   b.AddNode({0, 0});
   graph::Graph g = std::move(b).Build().value();
   EXPECT_FALSE(GenerateWorkload(g, 5, 1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadSpec distributions
+// ---------------------------------------------------------------------------
+
+/// Fraction of queries whose destination is among the most popular tenth
+/// of distinct destinations.
+double TopDecileDestinationShare(const Workload& w, size_t num_nodes) {
+  std::vector<size_t> hits(num_nodes, 0);
+  for (const auto& q : w.queries) ++hits[q.target];
+  std::sort(hits.begin(), hits.end(), std::greater<>());
+  const size_t decile = std::max<size_t>(1, num_nodes / 10);
+  size_t top = 0;
+  for (size_t i = 0; i < decile; ++i) top += hits[i];
+  return static_cast<double>(top) / static_cast<double>(w.queries.size());
+}
+
+TEST(WorkloadSpecTest, DefaultSpecMatchesLegacyOverloadExactly) {
+  graph::Graph g = SmallNetwork();
+  WorkloadSpec spec;
+  spec.count = 40;
+  spec.seed = 11;
+  auto a = GenerateWorkload(g, spec);
+  auto b = GenerateWorkload(g, 40, 11);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(a->queries[i].source, b->queries[i].source);
+    EXPECT_EQ(a->queries[i].target, b->queries[i].target);
+    EXPECT_EQ(a->queries[i].tune_phase, b->queries[i].tune_phase);
+    EXPECT_EQ(a->queries[i].true_dist, b->queries[i].true_dist);
+  }
+}
+
+TEST(WorkloadSpecTest, GenerationIsDeterministicPerSeedAndSkewed) {
+  graph::Graph g = SmallNetwork(300, 480, 9);
+  WorkloadSpec spec;
+  spec.count = 400;
+  spec.seed = 21;
+  spec.dest = WorkloadSpec::Dest::kZipf;
+  spec.zipf_s = 1.5;
+
+  auto a = GenerateWorkload(g, spec);
+  auto b = GenerateWorkload(g, spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < spec.count; ++i) {
+    EXPECT_EQ(a->queries[i].source, b->queries[i].source);
+    EXPECT_EQ(a->queries[i].target, b->queries[i].target);
+    EXPECT_EQ(a->queries[i].tune_phase, b->queries[i].tune_phase);
+  }
+
+  // Different seeds sample different streams.
+  WorkloadSpec other = spec;
+  other.seed = 22;
+  auto c = GenerateWorkload(g, other);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < spec.count; ++i) {
+    any_diff |= a->queries[i].target != c->queries[i].target;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadSpecTest, ZipfActuallySkewsDestinations) {
+  graph::Graph g = SmallNetwork(300, 480, 9);
+  WorkloadSpec uniform;
+  uniform.count = 400;
+  uniform.seed = 33;
+  WorkloadSpec zipf = uniform;
+  zipf.dest = WorkloadSpec::Dest::kZipf;
+  zipf.zipf_s = 1.5;
+
+  auto uw = GenerateWorkload(g, uniform);
+  auto zw = GenerateWorkload(g, zipf);
+  ASSERT_TRUE(uw.ok() && zw.ok());
+  const double uniform_share = TopDecileDestinationShare(*uw, g.num_nodes());
+  const double zipf_share = TopDecileDestinationShare(*zw, g.num_nodes());
+  // Uniform puts ~10-25% of queries on the busiest decile (small-sample
+  // noise); a 1.5-exponent Zipf concentrates well over half there.
+  EXPECT_GT(zipf_share, 0.5);
+  EXPECT_GT(zipf_share, uniform_share + 0.2);
+}
+
+TEST(WorkloadSpecTest, ClusteredSourcesLandInRequestedCells) {
+  graph::Graph g = SmallNetwork(300, 480, 10);
+  WorkloadSpec spec;
+  spec.count = 120;
+  spec.seed = 44;
+  spec.source = WorkloadSpec::Source::kClustered;
+  spec.partition_regions = 8;
+  spec.source_regions = {2, 5};
+
+  auto w = GenerateWorkload(g, spec);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  auto tree = partition::KdTreePartitioner::Build(g, 8).value();
+  for (const auto& q : w->queries) {
+    const graph::RegionId region = tree.RegionOf(g.Coord(q.source));
+    EXPECT_TRUE(region == 2 || region == 5) << "region " << region;
+  }
+}
+
+TEST(WorkloadSpecTest, ClusteredSourcesRequireValidRegions) {
+  graph::Graph g = SmallNetwork();
+  WorkloadSpec spec;
+  spec.count = 10;
+  spec.source = WorkloadSpec::Source::kClustered;
+  EXPECT_FALSE(GenerateWorkload(g, spec).ok());  // no regions named
+  spec.source_regions = {99};
+  EXPECT_FALSE(GenerateWorkload(g, spec).ok());  // out of range
+}
+
+TEST(WorkloadSpecTest, RushHourConcentratesTunePhases) {
+  graph::Graph g = SmallNetwork();
+  WorkloadSpec spec;
+  spec.count = 200;
+  spec.seed = 55;
+  spec.phase = WorkloadSpec::Phase::kRushHour;
+  spec.phase_peak = 0.35;
+  spec.phase_width = 0.08;
+
+  auto w = GenerateWorkload(g, spec);
+  ASSERT_TRUE(w.ok());
+  for (const auto& q : w->queries) {
+    ASSERT_GE(q.tune_phase, 0.0);
+    ASSERT_LT(q.tune_phase, 1.0);
+    // Triangular burst: every phase within peak +/- width.
+    EXPECT_GE(q.tune_phase, spec.phase_peak - spec.phase_width - 1e-12);
+    EXPECT_LE(q.tune_phase, spec.phase_peak + spec.phase_width + 1e-12);
+  }
+}
+
+TEST(WorkloadSpecTest, BucketizeStaysCorrectOnSkewedWorkloads) {
+  graph::Graph g = SmallNetwork(400, 640, 12);
+  WorkloadSpec spec;
+  spec.count = 250;
+  spec.seed = 66;
+  spec.dest = WorkloadSpec::Dest::kZipf;
+  spec.zipf_s = 1.3;
+  auto w = GenerateWorkload(g, spec);
+  ASSERT_TRUE(w.ok());
+
+  auto buckets = BucketizeByLength(*w, 4);
+  ASSERT_EQ(buckets.size(), 4u);
+  const graph::Dist max_dist = MaxTrueDist(*w);
+  std::vector<bool> seen(w->queries.size(), false);
+  for (int b = 0; b < 4; ++b) {
+    for (size_t qi : buckets[b]) {
+      ASSERT_LT(qi, w->queries.size());
+      EXPECT_FALSE(seen[qi]);  // each query in exactly one bucket
+      seen[qi] = true;
+      const auto expected = std::min<int>(
+          static_cast<int>(static_cast<unsigned long long>(
+                               w->queries[qi].true_dist) *
+                           4 / (max_dist + 1)),
+          3);
+      EXPECT_EQ(expected, b);
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](bool s) { return s; }));
 }
 
 }  // namespace

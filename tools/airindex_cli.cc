@@ -14,6 +14,11 @@
 //   airindex_cli run <network> [flags]
 //       Batch-simulate a multi-client workload through the parallel
 //       engine and report aggregate metrics (text or JSON).
+//
+//   airindex_cli scenario --list | --name=<builtin> | --file=<spec.json>
+//       Run a declarative scenario: a heterogeneous fleet of client
+//       groups (device profiles, loss models, workload mixes) against
+//       the systems under test, reported per group and fleet-wide.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,10 +30,13 @@
 #include "broadcast/channel.h"
 #include "core/systems.h"
 #include "device/energy.h"
+#include "device/profile_catalog.h"
 #include "graph/catalog.h"
 #include "graph/dimacs.h"
 #include "graph/generator.h"
 #include "sim/report.h"
+#include "sim/scenario.h"
+#include "sim/scenario_catalog.h"
 #include "sim/simulator.h"
 #include "workload/workload.h"
 
@@ -47,17 +55,28 @@ void PrintUsage(std::FILE* out) {
                "<target>\n"
                "  airindex_cli run <network> [--scale=F] [--queries=N] "
                "[--seed=N]\n"
-               "      [--loss=F] [--threads=N] [--systems=DJ,NR,...] "
-               "[--regions=N]\n"
+               "      [--loss=F] [--burst=N] [--threads=N] "
+               "[--systems=DJ,NR,...] [--regions=N]\n"
                "      [--landmarks=N] [--json[=FILE]] [--deterministic]\n"
                "      Simulate a batch of clients through the parallel "
                "engine\n"
-               "      (--threads=0 uses all cores; --deterministic zeroes "
-               "the\n"
+               "      (--threads=0 uses all cores; --burst=N groups losses "
+               "into\n"
+               "      N-packet fade bursts; --deterministic zeroes the\n"
                "      wall-clock cpu_ms field so the aggregate metrics "
                "are\n"
                "      bit-reproducible; timing fields still vary by "
-               "run).\n");
+               "run).\n"
+               "  airindex_cli scenario --list | --name=NAME | "
+               "--file=SPEC.json\n"
+               "      [--threads=N] [--scale=F] [--queries=N] "
+               "[--json[=FILE]]\n"
+               "      [--deterministic]\n"
+               "      Run a declarative multi-group scenario "
+               "(airindex.sim.scenario/v1);\n"
+               "      --list shows the built-in catalog, --scale/--queries "
+               "override\n"
+               "      the spec for quick smoke runs.\n");
 }
 
 int Usage() {
@@ -219,6 +238,7 @@ int Run(int argc, char** argv) {
   size_t queries = 100;
   uint64_t seed = 20100913;
   double loss = 0.0;
+  uint32_t burst = 1;
   unsigned threads = 0;  // all cores: the engine's reason to exist
   uint32_t regions = 32;
   uint32_t landmarks = 4;
@@ -237,6 +257,9 @@ int Run(int argc, char** argv) {
       seed = static_cast<uint64_t>(std::atoll(arg + 7));
     } else if (std::strncmp(arg, "--loss=", 7) == 0) {
       loss = std::atof(arg + 7);
+    } else if (std::strncmp(arg, "--burst=", 8) == 0) {
+      const int parsed = std::atoi(arg + 8);  // negatives must not wrap
+      burst = parsed > 1 ? static_cast<uint32_t>(parsed) : 1;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       threads = static_cast<unsigned>(std::atoi(arg + 10));
     } else if (std::strncmp(arg, "--regions=", 10) == 0) {
@@ -295,7 +318,7 @@ int Run(int argc, char** argv) {
 
   sim::SimOptions so;
   so.threads = threads;
-  so.loss = broadcast::LossModel::Independent(loss);
+  so.loss = broadcast::LossModel::Of(loss, burst);
   so.loss_seed = seed;
   so.deterministic = deterministic;
   sim::Simulator simulator(*g, so);
@@ -326,6 +349,149 @@ int Run(int argc, char** argv) {
   return 0;
 }
 
+/// Reads a whole file into a string; nullopt (with a message) on failure.
+bool ReadFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+int ListScenarios() {
+  std::printf("%-20s %-10s %7s %7s %7s  %s\n", "name", "network", "scale",
+              "queries", "groups", "description");
+  for (const sim::Scenario& s : sim::ScenarioCatalog()) {
+    std::printf("%-20s %-10s %7.2f %7zu %7zu  %s\n", s.name.c_str(),
+                s.network.c_str(), s.scale, s.total_queries,
+                s.groups.size(), s.description.c_str());
+  }
+  std::printf("\ndevice profiles:\n");
+  for (const device::ProfileSpec& p : device::ProfileCatalog()) {
+    std::printf("  %-12s %s\n", std::string(p.name).c_str(),
+                std::string(p.description).c_str());
+  }
+  return 0;
+}
+
+int RunScenario(int argc, char** argv) {
+  bool list = false;
+  std::string name;
+  std::string file;
+  unsigned threads = 0;
+  bool deterministic = false;
+  bool emit_json = false;
+  std::string json_path;
+  double scale_override = 0.0;
+  size_t queries_override = 0;
+
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      list = true;
+    } else if (std::strncmp(arg, "--name=", 7) == 0) {
+      name = arg + 7;
+    } else if (std::strncmp(arg, "--file=", 7) == 0) {
+      file = arg + 7;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      scale_override = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      queries_override = static_cast<size_t>(std::atoll(arg + 10));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      emit_json = true;
+      json_path = arg + 7;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      emit_json = true;
+    } else if (std::strcmp(arg, "--deterministic") == 0) {
+      deterministic = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (list) return ListScenarios();
+  if (name.empty() == file.empty()) return Usage();  // exactly one source
+
+  sim::Scenario scenario;
+  if (!name.empty()) {
+    auto found = sim::FindScenario(name);
+    if (!found.ok()) {
+      std::fprintf(stderr, "%s\n", found.status().ToString().c_str());
+      return 1;
+    }
+    scenario = std::move(found).value();
+  } else {
+    std::string text;
+    if (!ReadFile(file.c_str(), &text)) return 1;
+    auto parsed = sim::ScenarioFromJson(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    scenario = std::move(parsed).value();
+  }
+  if (scale_override > 0.0) scenario.scale = scale_override;
+  if (queries_override > 0) {
+    // Rescale the fleet: explicit group counts become weights so the
+    // override budget splits in the spec's proportions.
+    for (auto& g : scenario.groups) {
+      if (g.queries > 0) {
+        g.weight = static_cast<double>(g.queries);
+        g.queries = 0;
+      }
+    }
+    scenario.total_queries = queries_override;
+  }
+
+  sim::ScenarioRunner::RunOptions ro;
+  ro.threads = threads;
+  ro.deterministic = deterministic;
+  auto result = sim::ScenarioRunner(ro).Run(scenario);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (emit_json) {
+    const std::string json = sim::ScenarioReportToJson(*result);
+    if (json_path.empty()) {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        return 1;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  } else {
+    std::fputs(sim::ScenarioToText(*result).c_str(), stdout);
+  }
+  // Query failures are scenario data (harsh channels make some methods
+  // drop queries — the report records them); only a wholesale breakdown
+  // of a system, or a runner error, is an unhealthy exit.
+  for (const auto& fleet : result->fleet) {
+    if (fleet.aggregate.failures > 0) {
+      std::fprintf(stderr, "note: %s failed %zu/%zu queries\n",
+                   fleet.system.c_str(), fleet.aggregate.failures,
+                   fleet.aggregate.queries);
+    }
+    if (fleet.aggregate.queries > 0 &&
+        fleet.aggregate.failures == fleet.aggregate.queries) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -339,5 +505,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "inspect") == 0) return Inspect(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return Query(argc, argv);
   if (std::strcmp(argv[1], "run") == 0) return Run(argc, argv);
+  if (std::strcmp(argv[1], "scenario") == 0) return RunScenario(argc, argv);
   return Usage();
 }
