@@ -33,9 +33,9 @@ int main(int argc, char** argv) {
   no_opt.cross_border_opt = false;
 
   auto with_m = bench::RunQueries(*eb, g, w, opts.Loss(), opts.seed, with_opt,
-                                  opts.threads);
+                                  opts.threads, opts.repeat);
   auto without_m = bench::RunQueries(*eb, g, w, opts.Loss(), opts.seed, no_opt,
-                                     opts.threads);
+                                     opts.threads, opts.repeat);
   auto with_s = device::MetricsSummary::Of(with_m);
   auto without_s = device::MetricsSummary::Of(without_m);
 

@@ -19,12 +19,15 @@ namespace airindex::bench {
 /// the per-query metrics. Each query listens on its own loss stream derived
 /// from (loss_seed, query index), so results are identical for every
 /// thread count. The loss model carries both rate and burst length
-/// (BenchOptions::Loss()).
+/// (BenchOptions::Loss()). `repeat` > 1 re-runs the batch N times and
+/// prints the min-of-N engine wall time / throughput as a `#` comment
+/// line (the returned metrics are identical across repetitions, except
+/// the wall-clock-measured cpu_ms, which comes from the last one).
 std::vector<device::QueryMetrics> RunQueries(
     const core::AirSystem& sys, const graph::Graph& g,
     const workload::Workload& w, broadcast::LossModel loss,
     uint64_t loss_seed, const core::ClientOptions& options,
-    unsigned threads = 1);
+    unsigned threads = 1, unsigned repeat = 1);
 
 /// Per-query metrics restricted to a subset of query indexes (Fig. 10's
 /// SP-length buckets).

@@ -28,6 +28,9 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       opts.burst = burst > 1 ? static_cast<uint32_t>(burst) : 1;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       opts.threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      const int repeat = std::atoi(arg + 9);
+      opts.repeat = repeat > 1 ? static_cast<unsigned>(repeat) : 1;
     } else if (std::strcmp(arg, "--full") == 0) {
       opts.full = true;
     } else if (std::strcmp(arg, "--no-heavy") == 0) {
@@ -35,8 +38,8 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale=F] [--queries=N] [--seed=N] "
-                   "[--loss=F] [--burst=N] [--threads=N] [--full] "
-                   "[--no-heavy]\n",
+                   "[--loss=F] [--burst=N] [--threads=N] [--repeat=N] "
+                   "[--full] [--no-heavy]\n",
                    argv[0]);
       std::exit(2);
     }

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   std::vector<std::vector<device::QueryMetrics>> per_method;
   for (const auto& sys : systems) {
     per_method.push_back(bench::RunQueries(*sys, g, w, opts.Loss(), opts.seed,
-                                           {}, opts.threads));
+                                           {}, opts.threads, opts.repeat));
   }
 
   const char* panels[4] = {"(a) tuning time [packets]", "(b) memory [MB]",

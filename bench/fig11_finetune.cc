@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   {
     auto dj = registry.Get(g, "DJ").value();
     auto m = bench::RunQueries(*dj, g, w, opts.Loss(), opts.seed, {},
-                               opts.threads);
+                               opts.threads, opts.repeat);
     rows.push_back({"-", "DJ", device::MetricsSummary::Of(m)});
   }
   for (int i = 0; i < 4; ++i) {
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
     for (const char* method : {"NR", "EB", "AF", "LD"}) {
       auto sys = registry.Get(g, method, params).value();
       auto m = bench::RunQueries(*sys, g, w, opts.Loss(), opts.seed, {},
-                                 opts.threads);
+                                 opts.threads, opts.repeat);
       rows.push_back({cfg, method, device::MetricsSummary::Of(m)});
     }
   }

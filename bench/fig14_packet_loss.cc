@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
         core::ClientOptions copts;
         copts.max_repair_cycles = 64;
         auto metrics = bench::RunQueries(*sys, g, w, loss, opts.seed + 31,
-                                         copts, opts.threads);
+                                         copts, opts.threads, opts.repeat);
         auto s = device::MetricsSummary::Of(metrics);
         std::printf(" %10.0f",
                     tuning ? s.avg_tuning_packets : s.avg_latency_packets);

@@ -6,9 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include "algo/dijkstra.h"
+#include "algo/search_workspace.h"
 #include "core/border_precompute.h"
 #include "core/dijkstra_on_air.h"
 #include "core/nr.h"
+#include "core/query_scratch.h"
 #include "core/systems.h"
 #include "graph/catalog.h"
 #include "graph/generator.h"
@@ -52,6 +54,40 @@ void BM_DijkstraPointToPoint(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DijkstraPointToPoint);
+
+// The allocation-free kernel: same searches as BM_DijkstraFull /
+// BM_DijkstraPointToPoint, but run inside one reused SearchWorkspace
+// (generation-stamped O(1) reset + 4-ary heap) instead of allocating and
+// zero-filling dist/parent per call. The pairwise delta is the search-
+// kernel half of this PR's win; results are bit-identical (see
+// tests/algo/search_workspace_test.cc).
+void BM_DijkstraWorkspaceFull(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  algo::SearchWorkspace ws;
+  graph::NodeId source = 0;
+  for (auto _ : state) {
+    algo::DijkstraAll(g, source, ws);
+    benchmark::DoNotOptimize(ws.settled());
+    source = (source + 97) % g.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_DijkstraWorkspaceFull);
+
+void BM_DijkstraWorkspacePointToPoint(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  algo::SearchWorkspace ws;
+  graph::NodeId s = 1, t = static_cast<graph::NodeId>(g.num_nodes() - 1);
+  for (auto _ : state) {
+    algo::DijkstraSearch(g, s, t, algo::AllEdges{}, ws);
+    benchmark::DoNotOptimize(ws.DistTo(t));
+    s = (s + 131) % g.num_nodes();
+    t = (t + 173) % g.num_nodes();
+    if (s == t) t = (t + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_DijkstraWorkspacePointToPoint);
 
 void BM_KdTreeBuild(benchmark::State& state) {
   const graph::Graph& g = BenchGraph();
@@ -114,6 +150,54 @@ void BM_NrClientQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NrClientQuery)->Unit(benchmark::kMillisecond);
+
+// End-to-end RunQuery with and without a reused QueryScratch, per method.
+// The fresh/scratch pairs isolate the whole-client half of the win
+// (pooled PartialGraph, reused segment/decode buffers, workspace search);
+// metrics are byte-identical either way (tests/sim golden test).
+void RunQueryBench(benchmark::State& state, const char* method,
+                   bool use_scratch) {
+  const graph::Graph& g = BenchGraph();
+  const core::AirSystem& sys =
+      *core::SystemRegistry::Global().Get(g, method).value();
+  static const auto& w =
+      *new workload::Workload(workload::GenerateWorkload(g, 64, 9).value());
+  broadcast::BroadcastChannel channel(&sys.cycle(), 0.0);
+  core::QueryScratch scratch;
+  size_t qi = 0;
+  for (auto _ : state) {
+    auto m = sys.RunQuery(channel, core::MakeAirQuery(g, w.queries[qi]), {},
+                          use_scratch ? &scratch : nullptr);
+    benchmark::DoNotOptimize(m.distance);
+    qi = (qi + 1) % w.queries.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RunQueryDjFresh(benchmark::State& state) {
+  RunQueryBench(state, "DJ", false);
+}
+void BM_RunQueryDjScratch(benchmark::State& state) {
+  RunQueryBench(state, "DJ", true);
+}
+void BM_RunQueryNrFresh(benchmark::State& state) {
+  RunQueryBench(state, "NR", false);
+}
+void BM_RunQueryNrScratch(benchmark::State& state) {
+  RunQueryBench(state, "NR", true);
+}
+void BM_RunQueryEbFresh(benchmark::State& state) {
+  RunQueryBench(state, "EB", false);
+}
+void BM_RunQueryEbScratch(benchmark::State& state) {
+  RunQueryBench(state, "EB", true);
+}
+BENCHMARK(BM_RunQueryDjFresh)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RunQueryDjScratch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RunQueryNrFresh)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RunQueryNrScratch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RunQueryEbFresh)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RunQueryEbScratch)->Unit(benchmark::kMillisecond);
 
 // Shared fixture for the engine benchmarks. The leaked Global() registry
 // keeps the NR system alive for the process lifetime.

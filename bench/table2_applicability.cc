@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     const char* order[5] = {"AF", "LD", "DJ", "EB", "NR"};
     for (const auto& sys : *systems) {
       auto metrics = bench::RunQueries(*sys, g, w, opts.Loss(), opts.seed,
-                                       copts, opts.threads);
+                                       copts, opts.threads, opts.repeat);
       auto summary = device::MetricsSummary::Of(metrics);
       for (int c = 0; c < 5; ++c) {
         if (sys->name() == order[c]) {

@@ -1,11 +1,10 @@
 #ifndef AIRINDEX_ALGO_ASTAR_H_
 #define AIRINDEX_ALGO_ASTAR_H_
 
-#include <queue>
-#include <utility>
-#include <vector>
+#include <cstddef>
 
 #include "algo/dijkstra.h"
+#include "algo/search_workspace.h"
 #include "graph/types.h"
 
 namespace airindex::algo {
@@ -23,50 +22,51 @@ namespace airindex::algo {
 /// broadcast Landmark client when some distance vectors were lost and fall
 /// back to a zero bound (§6.2). With a consistent bound every node still
 /// expands exactly once.
+///
+/// Runs inside the caller-provided workspace; read the result through
+/// ws.DistTo(target) / ws.settled() or ExtractPath(ws, ...). Expansion
+/// order is a pure function of the inputs: ties on (f, g) break by node id
+/// (SearchWorkspace::AStarItem), so any heap implementation produces the
+/// same search.
 template <typename G, typename LowerBound>
-Path AStarPath(const G& g, NodeId source, NodeId target,
-               LowerBound lower_bound, size_t* settled_out = nullptr) {
-  const size_t n = g.num_nodes();
-  std::vector<Dist> dist(n, kInfDist);
-  std::vector<NodeId> parent(n, kInvalidNode);
-
-  // Heap keyed on f = g + h; entries are (f, g, v) so staleness is a plain
-  // comparison of g against the current tentative distance.
-  struct QueueItem {
-    Dist f;
-    Dist g;
-    NodeId v;
-    bool operator>(const QueueItem& o) const {
-      return f > o.f || (f == o.f && g > o.g);
-    }
-  };
-  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> heap;
-  dist[source] = 0;
+void AStarSearch(const G& g, NodeId source, NodeId target,
+                 LowerBound lower_bound, SearchWorkspace& ws) {
+  ws.BeginSearch(g.num_nodes());
+  auto& heap = ws.astar_heap();
+  ws.TryImprove(source, 0, kInvalidNode);
   heap.push({static_cast<Dist>(lower_bound(source)), 0, source});
-  size_t expanded = 0;
 
   while (!heap.empty()) {
     auto [f, gv, v] = heap.top();
     heap.pop();
-    if (gv != dist[v]) continue;  // stale entry
-    ++expanded;
+    if (gv != ws.TentativeDist(v)) continue;  // stale entry
+    ws.CountSettled();
     if (v == target) break;
     for (const auto& arc : g.OutArcs(v)) {
       const Dist nd = gv + arc.weight;
-      if (nd < dist[arc.to]) {
-        dist[arc.to] = nd;
-        parent[arc.to] = v;
+      if (ws.TryImprove(arc.to, nd, v)) {
         heap.push({nd + static_cast<Dist>(lower_bound(arc.to)), nd, arc.to});
       }
     }
   }
-  if (settled_out != nullptr) *settled_out = expanded;
+}
 
-  SearchTree tree;
-  tree.dist = std::move(dist);
-  tree.parent = std::move(parent);
-  tree.settled = expanded;
-  return ExtractPath(tree, source, target);
+/// A* in a caller-provided workspace, materializing the path.
+template <typename G, typename LowerBound>
+Path AStarPath(const G& g, NodeId source, NodeId target,
+               LowerBound lower_bound, SearchWorkspace& ws,
+               size_t* settled_out = nullptr) {
+  AStarSearch(g, source, target, lower_bound, ws);
+  if (settled_out != nullptr) *settled_out = ws.settled();
+  return ExtractPath(ws, source, target);
+}
+
+/// Legacy convenience overload: throwaway workspace per call.
+template <typename G, typename LowerBound>
+Path AStarPath(const G& g, NodeId source, NodeId target,
+               LowerBound lower_bound, size_t* settled_out = nullptr) {
+  SearchWorkspace ws;
+  return AStarPath(g, source, target, lower_bound, ws, settled_out);
 }
 
 }  // namespace airindex::algo

@@ -1,0 +1,89 @@
+#ifndef AIRINDEX_ALGO_D_ARY_HEAP_H_
+#define AIRINDEX_ALGO_D_ARY_HEAP_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace airindex::algo {
+
+/// Flat-array d-ary min-heap (default 4-ary). Compared to the binary
+/// std::priority_queue the wider fan-out roughly halves the tree depth and
+/// keeps a parent's children in one or two cache lines, which is where a
+/// Dijkstra kernel spends its sift time; `clear()` keeps the backing
+/// storage so a reused heap allocates nothing in steady state.
+///
+/// `Less` must be a strict weak ordering; the minimum element per `Less`
+/// is at top(). When `Less` is a strict *total* order over the pushed
+/// elements (e.g. lexicographic (dist, node) pairs with distinct entries),
+/// the pop sequence is independent of the heap's arity and layout — the
+/// property the Dijkstra wrappers rely on to stay bit-identical to the
+/// old std::priority_queue implementation.
+template <typename T, typename Less = std::less<T>, unsigned Arity = 4>
+class DAryHeap {
+  static_assert(Arity >= 2, "a heap needs at least binary fan-out");
+
+ public:
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+  void reserve(size_t n) { items_.reserve(n); }
+
+  /// Drops every element but keeps the allocation.
+  void clear() { items_.clear(); }
+
+  const T& top() const { return items_.front(); }
+
+  void push(T item) {
+    items_.push_back(std::move(item));
+    SiftUp(items_.size() - 1);
+  }
+
+  void pop() {
+    if (items_.size() > 1) {
+      items_.front() = std::move(items_.back());
+      items_.pop_back();
+      SiftDown(0);
+    } else {
+      items_.pop_back();
+    }
+  }
+
+ private:
+  void SiftUp(size_t i) {
+    T moving = std::move(items_[i]);
+    while (i > 0) {
+      const size_t parent = (i - 1) / Arity;
+      if (!less_(moving, items_[parent])) break;
+      items_[i] = std::move(items_[parent]);
+      i = parent;
+    }
+    items_[i] = std::move(moving);
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = items_.size();
+    T moving = std::move(items_[i]);
+    for (;;) {
+      const size_t first_child = i * Arity + 1;
+      if (first_child >= n) break;
+      const size_t last_child =
+          first_child + Arity <= n ? first_child + Arity : n;
+      size_t best = first_child;
+      for (size_t c = first_child + 1; c < last_child; ++c) {
+        if (less_(items_[c], items_[best])) best = c;
+      }
+      if (!less_(items_[best], moving)) break;
+      items_[i] = std::move(items_[best]);
+      i = best;
+    }
+    items_[i] = std::move(moving);
+  }
+
+  std::vector<T> items_;
+  [[no_unique_address]] Less less_;
+};
+
+}  // namespace airindex::algo
+
+#endif  // AIRINDEX_ALGO_D_ARY_HEAP_H_

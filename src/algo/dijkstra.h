@@ -2,10 +2,10 @@
 #define AIRINDEX_ALGO_DIJKSTRA_H_
 
 #include <cstddef>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "algo/search_workspace.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -27,47 +27,6 @@ struct SearchTree {
   size_t settled = 0;
 };
 
-/// Generic Dijkstra over any graph type exposing
-///   size_t num_nodes() const
-///   <range of {to, weight}> OutArcs(NodeId) const
-/// (satisfied by graph::Graph and by the client-side PartialGraph).
-///
-/// `target`: stop as soon as this node is settled (kInvalidNode = settle
-/// everything). `edge_filter(from, arc)` returning false skips an arc; it is
-/// how ArcFlag restricts the search and how clients ignore adjacency entries
-/// pointing at nodes they never received.
-template <typename G, typename EdgeFilter>
-SearchTree DijkstraSearch(const G& g, NodeId source, NodeId target,
-                          EdgeFilter edge_filter) {
-  const size_t n = g.num_nodes();
-  SearchTree out;
-  out.dist.assign(n, kInfDist);
-  out.parent.assign(n, kInvalidNode);
-
-  using QueueItem = std::pair<Dist, NodeId>;
-  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> heap;
-  out.dist[source] = 0;
-  heap.emplace(0, source);
-
-  while (!heap.empty()) {
-    auto [d, v] = heap.top();
-    heap.pop();
-    if (d != out.dist[v]) continue;  // stale entry
-    ++out.settled;
-    if (v == target) break;
-    for (const auto& arc : g.OutArcs(v)) {
-      if (!edge_filter(v, arc)) continue;
-      Dist nd = d + arc.weight;
-      if (nd < out.dist[arc.to]) {
-        out.dist[arc.to] = nd;
-        out.parent[arc.to] = v;
-        heap.emplace(nd, arc.to);
-      }
-    }
-  }
-  return out;
-}
-
 /// Accept-everything edge filter.
 struct AllEdges {
   template <typename Arc>
@@ -76,66 +35,125 @@ struct AllEdges {
   }
 };
 
+/// Generic Dijkstra over any graph type exposing
+///   size_t num_nodes() const
+///   <range of {to, weight}> OutArcs(NodeId) const
+/// (satisfied by graph::Graph and by the client-side PartialGraph).
+///
+/// Runs inside the caller-provided workspace (O(1) per-search reset, no
+/// allocation in steady state); read results through ws.DistTo /
+/// ws.ParentOf / ws.settled(), valid until the workspace's next search.
+///
+/// `target`: stop as soon as this node is settled (kInvalidNode = settle
+/// everything). `edge_filter(from, arc)` returning false skips an arc; it is
+/// how ArcFlag restricts the search and how clients ignore adjacency entries
+/// pointing at nodes they never received.
+template <typename G, typename EdgeFilter>
+void DijkstraSearch(const G& g, NodeId source, NodeId target,
+                    EdgeFilter edge_filter, SearchWorkspace& ws) {
+  ws.BeginSearch(g.num_nodes());
+  auto& heap = ws.heap();
+  ws.TryImprove(source, 0, kInvalidNode);
+  heap.push({0, source});
+
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d != ws.TentativeDist(v)) continue;  // stale entry
+    ws.CountSettled();
+    if (v == target) break;
+    for (const auto& arc : g.OutArcs(v)) {
+      if (!edge_filter(v, arc)) continue;
+      Dist nd = d + arc.weight;
+      if (ws.TryImprove(arc.to, nd, v)) heap.push({nd, arc.to});
+    }
+  }
+}
+
+/// Single-source Dijkstra that stops once every node in `targets` is
+/// settled, run inside the caller's workspace. Used by the border-pair
+/// pre-computation, where only border-to-border distances matter.
+template <typename G>
+void DijkstraToTargets(const G& g, NodeId source,
+                       const std::vector<NodeId>& targets,
+                       SearchWorkspace& ws) {
+  ws.BeginSearch(g.num_nodes());
+  size_t remaining = 0;
+  for (NodeId t : targets) {
+    if (ws.MarkPending(t)) ++remaining;
+  }
+
+  auto& heap = ws.heap();
+  ws.TryImprove(source, 0, kInvalidNode);
+  heap.push({0, source});
+  while (!heap.empty() && remaining > 0) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d != ws.TentativeDist(v)) continue;
+    ws.CountSettled();
+    if (ws.IsPending(v)) {
+      ws.ClearPending(v);
+      --remaining;
+    }
+    for (const auto& arc : g.OutArcs(v)) {
+      Dist nd = d + arc.weight;
+      if (ws.TryImprove(arc.to, nd, v)) heap.push({nd, arc.to});
+    }
+  }
+}
+
+/// Full single-source Dijkstra (settles every reachable node) in the
+/// caller's workspace.
+template <typename G>
+void DijkstraAll(const G& g, NodeId source, SearchWorkspace& ws) {
+  DijkstraSearch(g, source, kInvalidNode, AllEdges{}, ws);
+}
+
+/// Copies the workspace's current search into a standalone SearchTree of
+/// `n` nodes (unreached entries become kInfDist / kInvalidNode). This is
+/// how the legacy value-returning API is produced from a workspace run.
+SearchTree MaterializeSearchTree(const SearchWorkspace& ws, size_t n);
+
+/// Legacy value-returning Dijkstra: runs in a throwaway workspace and
+/// materializes the tree. Bit-identical to the historical implementation;
+/// hot paths should prefer the workspace overload above.
+template <typename G, typename EdgeFilter>
+SearchTree DijkstraSearch(const G& g, NodeId source, NodeId target,
+                          EdgeFilter edge_filter) {
+  SearchWorkspace ws;
+  DijkstraSearch(g, source, target, edge_filter, ws);
+  return MaterializeSearchTree(ws, g.num_nodes());
+}
+
 /// Full single-source Dijkstra (settles every reachable node).
 template <typename G>
 SearchTree DijkstraAll(const G& g, NodeId source) {
   return DijkstraSearch(g, source, kInvalidNode, AllEdges{});
 }
 
-/// Single-source Dijkstra that stops once every node in `targets` is
-/// settled. Used by the border-pair pre-computation, where only
-/// border-to-border distances matter.
+/// Legacy value-returning variant of DijkstraToTargets.
 template <typename G>
 SearchTree DijkstraToTargets(const G& g, NodeId source,
                              const std::vector<NodeId>& targets) {
-  const size_t n = g.num_nodes();
-  std::vector<uint8_t> pending(n, 0);
-  size_t remaining = 0;
-  for (NodeId t : targets) {
-    if (!pending[t]) {
-      pending[t] = 1;
-      ++remaining;
-    }
-  }
-
-  SearchTree out;
-  out.dist.assign(n, kInfDist);
-  out.parent.assign(n, kInvalidNode);
-  using QueueItem = std::pair<Dist, NodeId>;
-  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> heap;
-  out.dist[source] = 0;
-  heap.emplace(0, source);
-  while (!heap.empty() && remaining > 0) {
-    auto [d, v] = heap.top();
-    heap.pop();
-    if (d != out.dist[v]) continue;
-    ++out.settled;
-    if (pending[v]) {
-      pending[v] = 0;
-      --remaining;
-    }
-    for (const auto& arc : g.OutArcs(v)) {
-      Dist nd = d + arc.weight;
-      if (nd < out.dist[arc.to]) {
-        out.dist[arc.to] = nd;
-        out.parent[arc.to] = v;
-        heap.emplace(nd, arc.to);
-      }
-    }
-  }
-  return out;
+  SearchWorkspace ws;
+  DijkstraToTargets(g, source, targets, ws);
+  return MaterializeSearchTree(ws, g.num_nodes());
 }
 
 /// Walks the parent chain of `tree` (a search from `source`) backwards from
 /// `target`. Returns an unreachable Path if target was not reached.
 Path ExtractPath(const SearchTree& tree, NodeId source, NodeId target);
 
+/// Same, reading straight out of a workspace search.
+Path ExtractPath(const SearchWorkspace& ws, NodeId source, NodeId target);
+
 /// Point-to-point shortest path on a full graph (the paper's baseline query
 /// and the ground truth used by every test).
 template <typename G>
 Path DijkstraPath(const G& g, NodeId source, NodeId target) {
-  SearchTree tree = DijkstraSearch(g, source, target, AllEdges{});
-  return ExtractPath(tree, source, target);
+  SearchWorkspace ws;
+  DijkstraSearch(g, source, target, AllEdges{}, ws);
+  return ExtractPath(ws, source, target);
 }
 
 /// Sums edge weights along `nodes`, verifying each hop exists in `g`.

@@ -15,62 +15,72 @@ bool ReceivedSegment::RangeOk(size_t begin, size_t end) const {
   return last < packet_ok.size();
 }
 
-ReceivedSegment ReceiveSegmentAt(ClientSession& session,
-                                 uint32_t segment_start) {
+void ReceiveSegmentAt(ClientSession& session, uint32_t segment_start,
+                      ReceivedSegment* out) {
   session.SleepUntilCyclePos(segment_start);
 
-  ReceivedSegment out;
   const BroadcastCycle& cycle = session.cycle();
   const uint32_t si = cycle.SegmentAt(segment_start);
   const Segment& seg = cycle.segment(si);
-  out.segment_index = si;
-  out.type = seg.type;
-  out.segment_id = seg.id;
-  out.payload.assign(seg.payload.size(), 0);
+  out->segment_index = si;
+  out->type = seg.type;
+  out->segment_id = seg.id;
+  out->payload.assign(seg.payload.size(), 0);
   const uint32_t packets = seg.PacketCount();
-  out.packet_ok.assign(packets, false);
+  out->packet_ok.assign(packets, false);
 
-  out.complete = true;
+  out->complete = true;
   for (uint32_t p = 0; p < packets; ++p) {
     auto view = session.ReceiveNext();
     if (!view.has_value()) {
-      out.complete = false;
+      out->complete = false;
       continue;
     }
-    out.packet_ok[view->seq] = true;
-    std::memcpy(out.payload.data() +
+    out->packet_ok[view->seq] = true;
+    std::memcpy(out->payload.data() +
                     static_cast<size_t>(view->seq) * kPayloadSize,
                 view->chunk.data(), view->chunk.size());
   }
+}
+
+ReceivedSegment ReceiveSegmentAt(ClientSession& session,
+                                 uint32_t segment_start) {
+  ReceivedSegment out;
+  ReceiveSegmentAt(session, segment_start, &out);
   return out;
 }
 
-ReceivedSegment CompleteSegmentFrom(ClientSession& session,
-                                    const PacketView& first) {
-  ReceivedSegment out;
+void CompleteSegmentFrom(ClientSession& session, const PacketView& first,
+                         ReceivedSegment* out) {
   const BroadcastCycle& cycle = session.cycle();
   const Segment& seg = cycle.segment(first.segment_index);
-  out.segment_index = first.segment_index;
-  out.type = seg.type;
-  out.segment_id = seg.id;
-  out.payload.assign(seg.payload.size(), 0);
+  out->segment_index = first.segment_index;
+  out->type = seg.type;
+  out->segment_id = seg.id;
+  out->payload.assign(seg.payload.size(), 0);
   const uint32_t packets = seg.PacketCount();
-  out.packet_ok.assign(packets, false);
+  out->packet_ok.assign(packets, false);
 
-  out.packet_ok[first.seq] = true;
-  std::memcpy(out.payload.data() +
+  out->packet_ok[first.seq] = true;
+  std::memcpy(out->payload.data() +
                   static_cast<size_t>(first.seq) * kPayloadSize,
               first.chunk.data(), first.chunk.size());
   for (uint32_t p = first.seq + 1; p < packets; ++p) {
     auto view = session.ReceiveNext();
     if (!view.has_value()) continue;
-    out.packet_ok[view->seq] = true;
-    std::memcpy(out.payload.data() +
+    out->packet_ok[view->seq] = true;
+    std::memcpy(out->payload.data() +
                     static_cast<size_t>(view->seq) * kPayloadSize,
                 view->chunk.data(), view->chunk.size());
   }
-  out.complete = std::all_of(out.packet_ok.begin(), out.packet_ok.end(),
-                             [](bool b) { return b; });
+  out->complete = std::all_of(out->packet_ok.begin(), out->packet_ok.end(),
+                              [](bool b) { return b; });
+}
+
+ReceivedSegment CompleteSegmentFrom(ClientSession& session,
+                                    const PacketView& first) {
+  ReceivedSegment out;
+  CompleteSegmentFrom(session, first, &out);
   return out;
 }
 

@@ -48,25 +48,43 @@ class BroadcastChannel {
 
   BroadcastChannel(const BroadcastCycle* cycle, LossModel loss,
                    uint64_t seed)
-      : cycle_(cycle), loss_(loss), seed_(seed) {}
+      : cycle_(cycle),
+        loss_(loss),
+        seed_(seed),
+        loss_threshold_(LossThreshold(loss.rate)) {}
 
   const BroadcastCycle& cycle() const { return *cycle_; }
   double loss_rate() const { return loss_.rate; }
   const LossModel& loss_model() const { return loss_; }
 
+  /// The 53-bit integer threshold equivalent to "uniform [0,1) draw <
+  /// rate". The historical formula converted the 53-bit draw to double
+  /// (`x * 2^-53 < rate`); both the scaling and the comparison are exact in
+  /// IEEE-754, so `x < ceil(rate * 2^53)` makes the identical decision for
+  /// every draw — precomputed once here instead of a int->double convert
+  /// per packet (see channel_test.cc for the bit-identity proof).
+  static uint64_t LossThreshold(double rate) {
+    constexpr double kTwo53 = 9007199254740992.0;  // 2^53
+    if (!(rate > 0.0)) return 0;                   // incl. NaN: never lost
+    if (rate >= 1.0) return 1ULL << 53;            // every draw below
+    const double scaled = rate * kTwo53;           // exact: binary scaling
+    auto threshold = static_cast<uint64_t>(scaled);
+    return threshold == scaled ? threshold : threshold + 1;  // ceil
+  }
+
   /// Whether the packet broadcast at absolute position `abs_pos` is lost.
   /// Bursty mode decides per burst-length block, so losses arrive in runs
   /// of `burst_len` packets while the long-run rate stays `rate`.
   bool IsLost(uint64_t abs_pos) const {
-    if (loss_.rate <= 0.0) return false;
+    if (loss_threshold_ == 0) return false;
     const uint64_t unit =
         loss_.burst_len > 1 ? abs_pos / loss_.burst_len : abs_pos;
-    // SplitMix64 of (seed, unit) -> uniform [0,1).
+    // SplitMix64 of (seed, unit) -> uniform 53-bit draw.
     uint64_t z = seed_ ^ (unit + 0x9E3779B97f4A7C15ULL);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
     z ^= z >> 31;
-    return static_cast<double>(z >> 11) * 0x1.0p-53 < loss_.rate;
+    return (z >> 11) < loss_threshold_;
   }
 
   uint32_t CyclePos(uint64_t abs_pos) const {
@@ -77,6 +95,7 @@ class BroadcastChannel {
   const BroadcastCycle* cycle_;
   LossModel loss_;
   uint64_t seed_;
+  uint64_t loss_threshold_;
 };
 
 /// One client's view of the channel during one query. Tracks the paper's
@@ -156,6 +175,12 @@ struct ReceivedSegment {
 /// Sleeps to `segment_start` (a cycle position) and listens to every packet
 /// of the segment that starts there. Lost packets leave zeroed payload
 /// bytes and a false mask entry; retry policy is the caller's.
+///
+/// The out-parameter form overwrites `*out`, reusing its payload/mask
+/// buffers — the allocation-free path when `out` lives in a
+/// core::QueryScratch segment arena.
+void ReceiveSegmentAt(ClientSession& session, uint32_t segment_start,
+                      ReceivedSegment* out);
 ReceivedSegment ReceiveSegmentAt(ClientSession& session,
                                  uint32_t segment_start);
 
@@ -164,6 +189,8 @@ ReceivedSegment ReceiveSegmentAt(ClientSession& session,
 /// left as holes (equivalent to losses). Lets a client that tuned in right
 /// at (or inside) an index segment use it instead of waiting a whole cycle
 /// for the next one.
+void CompleteSegmentFrom(ClientSession& session, const PacketView& first,
+                         ReceivedSegment* out);
 ReceivedSegment CompleteSegmentFrom(ClientSession& session,
                                     const PacketView& first);
 

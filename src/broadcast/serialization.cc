@@ -32,31 +32,56 @@ std::vector<uint8_t> EncodeNodeRecords(
   return out;
 }
 
-Result<std::vector<NodeRecord>> DecodeNodeRecords(
-    const std::vector<uint8_t>& buf) {
-  std::vector<NodeRecord> records;
-  ByteReader reader(buf);
+Status ValidateNodeRecords(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
   while (reader.remaining() > 0) {
     if (reader.remaining() < 22) {
       return Status::DataLoss("truncated node record header");
     }
-    NodeRecord rec;
-    rec.id = reader.ReadU32();
-    rec.coord.x = std::bit_cast<double>(reader.ReadU64());
-    rec.coord.y = std::bit_cast<double>(reader.ReadU64());
+    reader.Skip(20);  // id + coordinates
     const uint16_t deg = reader.ReadU16();
     if (reader.remaining() < static_cast<size_t>(deg) * 8) {
       return Status::DataLoss("truncated adjacency list");
     }
-    rec.arcs.reserve(deg);
-    for (uint16_t i = 0; i < deg; ++i) {
-      graph::Graph::Arc arc;
-      arc.to = reader.ReadU32();
-      arc.weight = reader.ReadU32();
-      rec.arcs.push_back(arc);
-    }
-    records.push_back(std::move(rec));
+    reader.Skip(static_cast<size_t>(deg) * 8);
   }
+  return Status::OK();
+}
+
+bool NodeRecordCursor::Next(NodeRecord* rec) {
+  if (!status_.ok() || pos_ >= size_) return false;
+  ByteReader reader(data_ + pos_, size_ - pos_);
+  if (reader.remaining() < 22) {
+    status_ = Status::DataLoss("truncated node record header");
+    return false;
+  }
+  rec->id = reader.ReadU32();
+  rec->coord.x = std::bit_cast<double>(reader.ReadU64());
+  rec->coord.y = std::bit_cast<double>(reader.ReadU64());
+  const uint16_t deg = reader.ReadU16();
+  if (reader.remaining() < static_cast<size_t>(deg) * 8) {
+    status_ = Status::DataLoss("truncated adjacency list");
+    return false;
+  }
+  rec->arcs.clear();
+  rec->arcs.reserve(deg);
+  for (uint16_t i = 0; i < deg; ++i) {
+    graph::Graph::Arc arc;
+    arc.to = reader.ReadU32();
+    arc.weight = reader.ReadU32();
+    rec->arcs.push_back(arc);
+  }
+  pos_ += reader.position();
+  return true;
+}
+
+Result<std::vector<NodeRecord>> DecodeNodeRecords(
+    const std::vector<uint8_t>& buf) {
+  std::vector<NodeRecord> records;
+  NodeRecordCursor cursor(buf);
+  NodeRecord rec;
+  while (cursor.Next(&rec)) records.push_back(rec);
+  if (!cursor.status().ok()) return cursor.status();
   return records;
 }
 

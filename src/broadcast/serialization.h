@@ -1,6 +1,7 @@
 #ifndef AIRINDEX_BROADCAST_SERIALIZATION_H_
 #define AIRINDEX_BROADCAST_SERIALIZATION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -36,6 +37,44 @@ void EncodeNodeRecord(const graph::Graph& g, graph::NodeId v,
 /// Encodes the records of `nodes` in order.
 std::vector<uint8_t> EncodeNodeRecords(
     const graph::Graph& g, const std::vector<graph::NodeId>& nodes);
+
+/// Checks that `[data, data + size)` is a well-formed record sequence
+/// without materializing anything (the exact checks DecodeNodeRecords
+/// applies). Clients validate a segment first and then stream it with a
+/// NodeRecordCursor, preserving the historical all-or-nothing ingest on
+/// damaged payloads while allocating nothing per record.
+Status ValidateNodeRecords(const uint8_t* data, size_t size);
+inline Status ValidateNodeRecords(const std::vector<uint8_t>& buf) {
+  return ValidateNodeRecords(buf.data(), buf.size());
+}
+
+/// Streaming decoder: yields one record at a time into a caller-provided
+/// NodeRecord whose arc storage is reused across calls (and across cursors
+/// when the caller also reuses the record). Usage:
+///
+///   NodeRecordCursor cur(seg.payload);
+///   while (cur.Next(&rec)) Ingest(rec);
+///   // cur.status() tells a clean end from a truncated payload.
+class NodeRecordCursor {
+ public:
+  NodeRecordCursor(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+  explicit NodeRecordCursor(const std::vector<uint8_t>& buf)
+      : NodeRecordCursor(buf.data(), buf.size()) {}
+
+  /// Decodes the next record into `*rec` (rec->arcs is clear()ed, keeping
+  /// its capacity). Returns false at end of input or on malformed input;
+  /// distinguish via status().
+  bool Next(NodeRecord* rec);
+
+  const Status& status() const { return status_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  Status status_ = Status::OK();
+};
 
 /// Decodes every record in `buf`. Fails on truncation.
 Result<std::vector<NodeRecord>> DecodeNodeRecords(

@@ -4,17 +4,23 @@
 
 namespace airindex {
 
-void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
-                 unsigned num_threads) {
-  if (count == 0) return;
+unsigned ResolveWorkers(size_t count, unsigned num_threads) {
+  if (count == 0) return 1;
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
-  unsigned threads = num_threads == 0 ? hw : num_threads;
-  threads = static_cast<unsigned>(
-      std::min<size_t>(threads, count));
+  const unsigned threads = num_threads == 0 ? hw : num_threads;
+  return static_cast<unsigned>(
+      std::max<size_t>(1, std::min<size_t>(threads, count)));
+}
+
+void ParallelForWorker(
+    size_t count, const std::function<void(unsigned, size_t)>& fn,
+    unsigned num_threads) {
+  if (count == 0) return;
+  const unsigned threads = ResolveWorkers(count, num_threads);
 
   if (threads <= 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+    for (size_t i = 0; i < count; ++i) fn(0, i);
     return;
   }
 
@@ -22,15 +28,21 @@ void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
-    workers.emplace_back([&]() {
+    workers.emplace_back([&, t]() {
       for (;;) {
         size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
-        fn(i);
+        fn(t, i);
       }
     });
   }
   for (auto& w : workers) w.join();
+}
+
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 unsigned num_threads) {
+  ParallelForWorker(
+      count, [&fn](unsigned, size_t i) { fn(i); }, num_threads);
 }
 
 }  // namespace airindex

@@ -42,6 +42,9 @@ struct ClientOptions {
   int max_repair_cycles = 8;
 };
 
+/// Caller-owned reusable scratch for RunQuery (core/query_scratch.h).
+struct QueryScratch;
+
 /// One broadcast method: a server-built cycle plus the matching client
 /// algorithm. Implementations: DijkstraOnAir, LandmarkOnAir, ArcFlagOnAir,
 /// HiTiOnAir, SpqOnAir, EbSystem, NrSystem.
@@ -53,10 +56,14 @@ struct ClientOptions {
 /// RunQuery concurrently on one instance against a shared
 /// broadcast::BroadcastChannel (itself a pure function of (seed,
 /// position) — see channel.h). Each call keeps all client state — the
-/// ClientSession, partial graph, decode buffers — on its own stack. The
-/// sim::Simulator relies on this to fan a workload out across threads with
-/// bit-identical results to a serial run. Implementers of new methods must
-/// preserve this guarantee.
+/// ClientSession, partial graph, decode buffers — on its own stack *or* in
+/// the caller-owned QueryScratch passed in: scratch is explicit, never
+/// hidden in the system, so the immutability guarantee is unchanged. A
+/// scratch instance itself is single-threaded — callers that fan out give
+/// each worker thread its own (sim::Simulator keeps one per worker and
+/// reuses it across the thread's whole query slice), and results are
+/// byte-identical whether scratch is shared across queries, fresh, or
+/// absent. Implementers of new methods must preserve both guarantees.
 class AirSystem {
  public:
   virtual ~AirSystem() = default;
@@ -69,10 +76,14 @@ class AirSystem {
   virtual const broadcast::BroadcastCycle& cycle() const = 0;
 
   /// Executes one client query against a channel carrying this system's
-  /// cycle. Never throws; failures surface as !metrics.ok.
+  /// cycle. Never throws; failures surface as !metrics.ok. `scratch`, when
+  /// non-null, supplies every reusable client buffer (reset on entry), so
+  /// a caller that keeps one scratch per thread runs the steady-state
+  /// query path without allocating; null falls back to throwaway locals.
   virtual device::QueryMetrics RunQuery(
       const broadcast::BroadcastChannel& channel, const AirQuery& query,
-      const ClientOptions& options = {}) const = 0;
+      const ClientOptions& options = {},
+      QueryScratch* scratch = nullptr) const = 0;
 
   /// Server-side pre-computation wall time in seconds (Table 3).
   virtual double precompute_seconds() const { return 0.0; }

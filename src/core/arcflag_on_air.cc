@@ -2,10 +2,12 @@
 
 #include <bit>
 #include <chrono>
+#include <optional>
 
 #include "common/byte_io.h"
 #include "core/cycle_common.h"
 #include "core/full_cycle.h"
+#include "core/query_scratch.h"
 #include "device/memory_tracker.h"
 
 namespace airindex::core {
@@ -78,15 +80,22 @@ Result<std::unique_ptr<ArcFlagOnAir>> ArcFlagOnAir::Build(
 
 device::QueryMetrics ArcFlagOnAir::RunQuery(
     const broadcast::BroadcastChannel& channel, const AirQuery& query,
-    const ClientOptions& options) const {
+    const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
   broadcast::ClientSession session(&channel,
                                    TuneInPosition(cycle_, query.tune_phase));
 
-  // Collected network data (node-id addressed) and raw flag chunks.
+  std::optional<QueryScratch> local_scratch;
+  QueryScratch& s =
+      scratch != nullptr ? *scratch : local_scratch.emplace();
+  s.BeginQuery();
+
+  // Collected network data (node-id addressed) and raw flag chunks. The
+  // coordinates are moved into the rebuilt Graph below, so they cannot be
+  // pooled; the edge list can.
   std::vector<graph::Point> coords(num_nodes_);
-  std::vector<graph::EdgeTriplet> edges;
+  std::vector<graph::EdgeTriplet>& edges = s.edges;
   edges.reserve(num_arcs_);
   std::vector<double> splits;
   struct FlagChunk {
@@ -103,20 +112,22 @@ device::QueryMetrics ArcFlagOnAir::RunQuery(
       [](broadcast::SegmentType t) {
         return t == broadcast::SegmentType::kNetworkData;
       },
-      [&](broadcast::ReceivedSegment&& seg) {
+      [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
-          auto records = broadcast::DecodeNodeRecords(seg.payload);
-          if (records.ok()) {
+          if (broadcast::ValidateNodeRecords(seg.payload).ok()) {
             size_t added = 0;
-            for (const auto& rec : records.value()) {
-              coords[rec.id] = rec.coord;
-              for (const auto& arc : rec.arcs) {
-                edges.push_back({rec.id, arc.to, arc.weight});
+            size_t record_count = 0;
+            broadcast::NodeRecordCursor cursor(seg.payload);
+            while (cursor.Next(&s.record)) {
+              ++record_count;
+              coords[s.record.id] = s.record.coord;
+              for (const auto& arc : s.record.arcs) {
+                edges.push_back({s.record.id, arc.to, arc.weight});
                 ++added;
               }
             }
-            memory.Charge(added * 12 + records.value().size() * 20);
+            memory.Charge(added * 12 + record_count * 20);
           }
           memory.Release(seg.payload.size());
         } else if (seg.segment_id == kHeaderSegment) {
@@ -140,10 +151,13 @@ device::QueryMetrics ArcFlagOnAir::RunQuery(
           chunk.packet_ok = std::move(seg.packet_ok);
           flag_chunks.push_back(std::move(chunk));
           // Raw flag bytes are retained until query time; keep the charge.
+          // (Moving them out of the scratch costs those segments a fresh
+          // buffer next query — AF is not on the allocation-free target
+          // path since it rebuilds a full Graph per query anyway.)
         }
         cpu_ms += sw.ElapsedMs();
       },
-      options.max_repair_cycles);
+      options.max_repair_cycles, &s.full_cycle);
 
   device::Stopwatch sw;
   // Rebuild the graph; CSR layout matches the server's (same edges, same

@@ -29,8 +29,9 @@ class ArcFlagOnAir : public AirSystem {
   const broadcast::BroadcastCycle& cycle() const override { return cycle_; }
   device::QueryMetrics RunQuery(const broadcast::BroadcastChannel& channel,
                                 const AirQuery& query,
-                                const ClientOptions& options =
-                                    {}) const override;
+                                const ClientOptions& options = {},
+                                QueryScratch* scratch =
+                                    nullptr) const override;
   double precompute_seconds() const override { return precompute_seconds_; }
 
   const algo::ArcFlagIndex& index() const { return index_; }

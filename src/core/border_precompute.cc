@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "algo/dijkstra.h"
+#include "algo/search_workspace.h"
 #include "common/thread_pool.h"
 
 namespace airindex::core {
@@ -40,19 +41,39 @@ Result<BorderPrecompute> ComputeBorderPrecompute(
   const std::vector<graph::NodeId>& B = pre.borders.border_nodes;
   std::mutex merge_mu;
 
-  ParallelFor(B.size(), [&](size_t bi) {
+  // One search workspace + one set of row accumulators per worker thread,
+  // reused across the thread's whole border-node slice: the border-pair
+  // stage runs |B| single-source searches, so the per-search O(n)
+  // allocate/zero-fill it used to pay dominated server pre-computation.
+  // Merging is commutative (min/max/or), so results are independent of
+  // which worker ran which source.
+  struct WorkerState {
+    algo::SearchWorkspace ws;
+    std::vector<graph::Dist> row_min;
+    std::vector<graph::Dist> row_max;
+    std::vector<uint64_t> row_masks;
+    std::vector<graph::NodeId> marked;
+  };
+  std::vector<WorkerState> workers(ResolveWorkers(B.size(), 0));
+
+  ParallelForWorker(B.size(), [&](unsigned worker, size_t bi) {
+    WorkerState& state = workers[worker];
     const graph::NodeId b = B[bi];
     const graph::RegionId rb = pre.part.node_region[b];
-    algo::SearchTree tree = algo::DijkstraToTargets(g, b, B);
+    algo::DijkstraToTargets(g, b, B, state.ws);
 
     // Per-source accumulators for row rb.
-    std::vector<graph::Dist> row_min(R, graph::kInfDist);
-    std::vector<graph::Dist> row_max(R, 0);
-    std::vector<uint64_t> row_masks(static_cast<size_t>(R) * words, 0);
-    std::vector<graph::NodeId> marked;
+    std::vector<graph::Dist>& row_min = state.row_min;
+    std::vector<graph::Dist>& row_max = state.row_max;
+    std::vector<uint64_t>& row_masks = state.row_masks;
+    std::vector<graph::NodeId>& marked = state.marked;
+    row_min.assign(R, graph::kInfDist);
+    row_max.assign(R, 0);
+    row_masks.assign(static_cast<size_t>(R) * words, 0);
+    marked.clear();
 
     for (graph::NodeId b2 : B) {
-      const graph::Dist d = tree.dist[b2];
+      const graph::Dist d = state.ws.DistTo(b2);
       if (d == graph::kInfDist) continue;
       const graph::RegionId r2 = pre.part.node_region[b2];
       row_min[r2] = std::min(row_min[r2], d);
@@ -62,7 +83,7 @@ Result<BorderPrecompute> ComputeBorderPrecompute(
       // superset) marking nodes as cross-border.
       uint64_t* mask = row_masks.data() + static_cast<size_t>(r2) * words;
       for (graph::NodeId v = b2; v != graph::kInvalidNode;
-           v = tree.parent[v]) {
+           v = state.ws.ParentOf(v)) {
         const graph::RegionId rv = pre.part.node_region[v];
         mask[rv / 64] |= uint64_t{1} << (rv % 64);
         marked.push_back(v);

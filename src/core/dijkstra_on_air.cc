@@ -1,9 +1,12 @@
 #include "core/dijkstra_on_air.h"
 
+#include <optional>
+
 #include "algo/dijkstra.h"
 #include "core/cycle_common.h"
 #include "core/full_cycle.h"
 #include "core/partial_graph.h"
+#include "core/query_scratch.h"
 #include "device/memory_tracker.h"
 
 namespace airindex::core {
@@ -20,34 +23,38 @@ Result<std::unique_ptr<DijkstraOnAir>> DijkstraOnAir::Build(
 
 device::QueryMetrics DijkstraOnAir::RunQuery(
     const broadcast::BroadcastChannel& channel, const AirQuery& query,
-    const ClientOptions& options) const {
+    const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
   broadcast::ClientSession session(&channel,
                                    TuneInPosition(cycle_, query.tune_phase));
 
-  PartialGraph pg;
+  std::optional<QueryScratch> local;
+  QueryScratch& s = scratch != nullptr ? *scratch : local.emplace();
+  s.BeginQuery();
+
+  PartialGraph& pg = s.partial_graph;
   double cpu_ms = 0.0;
   Status receive_status = ReceiveFullCycle(
       session, memory,
       [](broadcast::SegmentType) { return true; },  // all data is adjacency
-      [&](broadcast::ReceivedSegment&& seg) {
+      [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         const size_t before = pg.MemoryBytes();
-        auto records = broadcast::DecodeNodeRecords(seg.payload);
-        if (records.ok()) {
-          for (const auto& rec : records.value()) pg.AddRecord(rec);
+        if (broadcast::ValidateNodeRecords(seg.payload).ok()) {
+          broadcast::NodeRecordCursor cursor(seg.payload);
+          while (cursor.Next(&s.record)) pg.AddRecord(s.record);
         }
         memory.Charge(pg.MemoryBytes() - before);
         memory.Release(seg.payload.size());
         cpu_ms += sw.ElapsedMs();
       },
-      options.max_repair_cycles);
+      options.max_repair_cycles, &s.full_cycle);
 
   device::Stopwatch sw;
-  algo::SearchTree tree = algo::DijkstraSearch(
-      pg, query.source, query.target, KnownEdgeFilter{&pg});
-  graph::Path path = algo::ExtractPath(tree, query.source, query.target);
+  algo::DijkstraSearch(pg, query.source, query.target, KnownEdgeFilter{&pg},
+                       s.search);
+  const graph::Dist dist = s.search.DistTo(query.target);
   cpu_ms += sw.ElapsedMs();
 
   metrics.tuning_packets = session.tuned_packets();
@@ -55,8 +62,8 @@ device::QueryMetrics DijkstraOnAir::RunQuery(
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;
-  metrics.distance = path.dist;
-  metrics.ok = receive_status.ok() && path.found();
+  metrics.distance = dist;
+  metrics.ok = receive_status.ok() && dist != graph::kInfDist;
   return metrics;
 }
 

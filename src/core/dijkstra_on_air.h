@@ -22,8 +22,9 @@ class DijkstraOnAir : public AirSystem {
   const broadcast::BroadcastCycle& cycle() const override { return cycle_; }
   device::QueryMetrics RunQuery(const broadcast::BroadcastChannel& channel,
                                 const AirQuery& query,
-                                const ClientOptions& options =
-                                    {}) const override;
+                                const ClientOptions& options = {},
+                                QueryScratch* scratch =
+                                    nullptr) const override;
 
  private:
   DijkstraOnAir() = default;

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
-#include <deque>
+#include <optional>
 
 #include "algo/dijkstra.h"
 #include "broadcast/interleave.h"
 #include "common/byte_io.h"
 #include "core/partial_graph.h"
+#include "core/query_scratch.h"
 #include "core/region_data.h"
 #include "core/repair.h"
 #include "core/super_edge.h"
@@ -214,7 +215,7 @@ Result<std::unique_ptr<EbSystem>> EbSystem::BuildFromPrecompute(
 
 device::QueryMetrics EbSystem::RunQuery(
     const broadcast::BroadcastChannel& channel, const AirQuery& query,
-    const ClientOptions& options) const {
+    const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
   broadcast::ClientSession session(&channel,
@@ -222,10 +223,15 @@ device::QueryMetrics EbSystem::RunQuery(
   const uint32_t total = cycle_.total_packets();
   double cpu_ms = 0.0;
 
+  std::optional<QueryScratch> local_scratch;
+  QueryScratch& s =
+      scratch != nullptr ? *scratch : local_scratch.emplace();
+  s.BeginQuery();
+
   // --- 1. Find and receive the next index copy (tuning in right at an
   // index start uses that very copy) --------------------------------------
   uint32_t index_start = 0;
-  ReceivedSegment index_seg;
+  ReceivedSegment* index_seg = s.segments.Acquire();
   {
     bool found = false;
     for (int attempts = 0; attempts < 64 && !found; ++attempts) {
@@ -234,16 +240,16 @@ device::QueryMetrics EbSystem::RunQuery(
       found = true;
       if (view->next_index_offset == 0 && view->seq == 0) {
         index_start = view->cycle_pos;
-        index_seg = broadcast::CompleteSegmentFrom(session, *view);
+        broadcast::CompleteSegmentFrom(session, *view, index_seg);
       } else {
         index_start = static_cast<uint32_t>(
             (view->cycle_pos + view->next_index_offset) % total);
-        index_seg = ReceiveSegmentAt(session, index_start);
+        broadcast::ReceiveSegmentAt(session, index_start, index_seg);
       }
     }
     if (!found) return metrics;  // channel effectively dead
   }
-  memory.Charge(index_seg.payload.size());
+  memory.Charge(index_seg->payload.size());
 
   // --- 2. Make sure the needed index bytes arrived (§6.2) ---------------
   // Region mapping first: header + splits live at the payload front; the
@@ -252,12 +258,12 @@ device::QueryMetrics EbSystem::RunQuery(
       [&](const std::vector<std::pair<size_t, size_t>>& ranges) -> bool {
     for (int attempt = 0; attempt <= options.max_repair_cycles; ++attempt) {
       std::vector<uint32_t> missing =
-          MissingNeededPackets(index_seg, ranges);
+          MissingNeededPackets(*index_seg, ranges);
       if (missing.empty()) return true;
       // Prefer the next copy if we already know the copy list; fall back to
       // this copy next cycle.
       uint32_t repair_start = index_start;
-      auto decoded = EbIndex::Decode(index_seg.payload);
+      auto decoded = EbIndex::Decode(index_seg->payload);
       if (decoded.ok() && !decoded->copy_starts.empty()) {
         const auto& copies = decoded->copy_starts;
         const uint32_t cur = session.cycle_pos();
@@ -275,18 +281,18 @@ device::QueryMetrics EbSystem::RunQuery(
         }
         repair_start = best;
       }
-      RepairIndexPackets(session, repair_start, missing, &index_seg);
+      RepairIndexPackets(session, repair_start, missing, index_seg);
     }
-    return MissingNeededPackets(index_seg, ranges).empty();
+    return MissingNeededPackets(*index_seg, ranges).empty();
   };
 
-  if (!ensure_ranges({{0, index_seg.payload.size() < 6
-                              ? index_seg.payload.size()
+  if (!ensure_ranges({{0, index_seg->payload.size() < 6
+                              ? index_seg->payload.size()
                               : 6}})) {
     return metrics;
   }
   const uint32_t R =
-      index_seg.payload.size() >= 2 ? GetU16(index_seg.payload.data()) : 0;
+      index_seg->payload.size() >= 2 ? GetU16(index_seg->payload.data()) : 0;
   if (R < 2) return metrics;
   // Header + splits.
   if (!ensure_ranges({{0, 6 + (static_cast<size_t>(R) - 1) * 8}})) {
@@ -294,9 +300,10 @@ device::QueryMetrics EbSystem::RunQuery(
   }
 
   device::Stopwatch sw_map;
-  auto header = EbIndex::Decode(index_seg.payload);
-  if (!header.ok()) return metrics;
-  auto kd = partition::KdTreePartitioner::FromSplits(header->splits);
+  if (!EbIndex::Decode(index_seg->payload, &s.eb_index).ok()) {
+    return metrics;
+  }
+  auto kd = partition::KdTreePartitioner::FromSplits(s.eb_index.splits);
   if (!kd.ok()) return metrics;
   const graph::RegionId rs = kd->RegionOf(query.source_coord);
   const graph::RegionId rt = kd->RegionOf(query.target_coord);
@@ -305,13 +312,17 @@ device::QueryMetrics EbSystem::RunQuery(
   if (!ensure_ranges(EbIndex::NeededByteRanges(R, rs, rt))) return metrics;
 
   device::Stopwatch sw_prune;
-  auto index_or = EbIndex::Decode(index_seg.payload);
-  if (!index_or.ok()) return metrics;
-  const EbIndex index = std::move(index_or).value();
+  // Re-decode: ensure_ranges may have repaired matrix bytes since the
+  // header decode above. The scratch index's storage is reused.
+  if (!EbIndex::Decode(index_seg->payload, &s.eb_index).ok()) {
+    return metrics;
+  }
+  const EbIndex& index = s.eb_index;
 
   // --- 3. Elliptic pruning (§4.2) ---------------------------------------
   const graph::Dist ub = index.MaxDist(rs, rt);
-  std::vector<graph::RegionId> needed;
+  std::vector<graph::RegionId>& needed = s.needed_regions;
+  needed.clear();
   for (graph::RegionId r = 0; r < R; ++r) {
     if (r == rs || r == rt) {
       needed.push_back(r);
@@ -331,32 +342,32 @@ device::QueryMetrics EbSystem::RunQuery(
             [&](graph::RegionId a, graph::RegionId b) {
               const uint32_t cur = session.cycle_pos();
               auto ahead = [&](graph::RegionId r) {
-                const uint32_t s = index.dir[r].cross_start;
-                return s >= cur ? s - cur : s + total - cur;
+                const uint32_t st = index.dir[r].cross_start;
+                return st >= cur ? st - cur : st + total - cur;
               };
               return ahead(a) < ahead(b);
             });
 
-  PartialGraph pg;
+  PartialGraph& pg = s.partial_graph;
   SuperEdgeProcessor super(query.source, query.target);
   size_t super_mem = 0;
 
-  auto ingest_region = [&](ReceivedSegment&& cross, ReceivedSegment&& local,
+  auto ingest_region = [&](ReceivedSegment& cross, ReceivedSegment* local,
                            bool has_local) {
     device::Stopwatch sw;
-    auto cross_data = DecodeRegionData(cross.payload);
-    if (!cross_data.ok()) return;
-    RegionData region = std::move(cross_data).value();
-    if (has_local) {
-      auto local_data = DecodeRegionData(local.payload);
-      if (local_data.ok()) {
-        for (auto& rec : local_data->records) {
-          region.records.push_back(std::move(rec));
-        }
-      }
-    }
     if (options.memory_bound) {
       // §6.1: collapse into super-edges, drop the region data.
+      auto cross_data = DecodeRegionData(cross.payload);
+      if (!cross_data.ok()) return;
+      RegionData region = std::move(cross_data).value();
+      if (has_local) {
+        auto local_data = DecodeRegionData(local->payload);
+        if (local_data.ok()) {
+          for (auto& rec : local_data->records) {
+            region.records.push_back(std::move(rec));
+          }
+        }
+      }
       const size_t decoded =
           region.records.size() * 24 + region.border.size() * 4;
       memory.Charge(decoded);
@@ -366,12 +377,22 @@ device::QueryMetrics EbSystem::RunQuery(
       super_mem = super.MemoryBytes();
       memory.Charge(super_mem);
     } else {
+      // Allocation-free path: validate (all-or-nothing, like the old
+      // wholesale decode) and stream records straight into the pool.
+      if (!ValidateRegionData(cross.payload).ok()) return;
       const size_t before = pg.MemoryBytes();
-      for (const auto& rec : region.records) pg.AddRecord(rec);
+      RegionDataView view(cross.payload);
+      auto cursor = view.records();
+      while (cursor.Next(&s.record)) pg.AddRecord(s.record);
+      if (has_local && ValidateRegionData(local->payload).ok()) {
+        RegionDataView local_view(local->payload);
+        auto local_cursor = local_view.records();
+        while (local_cursor.Next(&s.record)) pg.AddRecord(s.record);
+      }
       memory.Charge(pg.MemoryBytes() - before);
     }
     memory.Release(cross.payload.size());
-    if (has_local) memory.Release(local.payload.size());
+    if (has_local) memory.Release(local->payload.size());
     ++metrics.regions_received;
     cpu_ms += sw.ElapsedMs();
   };
@@ -381,43 +402,49 @@ device::QueryMetrics EbSystem::RunQuery(
   // (§6.2 — one extra cycle fixes all damaged regions, not one region per
   // cycle).
   struct StashedRegion {
-    ReceivedSegment cross;
-    ReceivedSegment local;
+    ReceivedSegment* cross = nullptr;
+    ReceivedSegment* local = nullptr;
     bool want_local = false;
     uint32_t cross_start = 0;
     uint32_t local_start = 0;
   };
-  std::deque<StashedRegion> stash;
+  std::vector<StashedRegion> stash;  // loss path only; empty => no alloc
   for (graph::RegionId r : needed) {
     const EbIndex::RegionDir& d = index.dir[r];
-    ReceivedSegment cross = ReceiveSegmentAt(session, d.cross_start);
-    memory.Charge(cross.payload.size());
+    ReceivedSegment* cross = s.segments.Acquire();
+    broadcast::ReceiveSegmentAt(session, d.cross_start, cross);
+    memory.Charge(cross->payload.size());
     const bool want_local =
         d.local_packets > 0 &&
         (r == rs || r == rt || !options.cross_border_opt);
-    ReceivedSegment local;
+    ReceivedSegment* local = nullptr;
     if (want_local) {
-      local = ReceiveSegmentAt(session, d.local_start);
-      memory.Charge(local.payload.size());
+      local = s.segments.Acquire();
+      broadcast::ReceiveSegmentAt(session, d.local_start, local);
+      memory.Charge(local->payload.size());
     }
-    if (cross.complete && (!want_local || local.complete)) {
-      ingest_region(std::move(cross), std::move(local), want_local);
+    if (cross->complete && (!want_local || local->complete)) {
+      ingest_region(*cross, local, want_local);
+      s.segments.Recycle(cross);
+      if (local != nullptr) s.segments.Recycle(local);
     } else {
-      stash.push_back({std::move(cross), std::move(local), want_local,
-                       d.cross_start, d.local_start});
+      stash.push_back({cross, local, want_local, d.cross_start,
+                       d.local_start});
     }
   }
   if (!stash.empty()) {
     std::vector<PendingRepair> pending;
-    for (auto& s : stash) {
-      if (!s.cross.complete) pending.push_back({s.cross_start, &s.cross});
-      if (s.want_local && !s.local.complete) {
-        pending.push_back({s.local_start, &s.local});
+    for (auto& st : stash) {
+      if (!st.cross->complete) {
+        pending.push_back({st.cross_start, st.cross});
+      }
+      if (st.want_local && !st.local->complete) {
+        pending.push_back({st.local_start, st.local});
       }
     }
     RepairAllSegments(session, pending, options.max_repair_cycles);
-    for (auto& s : stash) {
-      ingest_region(std::move(s.cross), std::move(s.local), s.want_local);
+    for (auto& st : stash) {
+      ingest_region(*st.cross, st.local, st.want_local);
     }
   }
 
@@ -427,10 +454,9 @@ device::QueryMetrics EbSystem::RunQuery(
   if (options.memory_bound) {
     dist = super.Solve();
   } else {
-    algo::SearchTree tree = algo::DijkstraSearch(
-        pg, query.source, query.target, KnownEdgeFilter{&pg});
-    dist = query.target < tree.dist.size() ? tree.dist[query.target]
-                                           : graph::kInfDist;
+    algo::DijkstraSearch(pg, query.source, query.target,
+                         KnownEdgeFilter{&pg}, s.search);
+    dist = s.search.DistTo(query.target);
   }
   cpu_ms += sw_search.ElapsedMs();
 

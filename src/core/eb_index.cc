@@ -101,31 +101,31 @@ std::vector<uint8_t> EbIndex::Encode() const {
   return out;
 }
 
-Result<EbIndex> EbIndex::Decode(const std::vector<uint8_t>& payload) {
+Status EbIndex::Decode(const std::vector<uint8_t>& payload, EbIndex* out) {
   if (payload.size() < 6) return Status::DataLoss("truncated EB index");
-  EbIndex idx;
-  idx.num_regions = GetU16(payload.data());
-  idx.num_nodes = GetU32(payload.data() + 2);
-  if (idx.num_regions < 2 ||
-      payload.size() < EncodedBytes(idx.num_regions, 0)) {
+  out->num_regions = GetU16(payload.data());
+  out->num_nodes = GetU32(payload.data() + 2);
+  if (out->num_regions < 2 ||
+      payload.size() < EncodedBytes(out->num_regions, 0)) {
     return Status::DataLoss("EB index payload size mismatch");
   }
   ByteReader reader(payload);
   reader.Skip(6);
-  idx.splits.reserve(idx.num_regions - 1);
-  for (uint32_t i = 0; i + 1 < idx.num_regions; ++i) {
-    idx.splits.push_back(std::bit_cast<double>(reader.ReadU64()));
+  out->splits.clear();
+  out->splits.reserve(out->num_regions - 1);
+  for (uint32_t i = 0; i + 1 < out->num_regions; ++i) {
+    out->splits.push_back(std::bit_cast<double>(reader.ReadU64()));
   }
 
-  const uint32_t R = idx.num_regions;
-  idx.min_rr.resize(static_cast<size_t>(R) * R);
-  idx.max_rr.resize(static_cast<size_t>(R) * R);
+  const uint32_t R = out->num_regions;
+  out->min_rr.resize(static_cast<size_t>(R) * R);
+  out->max_rr.resize(static_cast<size_t>(R) * R);
   for (graph::RegionId i = 0; i < R; ++i) {
     for (graph::RegionId j = 0; j < R; ++j) {
       const size_t off = CellByteOffset(R, i, j);
-      idx.min_rr[static_cast<size_t>(i) * R + j] =
+      out->min_rr[static_cast<size_t>(i) * R + j] =
           Unsaturate(GetU32(payload.data() + off));
-      idx.max_rr[static_cast<size_t>(i) * R + j] =
+      out->max_rr[static_cast<size_t>(i) * R + j] =
           Unsaturate(GetU32(payload.data() + off + 4));
     }
   }
@@ -133,22 +133,29 @@ Result<EbIndex> EbIndex::Decode(const std::vector<uint8_t>& payload) {
   ByteReader dir_reader(
       payload.data() + HeaderBytes(R) + MatrixBytes(R),
       payload.size() - HeaderBytes(R) - MatrixBytes(R));
-  idx.dir.resize(R);
-  for (auto& d : idx.dir) {
+  out->dir.resize(R);
+  for (auto& d : out->dir) {
     d.cross_start = dir_reader.ReadU32();
     d.cross_packets = dir_reader.ReadU32();
     d.local_start = dir_reader.ReadU32();
     d.local_packets = dir_reader.ReadU32();
   }
+  out->copy_starts.clear();
   if (dir_reader.remaining() >= 2) {
     const uint16_t copies = dir_reader.ReadU16();
     if (dir_reader.remaining() >= static_cast<size_t>(copies) * 4) {
-      idx.copy_starts.reserve(copies);
+      out->copy_starts.reserve(copies);
       for (uint16_t i = 0; i < copies; ++i) {
-        idx.copy_starts.push_back(dir_reader.ReadU32());
+        out->copy_starts.push_back(dir_reader.ReadU32());
       }
     }
   }
+  return Status::OK();
+}
+
+Result<EbIndex> EbIndex::Decode(const std::vector<uint8_t>& payload) {
+  EbIndex idx;
+  AIRINDEX_RETURN_IF_ERROR(Decode(payload, &idx));
   return idx;
 }
 

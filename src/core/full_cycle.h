@@ -1,13 +1,28 @@
 #ifndef AIRINDEX_CORE_FULL_CYCLE_H_
 #define AIRINDEX_CORE_FULL_CYCLE_H_
 
-#include <functional>
+#include <cstring>
+#include <vector>
 
 #include "broadcast/channel.h"
 #include "common/status.h"
 #include "device/memory_tracker.h"
 
 namespace airindex::core {
+
+/// Reusable buffers of ReceiveFullCycle: the per-segment reassembly state.
+/// A scratch that lives across queries (core::QueryScratch) keeps each
+/// segment's payload/mask allocation, so a steady-state full-cycle client
+/// reassembles without touching the allocator. Callbacks that retain a
+/// delivered segment's buffers (by moving them out) simply cost that
+/// segment a fresh allocation next query.
+struct FullCycleScratch {
+  std::vector<broadcast::ReceivedSegment> partial;
+  std::vector<uint32_t> received_packets;
+  std::vector<uint8_t> delivered;
+  /// Whether `partial[si]` was (re-)initialized for the current call.
+  std::vector<uint8_t> primed;
+};
 
 /// Shared client loop of the full-cycle methods (§3.2: Dijkstra, ArcFlag,
 /// Landmark, and the SPQ/HiTi adaptations all "listen to the entire
@@ -17,15 +32,115 @@ namespace airindex::core {
 /// is the callback's job to release `payload.size()` once it has consumed
 /// (decoded) the segment.
 ///
-/// Segments with lost packets are re-listened to on subsequent cycles when
-/// `must_repair(type)` is true (adjacency data must be complete, §6.2);
-/// otherwise they are delivered incomplete (packet_ok flags show the holes)
-/// so the method-specific fallback can apply.
-Status ReceiveFullCycle(
-    broadcast::ClientSession& session, device::MemoryTracker& memory,
-    const std::function<bool(broadcast::SegmentType)>& must_repair,
-    const std::function<void(broadcast::ReceivedSegment&&)>& on_segment,
-    int max_repair_cycles);
+/// `on_segment` receives the segment as an lvalue reference into the
+/// scratch; it may read it in place (the allocation-free path) or move
+/// buffers out to retain them. Segments with lost packets are re-listened
+/// to on subsequent cycles when `must_repair(type)` is true (adjacency data
+/// must be complete, §6.2); otherwise they are delivered incomplete
+/// (packet_ok flags show the holes) so the method-specific fallback can
+/// apply.
+///
+/// `scratch` may be null (a throwaway local is used — the historical
+/// behaviour); generic callables avoid the std::function type-erasure
+/// allocation the old interface paid per call.
+template <typename MustRepair, typename OnSegment>
+Status ReceiveFullCycle(broadcast::ClientSession& session,
+                        device::MemoryTracker& memory,
+                        MustRepair&& must_repair, OnSegment&& on_segment,
+                        int max_repair_cycles,
+                        FullCycleScratch* scratch = nullptr) {
+  using broadcast::ReceivedSegment;
+
+  FullCycleScratch local;
+  FullCycleScratch& s = scratch != nullptr ? *scratch : local;
+
+  const broadcast::BroadcastCycle& cycle = session.cycle();
+  const size_t num_segments = cycle.num_segments();
+
+  s.partial.resize(num_segments);
+  s.received_packets.assign(num_segments, 0);
+  s.delivered.assign(num_segments, 0);
+  s.primed.assign(num_segments, 0);
+
+  auto ensure_buffer = [&](uint32_t si) {
+    if (s.primed[si]) return;
+    s.primed[si] = 1;
+    ReceivedSegment& seg = s.partial[si];
+    const broadcast::Segment& src = cycle.segment(si);
+    seg.segment_index = si;
+    seg.type = src.type;
+    seg.segment_id = src.id;
+    seg.complete = false;
+    seg.payload.assign(src.payload.size(), 0);
+    seg.packet_ok.assign(src.PacketCount(), false);
+  };
+
+  auto ingest = [&](const broadcast::PacketView& view) {
+    const uint32_t si = view.segment_index;
+    ensure_buffer(si);
+    ReceivedSegment& seg = s.partial[si];
+    if (seg.packet_ok[view.seq]) return;
+    seg.packet_ok[view.seq] = true;
+    ++s.received_packets[si];
+    memory.Charge(view.chunk.size());
+    std::memcpy(seg.payload.data() +
+                    static_cast<size_t>(view.seq) * broadcast::kPayloadSize,
+                view.chunk.data(), view.chunk.size());
+  };
+
+  auto try_deliver = [&](uint32_t si, bool force) {
+    if (s.delivered[si]) return;
+    ensure_buffer(si);
+    ReceivedSegment& seg = s.partial[si];
+    seg.complete = s.received_packets[si] == seg.packet_ok.size();
+    if (!seg.complete && !force) return;
+    s.delivered[si] = 1;
+    on_segment(seg);
+  };
+
+  // One pass over the whole cycle.
+  const uint32_t total = cycle.total_packets();
+  for (uint32_t i = 0; i < total; ++i) {
+    auto view = session.ReceiveNext();
+    if (!view.has_value()) continue;
+    ingest(*view);
+    try_deliver(view->segment_index, /*force=*/false);
+  }
+
+  // Repair passes for segments that must be complete.
+  for (int pass = 0; pass < max_repair_cycles; ++pass) {
+    bool anything_missing = false;
+    for (uint32_t si = 0; si < num_segments; ++si) {
+      if (s.delivered[si]) continue;
+      ensure_buffer(si);
+      if (!must_repair(s.partial[si].type)) continue;
+      anything_missing = true;
+      for (uint32_t p = 0; p < s.partial[si].packet_ok.size(); ++p) {
+        if (s.partial[si].packet_ok[p]) continue;
+        session.SleepUntilCyclePos((cycle.SegmentStart(si) + p) % total);
+        auto view = session.ReceiveNext();
+        if (view.has_value()) ingest(*view);
+      }
+      try_deliver(si, /*force=*/false);
+    }
+    if (!anything_missing) break;
+  }
+
+  // Deliver what remains (incomplete non-repairable segments, or repairable
+  // ones that exhausted the repair budget).
+  Status status = Status::OK();
+  for (uint32_t si = 0; si < num_segments; ++si) {
+    if (s.delivered[si]) continue;
+    ensure_buffer(si);
+    if (must_repair(s.partial[si].type) && !s.partial[si].complete &&
+        s.received_packets[si] != s.partial[si].packet_ok.size()) {
+      status = Status::DataLoss(
+          "segment still incomplete after repair budget");
+    }
+    try_deliver(si, /*force=*/true);
+  }
+  return status;
+}
 
 }  // namespace airindex::core
 

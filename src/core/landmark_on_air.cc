@@ -1,6 +1,7 @@
 #include "core/landmark_on_air.h"
 
 #include <chrono>
+#include <optional>
 
 #include "algo/astar.h"
 #include "broadcast/packet.h"
@@ -8,6 +9,7 @@
 #include "core/cycle_common.h"
 #include "core/full_cycle.h"
 #include "core/partial_graph.h"
+#include "core/query_scratch.h"
 #include "device/memory_tracker.h"
 
 namespace airindex::core {
@@ -82,17 +84,25 @@ Result<std::unique_ptr<LandmarkOnAir>> LandmarkOnAir::Build(
 
 device::QueryMetrics LandmarkOnAir::RunQuery(
     const broadcast::BroadcastChannel& channel, const AirQuery& query,
-    const ClientOptions& options) const {
+    const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
   broadcast::ClientSession session(&channel,
                                    TuneInPosition(cycle_, query.tune_phase));
 
-  PartialGraph pg;
+  std::optional<QueryScratch> local_scratch;
+  QueryScratch& s =
+      scratch != nullptr ? *scratch : local_scratch.emplace();
+  s.BeginQuery();
+
+  PartialGraph& pg = s.partial_graph;
   uint32_t k = 0;
   std::vector<graph::NodeId> landmarks;
   // to_vec[l * n + v] = d(v, L_l); from_vec likewise d(L_l, v).
-  std::vector<graph::Dist> to_vec, from_vec;
+  std::vector<graph::Dist>& to_vec = s.ld_to;
+  std::vector<graph::Dist>& from_vec = s.ld_from;
+  to_vec.clear();
+  from_vec.clear();
   double cpu_ms = 0.0;
 
   auto handle_aux = [&](const broadcast::ReceivedSegment& seg) {
@@ -133,13 +143,13 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
         // Only adjacency must be complete; lost vectors degrade the bound.
         return t == broadcast::SegmentType::kNetworkData;
       },
-      [&](broadcast::ReceivedSegment&& seg) {
+      [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
           const size_t before = pg.MemoryBytes();
-          auto records = broadcast::DecodeNodeRecords(seg.payload);
-          if (records.ok()) {
-            for (const auto& rec : records.value()) pg.AddRecord(rec);
+          if (broadcast::ValidateNodeRecords(seg.payload).ok()) {
+            broadcast::NodeRecordCursor cursor(seg.payload);
+            while (cursor.Next(&s.record)) pg.AddRecord(s.record);
           }
           memory.Charge(pg.MemoryBytes() - before);
         } else {
@@ -148,7 +158,7 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
         memory.Release(seg.payload.size());
         cpu_ms += sw.ElapsedMs();
       },
-      options.max_repair_cycles);
+      options.max_repair_cycles, &s.full_cycle);
 
   device::Stopwatch sw;
   const graph::NodeId t = query.target;
@@ -170,9 +180,8 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
     }
     return best;
   };
-  size_t settled = 0;
-  graph::Path path =
-      algo::AStarPath(pg, query.source, query.target, lower_bound, &settled);
+  algo::AStarSearch(pg, query.source, query.target, lower_bound, s.search);
+  const graph::Dist dist = s.search.DistTo(query.target);
   cpu_ms += sw.ElapsedMs();
 
   metrics.tuning_packets = session.tuned_packets();
@@ -180,8 +189,8 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;
-  metrics.distance = path.dist;
-  metrics.ok = receive_status.ok() && path.found();
+  metrics.distance = dist;
+  metrics.ok = receive_status.ok() && dist != graph::kInfDist;
   return metrics;
 }
 

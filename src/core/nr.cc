@@ -1,11 +1,12 @@
 #include "core/nr.h"
 
 #include <algorithm>
-#include <deque>
+#include <optional>
 
 #include "algo/dijkstra.h"
 #include "common/byte_io.h"
 #include "core/partial_graph.h"
+#include "core/query_scratch.h"
 #include "core/region_data.h"
 #include "core/repair.h"
 #include "core/super_edge.h"
@@ -172,7 +173,7 @@ Result<std::unique_ptr<NrSystem>> NrSystem::BuildFromPrecompute(
 
 device::QueryMetrics NrSystem::RunQuery(
     const broadcast::BroadcastChannel& channel, const AirQuery& query,
-    const ClientOptions& options) const {
+    const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
   broadcast::ClientSession session(&channel,
@@ -180,55 +181,64 @@ device::QueryMetrics NrSystem::RunQuery(
   const uint32_t total = cycle_.total_packets();
   double cpu_ms = 0.0;
 
+  std::optional<QueryScratch> local_scratch;
+  QueryScratch& s =
+      scratch != nullptr ? *scratch : local_scratch.emplace();
+  s.BeginQuery();
+
   // --- 1. Find and receive the next local index (every header points at
   // one; tuning in right at an index start uses that very copy) ----------
   uint32_t idx_start = 0;
-  auto receive_some_index = [&](bool* ok) -> ReceivedSegment {
+  auto receive_some_index = [&](ReceivedSegment* out, bool* ok) {
     for (int attempts = 0; attempts < 256; ++attempts) {
       auto view = session.ReceiveNext();
       if (!view.has_value()) continue;
       *ok = true;
       if (view->next_index_offset == 0 && view->seq == 0) {
         idx_start = view->cycle_pos;
-        return broadcast::CompleteSegmentFrom(session, *view);
+        broadcast::CompleteSegmentFrom(session, *view, out);
+        return;
       }
       idx_start = static_cast<uint32_t>(
           (view->cycle_pos + view->next_index_offset) % total);
-      return ReceiveSegmentAt(session, idx_start);
+      broadcast::ReceiveSegmentAt(session, idx_start, out);
+      return;
     }
     *ok = false;
-    return ReceivedSegment{};
   };
 
   bool found = false;
 
-  PartialGraph pg;
+  PartialGraph& pg = s.partial_graph;
   SuperEdgeProcessor super(query.source, query.target);
   size_t super_mem = 0;
-  std::vector<bool> received;
+  std::vector<uint8_t>& received = s.region_flags;
+  received.clear();
   bool mapped = false;
   graph::RegionId rs = 0, rt = 0;
   uint32_t R = 0;
   int first_index_id = -1;
-  int expected_id = -1;  // id of the index currently in idx_seg
+  int expected_id = -1;  // id of the index currently in *idx_seg
   bool index_charged = false;
   bool progressed = false;
 
-  auto ingest_region = [&](ReceivedSegment&& cross, ReceivedSegment&& local,
+  auto ingest_region = [&](ReceivedSegment& cross, ReceivedSegment* local,
                            bool has_local) {
     device::Stopwatch sw;
-    auto cross_or = DecodeRegionData(cross.payload);
-    if (cross_or.ok()) {
-      RegionData region = std::move(cross_or).value();
-      if (has_local) {
-        auto local_or = DecodeRegionData(local.payload);
-        if (local_or.ok()) {
-          for (auto& rec : local_or->records) {
-            region.records.push_back(std::move(rec));
+    if (options.memory_bound) {
+      // §6.1 path: the region is materialized, collapsed into super-edges,
+      // and dropped; decode allocations are part of the modeled charge.
+      auto cross_or = DecodeRegionData(cross.payload);
+      if (cross_or.ok()) {
+        RegionData region = std::move(cross_or).value();
+        if (has_local) {
+          auto local_or = DecodeRegionData(local->payload);
+          if (local_or.ok()) {
+            for (auto& rec : local_or->records) {
+              region.records.push_back(std::move(rec));
+            }
           }
         }
-      }
-      if (options.memory_bound) {
         const size_t decoded =
             region.records.size() * 24 + region.border.size() * 4;
         memory.Charge(decoded);
@@ -237,32 +247,45 @@ device::QueryMetrics NrSystem::RunQuery(
         memory.Release(super_mem);
         super_mem = super.MemoryBytes();
         memory.Charge(super_mem);
-      } else {
-        const size_t before = pg.MemoryBytes();
-        for (const auto& rec : region.records) pg.AddRecord(rec);
-        memory.Charge(pg.MemoryBytes() - before);
+        ++metrics.regions_received;
       }
-      ++metrics.regions_received;
+    } else {
+      // Allocation-free path: validate (all-or-nothing, like the old
+      // wholesale decode) and stream records straight into the pool.
+      if (ValidateRegionData(cross.payload).ok()) {
+        const size_t before = pg.MemoryBytes();
+        RegionDataView view(cross.payload);
+        auto cursor = view.records();
+        while (cursor.Next(&s.record)) pg.AddRecord(s.record);
+        if (has_local && ValidateRegionData(local->payload).ok()) {
+          RegionDataView local_view(local->payload);
+          auto local_cursor = local_view.records();
+          while (local_cursor.Next(&s.record)) pg.AddRecord(s.record);
+        }
+        memory.Charge(pg.MemoryBytes() - before);
+        ++metrics.regions_received;
+      }
     }
     memory.Release(cross.payload.size());
-    if (has_local) memory.Release(local.payload.size());
+    if (has_local) memory.Release(local->payload.size());
     cpu_ms += sw.ElapsedMs();
   };
 
   // --- 2. Chain through local indexes (Algorithm 2 + §6.2) --------------
   struct StashedRegion {
-    ReceivedSegment cross;
-    ReceivedSegment local;
+    ReceivedSegment* cross = nullptr;
+    ReceivedSegment* local = nullptr;
     bool want_local = false;
     uint32_t cross_start = 0;
     uint32_t local_start = 0;
   };
-  std::deque<StashedRegion> stash;
+  std::vector<StashedRegion> stash;  // loss path only; empty => no alloc
 
-  ReceivedSegment idx_seg = receive_some_index(&found);
+  ReceivedSegment* idx_seg = s.segments.Acquire();
+  receive_some_index(idx_seg, &found);
   if (!found) return metrics;
   if (!index_charged) {
-    memory.Charge(idx_seg.payload.size());
+    memory.Charge(idx_seg->payload.size());
     index_charged = true;
   }
 
@@ -273,29 +296,30 @@ device::QueryMetrics NrSystem::RunQuery(
       // client can locate Rs and Rt (§6.2: if the first component is lost,
       // wait for the next index).
       const uint32_t reg_count =
-          idx_seg.payload.size() >= 2 && idx_seg.packet_ok[0]
-              ? GetU16(idx_seg.payload.data())
+          idx_seg->payload.size() >= 2 && idx_seg->packet_ok[0]
+              ? GetU16(idx_seg->payload.data())
               : 0;
       const bool header_ok =
           reg_count >= 2 && reg_count <= 256 &&
-          RangeOkClamped(idx_seg, NrIndex::SplitsRange(reg_count));
+          RangeOkClamped(*idx_seg, NrIndex::SplitsRange(reg_count));
       if (!header_ok) {
         bool ok = false;
-        idx_seg = receive_some_index(&ok);
+        receive_some_index(idx_seg, &ok);
         if (!ok) return metrics;
         continue;
       }
       device::Stopwatch sw_map;
-      auto idx_or = NrIndex::Decode(idx_seg.payload);
-      if (!idx_or.ok()) return metrics;
-      auto kd = partition::KdTreePartitioner::FromSplits(idx_or->splits);
+      if (!NrIndex::Decode(idx_seg->payload, &s.nr_index).ok()) {
+        return metrics;
+      }
+      auto kd = partition::KdTreePartitioner::FromSplits(s.nr_index.splits);
       if (!kd.ok()) return metrics;
       rs = kd->RegionOf(query.source_coord);
       rt = kd->RegionOf(query.target_coord);
       R = reg_count;
-      received.assign(R, false);
+      received.assign(R, 0);
       mapped = true;
-      first_index_id = static_cast<int>(idx_or->region_id);
+      first_index_id = static_cast<int>(s.nr_index.region_id);
       expected_id = first_index_id;
       cpu_ms += sw_map.ElapsedMs();
     } else if (expected_id == first_index_id && progressed) {
@@ -306,19 +330,19 @@ device::QueryMetrics NrSystem::RunQuery(
     // [rs][rt] plus one geometry entry are needed (§5.1's point: per local
     // index the client reads one value).
     const bool cell_ok =
-        RangeOkClamped(idx_seg, NrIndex::CellRange(R, rs, rt));
+        RangeOkClamped(*idx_seg, NrIndex::CellRange(R, rs, rt));
     graph::RegionId region_id = 0;
     NrIndex::RegionGeometry geom;
     bool have_geom = false;
 
     if (cell_ok) {
       const graph::RegionId next_r =
-          idx_seg.payload[NrIndex::CellRange(R, rs, rt).first];
+          idx_seg->payload[NrIndex::CellRange(R, rs, rt).first];
       if (next_r >= R) return metrics;
       if (received[next_r]) break;  // client already possesses R_nxt
-      if (RangeOkClamped(idx_seg, NrIndex::PositionRange(R, next_r))) {
+      if (RangeOkClamped(*idx_seg, NrIndex::PositionRange(R, next_r))) {
         region_id = next_r;
-        geom = ReadGeometry(idx_seg, R, next_r);
+        geom = ReadGeometry(*idx_seg, R, next_r);
         have_geom = true;
       }
     }
@@ -327,14 +351,14 @@ device::QueryMetrics NrSystem::RunQuery(
       // lost. Receive the region adjacent to this index anyway; its
       // geometry entry is in the same index.
       region_id = static_cast<graph::RegionId>(expected_id);
-      if (RangeOkClamped(idx_seg,
+      if (RangeOkClamped(*idx_seg,
                          NrIndex::PositionRange(R, region_id))) {
-        geom = ReadGeometry(idx_seg, R, region_id);
+        geom = ReadGeometry(*idx_seg, R, region_id);
         have_geom = true;
       } else {
         // Even the adjacent geometry is gone: re-listen to the missing
         // packets of this very index next cycle and try again.
-        RepairSegment(session, idx_start, &idx_seg, 1);
+        RepairSegment(session, idx_start, idx_seg, 1);
         continue;
       }
       if (received[region_id]) {
@@ -342,7 +366,7 @@ device::QueryMetrics NrSystem::RunQuery(
         idx_start =
             (geom.cross_start + geom.cross_packets + geom.local_packets) %
             total;
-        idx_seg = ReceiveSegmentAt(session, idx_start);
+        broadcast::ReceiveSegmentAt(session, idx_start, idx_seg);
         expected_id = (expected_id + 1) % static_cast<int>(R);
         progressed = true;
         continue;
@@ -353,30 +377,35 @@ device::QueryMetrics NrSystem::RunQuery(
     // (endpoint regions only), then the adjacent next index. Damaged
     // regions are stashed and repaired together after the chain finishes
     // (§6.2 — one repair sweep per cycle fixes everything that was lost).
-    ReceivedSegment cross = ReceiveSegmentAt(session, geom.cross_start);
-    memory.Charge(cross.payload.size());
+    ReceivedSegment* cross = s.segments.Acquire();
+    broadcast::ReceiveSegmentAt(session, geom.cross_start, cross);
+    memory.Charge(cross->payload.size());
     const bool want_local =
         geom.local_packets > 0 && (region_id == rs || region_id == rt);
-    ReceivedSegment local;
+    ReceivedSegment* local = nullptr;
     if (want_local) {
-      local = ReceiveSegmentAt(
-          session, (geom.cross_start + geom.cross_packets) % total);
-      memory.Charge(local.payload.size());
+      local = s.segments.Acquire();
+      broadcast::ReceiveSegmentAt(
+          session, (geom.cross_start + geom.cross_packets) % total, local);
+      memory.Charge(local->payload.size());
     }
     const uint32_t next_idx_start =
         (geom.cross_start + geom.cross_packets + geom.local_packets) % total;
-    ReceivedSegment next_idx = ReceiveSegmentAt(session, next_idx_start);
+    ReceivedSegment* next_idx = s.segments.Acquire();
+    broadcast::ReceiveSegmentAt(session, next_idx_start, next_idx);
 
-    if (cross.complete && (!want_local || local.complete)) {
-      ingest_region(std::move(cross), std::move(local), want_local);
+    if (cross->complete && (!want_local || local->complete)) {
+      ingest_region(*cross, local, want_local);
+      s.segments.Recycle(cross);
+      if (local != nullptr) s.segments.Recycle(local);
     } else {
-      stash.push_back({std::move(cross), std::move(local), want_local,
-                       geom.cross_start,
+      stash.push_back({cross, local, want_local, geom.cross_start,
                        (geom.cross_start + geom.cross_packets) % total});
     }
-    received[region_id] = true;
+    received[region_id] = 1;
     progressed = true;
-    idx_seg = std::move(next_idx);
+    s.segments.Recycle(idx_seg);
+    idx_seg = next_idx;
     idx_start = next_idx_start;
     expected_id = static_cast<int>((region_id + 1) % R);
   }
@@ -384,15 +413,17 @@ device::QueryMetrics NrSystem::RunQuery(
   // Repair sweep over everything the chain could not complete, then ingest.
   if (!stash.empty()) {
     std::vector<PendingRepair> pending;
-    for (auto& s : stash) {
-      if (!s.cross.complete) pending.push_back({s.cross_start, &s.cross});
-      if (s.want_local && !s.local.complete) {
-        pending.push_back({s.local_start, &s.local});
+    for (auto& st : stash) {
+      if (!st.cross->complete) {
+        pending.push_back({st.cross_start, st.cross});
+      }
+      if (st.want_local && !st.local->complete) {
+        pending.push_back({st.local_start, st.local});
       }
     }
     RepairAllSegments(session, pending, options.max_repair_cycles);
-    for (auto& s : stash) {
-      ingest_region(std::move(s.cross), std::move(s.local), s.want_local);
+    for (auto& st : stash) {
+      ingest_region(*st.cross, st.local, st.want_local);
     }
   }
 
@@ -403,10 +434,9 @@ device::QueryMetrics NrSystem::RunQuery(
     if (options.memory_bound) {
       dist = super.Solve();
     } else {
-      algo::SearchTree tree = algo::DijkstraSearch(
-          pg, query.source, query.target, KnownEdgeFilter{&pg});
-      dist = query.target < tree.dist.size() ? tree.dist[query.target]
-                                             : graph::kInfDist;
+      algo::DijkstraSearch(pg, query.source, query.target,
+                           KnownEdgeFilter{&pg}, s.search);
+      dist = s.search.DistTo(query.target);
     }
   }
   cpu_ms += sw_search.ElapsedMs();

@@ -28,33 +28,39 @@ std::vector<uint8_t> NrIndex::Encode() const {
   return out;
 }
 
-Result<NrIndex> NrIndex::Decode(const std::vector<uint8_t>& payload) {
+Status NrIndex::Decode(const std::vector<uint8_t>& payload, NrIndex* out) {
   if (payload.size() < 8) return Status::DataLoss("truncated NR index");
-  NrIndex idx;
-  idx.num_regions = GetU16(payload.data());
-  idx.num_nodes = GetU32(payload.data() + 2);
-  idx.region_id = GetU16(payload.data() + 6);
-  if (idx.num_regions < 2 || idx.num_regions > 256 ||
-      payload.size() < EncodedBytes(idx.num_regions)) {
+  out->num_regions = GetU16(payload.data());
+  out->num_nodes = GetU32(payload.data() + 2);
+  out->region_id = GetU16(payload.data() + 6);
+  if (out->num_regions < 2 || out->num_regions > 256 ||
+      payload.size() < EncodedBytes(out->num_regions)) {
     return Status::DataLoss("NR index payload size mismatch");
   }
   ByteReader reader(payload);
   reader.Skip(8);
-  idx.splits.reserve(idx.num_regions - 1);
-  for (uint32_t i = 0; i + 1 < idx.num_regions; ++i) {
-    idx.splits.push_back(std::bit_cast<double>(reader.ReadU64()));
+  out->splits.clear();
+  out->splits.reserve(out->num_regions - 1);
+  for (uint32_t i = 0; i + 1 < out->num_regions; ++i) {
+    out->splits.push_back(std::bit_cast<double>(reader.ReadU64()));
   }
-  const size_t cells = static_cast<size_t>(idx.num_regions) *
-                       idx.num_regions;
-  idx.next_region.assign(payload.begin() + reader.position(),
-                         payload.begin() + reader.position() + cells);
+  const size_t cells = static_cast<size_t>(out->num_regions) *
+                       out->num_regions;
+  out->next_region.assign(payload.begin() + reader.position(),
+                          payload.begin() + reader.position() + cells);
   reader.Skip(cells);
-  idx.geometry.resize(idx.num_regions);
-  for (auto& g : idx.geometry) {
+  out->geometry.resize(out->num_regions);
+  for (auto& g : out->geometry) {
     g.cross_start = reader.ReadU32();
     g.cross_packets = reader.ReadU16();
     g.local_packets = reader.ReadU16();
   }
+  return Status::OK();
+}
+
+Result<NrIndex> NrIndex::Decode(const std::vector<uint8_t>& payload) {
+  NrIndex idx;
+  AIRINDEX_RETURN_IF_ERROR(Decode(payload, &idx));
   return idx;
 }
 

@@ -1,18 +1,52 @@
 #include "core/partial_graph.h"
 
+#include <algorithm>
+
 namespace airindex::core {
 
-void PartialGraph::AddRecord(const broadcast::NodeRecord& rec) {
-  if (rec.id >= adj_.size()) {
-    adj_.resize(rec.id + 1);
-    coords_.resize(rec.id + 1);
-    known_.resize(rec.id + 1, 0);
+void PartialGraph::Reset() {
+  ++generation_;
+  if (generation_ == 0) {  // stamp wrap: hard-reset once
+    std::fill(node_gen_.begin(), node_gen_.end(), 0);
+    generation_ = 1;
   }
-  if (known_[rec.id]) return;
-  known_[rec.id] = 1;
+  for (auto& chunk : chunks_) chunk.clear();  // keeps each reservation
+  active_chunk_ = 0;
+  known_count_ = 0;
+  arc_count_ = 0;
+}
+
+std::vector<graph::Graph::Arc>& PartialGraph::ChunkWithRoom(size_t need) {
+  while (active_chunk_ < chunks_.size()) {
+    auto& chunk = chunks_[active_chunk_];
+    if (chunk.capacity() - chunk.size() >= need) return chunk;
+    ++active_chunk_;
+  }
+  chunks_.emplace_back().reserve(std::max(kArcChunk, need));
+  return chunks_.back();
+}
+
+void PartialGraph::AddRecord(const broadcast::NodeRecord& rec) {
+  if (rec.id >= entries_.size()) {
+    entries_.resize(rec.id + 1);
+    coords_.resize(rec.id + 1);
+    node_gen_.resize(rec.id + 1, 0);
+  }
+  if (node_gen_[rec.id] == generation_) return;
+  node_gen_[rec.id] = generation_;
   ++known_count_;
   coords_[rec.id] = rec.coord;
-  adj_[rec.id] = rec.arcs;
+
+  NodeEntry& e = entries_[rec.id];
+  if (rec.arcs.empty()) {
+    e = NodeEntry{};
+  } else {
+    auto& chunk = ChunkWithRoom(rec.arcs.size());
+    e.chunk = static_cast<uint32_t>(active_chunk_);
+    e.offset = static_cast<uint32_t>(chunk.size());
+    e.count = static_cast<uint32_t>(rec.arcs.size());
+    chunk.insert(chunk.end(), rec.arcs.begin(), rec.arcs.end());
+  }
   arc_count_ += rec.arcs.size();
 }
 

@@ -1,6 +1,7 @@
 #ifndef AIRINDEX_CORE_PARTIAL_GRAPH_H_
 #define AIRINDEX_CORE_PARTIAL_GRAPH_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -16,26 +17,54 @@ namespace airindex::core {
 /// KnownEdgeFilter (such nodes cannot lie on the answer path by the pruning
 /// arguments of §4/§5).
 ///
+/// Storage is built for reuse across queries (core::QueryScratch): arcs
+/// live in a chunked pool (fixed-size chunks that never reallocate, so
+/// OutArcs spans stay valid while the pool grows) instead of one heap
+/// vector per received node, and Reset() clears the graph by bumping a
+/// generation stamp — O(1), keeping every allocation. A reused PartialGraph
+/// therefore allocates nothing in steady state.
+///
 /// Satisfies the graph concept of algo::DijkstraSearch.
 class PartialGraph {
  public:
+  /// Modeled client memory charge per received node record: the §2.1
+  /// <id, x, y> tuple plus an adjacency-list header. Matches the historical
+  /// hand-written constant (24 bytes) — the *modeled* charge is a property
+  /// of the paper's client, deliberately independent of how this process
+  /// actually pools the storage.
+  static constexpr size_t kModeledNodeBytes =
+      sizeof(graph::Point) + sizeof(graph::NodeId) + sizeof(uint32_t);
+  /// Modeled charge per adjacency entry: one <to, weight> pair.
+  static constexpr size_t kModeledArcBytes = sizeof(graph::Graph::Arc);
+  static_assert(kModeledNodeBytes == 24 && kModeledArcBytes == 8,
+                "modeled client memory charges must not drift (the paper's "
+                "figures and the golden metrics depend on them)");
+
   PartialGraph() = default;
+
+  /// Forgets every received record in O(1), keeping all storage for reuse.
+  void Reset();
 
   /// Ingests one decoded adjacency record. Duplicate receipt (e.g. a region
   /// received again during loss repair) is a no-op.
   void AddRecord(const broadcast::NodeRecord& rec);
 
   bool Has(graph::NodeId v) const {
-    return v < known_.size() && known_[v] != 0;
+    return v < node_gen_.size() && node_gen_[v] == generation_;
   }
 
-  size_t num_nodes() const { return adj_.size(); }
+  /// One past the largest node id the storage can address. High-water
+  /// across reuses; per-query state is tracked by the generation stamps,
+  /// so ids in [known ids, num_nodes()) simply read as not-received.
+  size_t num_nodes() const { return entries_.size(); }
   size_t known_count() const { return known_count_; }
   size_t arc_count() const { return arc_count_; }
 
   std::span<const graph::Graph::Arc> OutArcs(graph::NodeId v) const {
-    if (v >= adj_.size()) return {};
-    return {adj_[v].data(), adj_[v].size()};
+    if (!Has(v)) return {};
+    const NodeEntry& e = entries_[v];
+    if (e.count == 0) return {};  // zero-arc record: no chunk backs it
+    return {chunks_[e.chunk].data() + e.offset, e.count};
   }
 
   const graph::Point& Coord(graph::NodeId v) const { return coords_[v]; }
@@ -43,13 +72,31 @@ class PartialGraph {
   /// Client memory estimate: node table + adjacency entries. Matches the
   /// MemoryTracker charges the clients make.
   size_t MemoryBytes() const {
-    return known_count_ * 24 + arc_count_ * 8;
+    return known_count_ * kModeledNodeBytes + arc_count_ * kModeledArcBytes;
   }
 
  private:
-  std::vector<std::vector<graph::Graph::Arc>> adj_;
+  /// Arcs per pool chunk; a record with a larger degree gets its own
+  /// exactly-sized chunk so its span stays contiguous.
+  static constexpr size_t kArcChunk = 4096;
+
+  struct NodeEntry {
+    uint32_t chunk = 0;
+    uint32_t offset = 0;
+    uint32_t count = 0;
+  };
+
+  /// The chunk the next record's arcs go into, guaranteed to have room for
+  /// `need` more arcs. Chunks are reserved once and never reallocated, so
+  /// previously returned OutArcs spans stay valid.
+  std::vector<graph::Graph::Arc>& ChunkWithRoom(size_t need);
+
+  std::vector<std::vector<graph::Graph::Arc>> chunks_;
+  size_t active_chunk_ = 0;
+  std::vector<NodeEntry> entries_;
   std::vector<graph::Point> coords_;
-  std::vector<uint8_t> known_;
+  std::vector<uint32_t> node_gen_;
+  uint32_t generation_ = 1;
   size_t known_count_ = 0;
   size_t arc_count_ = 0;
 };

@@ -1,0 +1,107 @@
+#ifndef AIRINDEX_CORE_QUERY_SCRATCH_H_
+#define AIRINDEX_CORE_QUERY_SCRATCH_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "algo/search_workspace.h"
+#include "broadcast/channel.h"
+#include "broadcast/serialization.h"
+#include "core/eb_index.h"
+#include "core/full_cycle.h"
+#include "core/nr_index.h"
+#include "core/partial_graph.h"
+#include "graph/types.h"
+
+namespace airindex::core {
+
+/// Pool of ReceivedSegment buffers for clients that hold several segments
+/// at once (EB/NR: the current index copy, per-region cross/local segments,
+/// the §6.2 repair stash). Acquire() hands out slots with stable addresses
+/// (deque-backed — stash entries keep pointers across later Acquires);
+/// Recycle() returns a slot for reuse within the same query, Reset() frees
+/// every slot logically while keeping all payload/mask allocations, so a
+/// reused arena stops allocating once it has seen the query shape.
+class SegmentArena {
+ public:
+  broadcast::ReceivedSegment* Acquire() {
+    if (free_.empty()) {
+      slots_.emplace_back();
+      return &slots_.back();
+    }
+    broadcast::ReceivedSegment* seg = free_.back();
+    free_.pop_back();
+    return seg;
+  }
+
+  void Recycle(broadcast::ReceivedSegment* seg) { free_.push_back(seg); }
+
+  void Reset() {
+    free_.clear();
+    free_.reserve(slots_.size());
+    for (auto& slot : slots_) free_.push_back(&slot);
+  }
+
+  size_t slot_count() const { return slots_.size(); }
+
+ private:
+  std::deque<broadcast::ReceivedSegment> slots_;
+  std::vector<broadcast::ReceivedSegment*> free_;
+};
+
+/// Caller-owned scratch memory for AirSystem::RunQuery: everything a client
+/// allocates per query — the search workspace, the partial graph it
+/// rebuilds from the air, segment reassembly buffers, decode scratch —
+/// lives here so a reused scratch makes the steady-state query path
+/// allocation-free. Reported QueryMetrics are byte-identical with or
+/// without a scratch (and regardless of what ran in it before): scratch
+/// only changes *where* the client's working memory comes from, never what
+/// the client computes (the golden test in tests/sim pins this).
+///
+/// Ownership contract: a QueryScratch is single-threaded — one scratch per
+/// worker thread, never shared concurrently (sim::Simulator keeps one per
+/// worker and reuses it across the thread's whole query slice). RunQuery
+/// resets it on entry, so callers never clean up between queries; contents
+/// are meaningless between calls. Passing nullptr makes RunQuery use a
+/// throwaway local — the historical allocate-per-query behaviour.
+struct QueryScratch {
+  /// Dijkstra / A* state (dist, parent, frontier heaps).
+  algo::SearchWorkspace search;
+  /// The client-side network picture (pooled arc storage).
+  PartialGraph partial_graph;
+  /// Segment buffers of the selective-tuning clients (EB/NR).
+  SegmentArena segments;
+  /// Segment buffers of the full-cycle clients (DJ/LD/AF/SPQ/HiTi).
+  FullCycleScratch full_cycle;
+  /// Streaming-decode record (arc storage reused across records).
+  broadcast::NodeRecord record;
+  /// Decoded index scratch of the EB / NR clients.
+  EbIndex eb_index;
+  NrIndex nr_index;
+  /// EB's pruned needed-region list.
+  std::vector<graph::RegionId> needed_regions;
+  /// NR's received-region flags.
+  std::vector<uint8_t> region_flags;
+  /// LD's landmark distance vectors (k * n entries each).
+  std::vector<graph::Dist> ld_to;
+  std::vector<graph::Dist> ld_from;
+  /// Edge accumulator of the clients that rebuild a full graph::Graph
+  /// (AF/SPQ/HiTi).
+  std::vector<graph::EdgeTriplet> edges;
+
+  /// Readies the scratch for a fresh query: O(1) generation bumps and
+  /// cursor resets; every allocation is kept.
+  void BeginQuery() {
+    partial_graph.Reset();
+    segments.Reset();
+    needed_regions.clear();
+    edges.clear();
+    // search workspaces reset per search (BeginSearch); ld_to/ld_from are
+    // assign()ed by the LD client; full_cycle re-primes per call.
+  }
+};
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_QUERY_SCRATCH_H_

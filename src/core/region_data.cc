@@ -29,11 +29,39 @@ Result<RegionData> DecodeRegionData(const std::vector<uint8_t>& payload) {
   for (uint16_t i = 0; i < border_count; ++i) {
     data.border.push_back(reader.ReadU32());
   }
-  std::vector<uint8_t> rest(payload.begin() + reader.position(),
-                            payload.end());
-  AIRINDEX_ASSIGN_OR_RETURN(data.records,
-                            broadcast::DecodeNodeRecords(rest));
+  broadcast::NodeRecordCursor cursor(payload.data() + reader.position(),
+                                     payload.size() - reader.position());
+  broadcast::NodeRecord rec;
+  while (cursor.Next(&rec)) data.records.push_back(rec);
+  if (!cursor.status().ok()) return cursor.status();
   return data;
 }
+
+Status ValidateRegionData(const std::vector<uint8_t>& payload) {
+  if (payload.size() < 2) return Status::DataLoss("truncated region header");
+  const size_t border_count = GetU16(payload.data());
+  if (payload.size() - 2 < border_count * 4) {
+    return Status::DataLoss("truncated border list");
+  }
+  const size_t records_at = 2 + border_count * 4;
+  return broadcast::ValidateNodeRecords(payload.data() + records_at,
+                                        payload.size() - records_at);
+}
+
+RegionDataView::RegionDataView(const std::vector<uint8_t>& payload)
+    : data_(payload.data()),
+      size_(payload.size()),
+      border_count_(payload.size() >= 2 ? GetU16(payload.data()) : 0) {}
+
+graph::NodeId RegionDataView::BorderAt(size_t i) const {
+  return GetU32(data_ + 2 + i * 4);
+}
+
+broadcast::NodeRecordCursor RegionDataView::records() const {
+  const size_t records_at = 2 + border_count_ * 4;
+  return broadcast::NodeRecordCursor(data_ + records_at,
+                                     size_ - records_at);
+}
+
 
 }  // namespace airindex::core

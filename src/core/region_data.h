@@ -34,6 +34,31 @@ std::vector<uint8_t> EncodeRegionData(
 /// Decodes a region payload. Fails on truncation.
 Result<RegionData> DecodeRegionData(const std::vector<uint8_t>& payload);
 
+/// Checks a region payload is well-formed (the exact checks
+/// DecodeRegionData applies) without materializing it.
+Status ValidateRegionData(const std::vector<uint8_t>& payload);
+
+/// Zero-copy view over a *validated* region payload: the border list read
+/// in place and a streaming cursor over the node records. The allocation-
+/// free ingest path of the EB/NR clients validates first, then streams
+/// records straight into the pooled PartialGraph.
+class RegionDataView {
+ public:
+  /// `payload` must outlive the view and have passed ValidateRegionData.
+  explicit RegionDataView(const std::vector<uint8_t>& payload);
+
+  size_t border_count() const { return border_count_; }
+  graph::NodeId BorderAt(size_t i) const;
+
+  /// Cursor over the record area (fresh cursor per call).
+  broadcast::NodeRecordCursor records() const;
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t border_count_;
+};
+
 }  // namespace airindex::core
 
 #endif  // AIRINDEX_CORE_REGION_DATA_H_

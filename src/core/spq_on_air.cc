@@ -2,10 +2,12 @@
 
 #include <bit>
 #include <chrono>
+#include <optional>
 
 #include "common/byte_io.h"
 #include "core/cycle_common.h"
 #include "core/full_cycle.h"
+#include "core/query_scratch.h"
 #include "device/memory_tracker.h"
 
 namespace airindex::core {
@@ -105,14 +107,21 @@ Result<std::unique_ptr<SpqOnAir>> SpqOnAir::Build(const graph::Graph& g) {
 
 device::QueryMetrics SpqOnAir::RunQuery(
     const broadcast::BroadcastChannel& channel, const AirQuery& query,
-    const ClientOptions& options) const {
+    const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
   broadcast::ClientSession session(&channel,
                                    TuneInPosition(cycle_, query.tune_phase));
 
+  std::optional<QueryScratch> local_scratch;
+  QueryScratch& s =
+      scratch != nullptr ? *scratch : local_scratch.emplace();
+  s.BeginQuery();
+
+  // coords/trees are moved into the rebuilt Graph / SpqIndex below, so
+  // they cannot be pooled; the edge list can.
   std::vector<graph::Point> coords(num_nodes_);
-  std::vector<graph::EdgeTriplet> edges;
+  std::vector<graph::EdgeTriplet>& edges = s.edges;
   std::vector<algo::SpqIndex::Tree> trees(num_nodes_);
   double root[3] = {0, 0, 1};
   bool header_ok = false;
@@ -121,20 +130,22 @@ device::QueryMetrics SpqOnAir::RunQuery(
   Status receive_status = ReceiveFullCycle(
       session, memory,
       [](broadcast::SegmentType) { return true; },
-      [&](broadcast::ReceivedSegment&& seg) {
+      [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
-          auto records = broadcast::DecodeNodeRecords(seg.payload);
-          if (records.ok()) {
+          if (broadcast::ValidateNodeRecords(seg.payload).ok()) {
             size_t added = 0;
-            for (const auto& rec : records.value()) {
-              coords[rec.id] = rec.coord;
-              for (const auto& arc : rec.arcs) {
-                edges.push_back({rec.id, arc.to, arc.weight});
+            size_t record_count = 0;
+            broadcast::NodeRecordCursor cursor(seg.payload);
+            while (cursor.Next(&s.record)) {
+              ++record_count;
+              coords[s.record.id] = s.record.coord;
+              for (const auto& arc : s.record.arcs) {
+                edges.push_back({s.record.id, arc.to, arc.weight});
                 ++added;
               }
             }
-            memory.Charge(added * 12 + records.value().size() * 20);
+            memory.Charge(added * 12 + record_count * 20);
           }
         } else if (seg.segment_id == kHeaderSegment) {
           if (seg.complete && seg.payload.size() >= 32) {
@@ -158,7 +169,7 @@ device::QueryMetrics SpqOnAir::RunQuery(
         memory.Release(seg.payload.size());
         cpu_ms += sw.ElapsedMs();
       },
-      options.max_repair_cycles);
+      options.max_repair_cycles, &s.full_cycle);
 
   device::Stopwatch sw;
   graph::Dist dist = graph::kInfDist;

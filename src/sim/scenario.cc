@@ -190,6 +190,7 @@ Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
 
     SimOptions so;
     so.threads = options_.threads;
+    so.repeat = options_.repeat;
     so.loss = gr.spec.loss;
     so.loss_seed = gr.spec.loss_seed != 0
                        ? gr.spec.loss_seed

@@ -129,6 +129,9 @@ class ScenarioRunner {
     unsigned threads = 1;
     /// Zero the wall-clock cpu_ms field for bit-reproducible aggregates.
     bool deterministic = false;
+    /// Run each group's batch N times, reporting min-of-N wall time (see
+    /// SimOptions::repeat).
+    unsigned repeat = 1;
   };
 
   ScenarioRunner() = default;

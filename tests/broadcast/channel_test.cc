@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace airindex::broadcast {
 namespace {
 
@@ -26,6 +28,55 @@ TEST(ChannelTest, LosslessChannelDeliversEverything) {
     EXPECT_TRUE(session.ReceiveNext().has_value());
   }
   EXPECT_EQ(session.tuned_packets(), cycle.total_packets());
+}
+
+// The historical IsLost converted the 53-bit SplitMix64 draw to a double
+// and compared against the rate per packet; the channel now precomputes an
+// integer threshold at construction. This replicates the old formula
+// verbatim and asserts every loss decision is bit-identical across rates
+// (including degenerate and subnormal-adjacent ones) and burst lengths.
+TEST(ChannelTest, IntegerThresholdMatchesLegacyDoubleFormula) {
+  BroadcastCycle cycle = MakeCycle(2, 300);
+  const double rates[] = {0.0,  1e-18, 1e-9, 0.001, 0.02, 0.1,
+                          1.0 / 3.0,   0.5,  0.9,   0.999, 1.0, 1.5};
+  const uint32_t bursts[] = {1, 4, 16};
+  const uint64_t seeds[] = {0x10552, 99, 0xDEADBEEF};
+  for (double rate : rates) {
+    for (uint32_t burst : bursts) {
+      for (uint64_t seed : seeds) {
+        BroadcastChannel channel(&cycle, LossModel::Of(rate, burst), seed);
+        auto legacy_is_lost = [&](uint64_t abs_pos) {
+          if (rate <= 0.0) return false;
+          const uint64_t unit = burst > 1 ? abs_pos / burst : abs_pos;
+          uint64_t z = seed ^ (unit + 0x9E3779B97f4A7C15ULL);
+          z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+          z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+          z ^= z >> 31;
+          return static_cast<double>(z >> 11) * 0x1.0p-53 < rate;
+        };
+        for (uint64_t pos = 0; pos < 5000; ++pos) {
+          ASSERT_EQ(channel.IsLost(pos), legacy_is_lost(pos))
+              << "rate " << rate << " burst " << burst << " seed " << seed
+              << " pos " << pos;
+        }
+      }
+    }
+  }
+}
+
+TEST(ChannelTest, LossThresholdEdgeCases) {
+  // rate <= 0 (and NaN) never lose; rate >= 1 loses every draw.
+  EXPECT_EQ(BroadcastChannel::LossThreshold(0.0), 0u);
+  EXPECT_EQ(BroadcastChannel::LossThreshold(-0.5), 0u);
+  EXPECT_EQ(BroadcastChannel::LossThreshold(
+                std::numeric_limits<double>::quiet_NaN()),
+            0u);
+  EXPECT_EQ(BroadcastChannel::LossThreshold(1.0), 1ULL << 53);
+  EXPECT_EQ(BroadcastChannel::LossThreshold(2.0), 1ULL << 53);
+  // The smallest positive rate still loses the draw x == 0.
+  EXPECT_EQ(BroadcastChannel::LossThreshold(1e-300), 1u);
+  // An exactly representable rate maps to an exact (non-rounded-up) bound.
+  EXPECT_EQ(BroadcastChannel::LossThreshold(0.5), 1ULL << 52);
 }
 
 TEST(ChannelTest, LossIsDeterministicPerPosition) {

@@ -35,7 +35,7 @@ TEST(FullCycleTest, DeliversEverySegmentOnce) {
   std::map<uint32_t, ReceivedSegment> got;
   Status st = ReceiveFullCycle(
       session, mem, [](SegmentType) { return true; },
-      [&](ReceivedSegment&& seg) {
+      [&](ReceivedSegment& seg) {
         EXPECT_TRUE(got.emplace(seg.segment_index, std::move(seg)).second);
       },
       4);
@@ -58,7 +58,7 @@ TEST(FullCycleTest, RepairsLostDataSegments) {
   std::map<uint32_t, ReceivedSegment> got;
   Status st = ReceiveFullCycle(
       session, mem, [](SegmentType t) { return t == SegmentType::kNetworkData; },
-      [&](ReceivedSegment&& seg) {
+      [&](ReceivedSegment& seg) {
         got.emplace(seg.segment_index, std::move(seg));
       },
       16);
@@ -80,7 +80,7 @@ TEST(FullCycleTest, NonRepairableSegmentsDeliveredIncomplete) {
   bool any_incomplete_aux = false;
   Status st = ReceiveFullCycle(
       session, mem, [](SegmentType t) { return t == SegmentType::kNetworkData; },
-      [&](ReceivedSegment&& seg) {
+      [&](ReceivedSegment& seg) {
         if (seg.type == SegmentType::kAuxData && !seg.complete) {
           any_incomplete_aux = true;
         }
@@ -98,7 +98,7 @@ TEST(FullCycleTest, ChargesRawBytesToMemory) {
   device::MemoryTracker mem;
   ReceiveFullCycle(
       session, mem, [](SegmentType) { return true; },
-      [](ReceivedSegment&&) {}, 2);
+      [](ReceivedSegment&) {}, 2);
   EXPECT_GE(mem.peak(), cycle.TotalPayloadBytes());
 }
 

@@ -55,8 +55,8 @@ void PrintUsage(std::FILE* out) {
                "<target>\n"
                "  airindex_cli run <network> [--scale=F] [--queries=N] "
                "[--seed=N]\n"
-               "      [--loss=F] [--burst=N] [--threads=N] "
-               "[--systems=DJ,NR,...] [--regions=N]\n"
+               "      [--loss=F] [--burst=N] [--threads=N] [--repeat=N]\n"
+               "      [--systems=DJ,NR,...] [--regions=N]\n"
                "      [--landmarks=N] [--json[=FILE]] [--deterministic]\n"
                "      Simulate a batch of clients through the parallel "
                "engine\n"
@@ -66,10 +66,12 @@ void PrintUsage(std::FILE* out) {
                "      wall-clock cpu_ms field so the aggregate metrics "
                "are\n"
                "      bit-reproducible; timing fields still vary by "
-               "run).\n"
+               "run;\n"
+               "      --repeat=N reports min-of-N wall time per "
+               "system).\n"
                "  airindex_cli scenario --list | --name=NAME | "
                "--file=SPEC.json\n"
-               "      [--threads=N] [--scale=F] [--queries=N] "
+               "      [--threads=N] [--repeat=N] [--scale=F] [--queries=N] "
                "[--json[=FILE]]\n"
                "      [--deterministic]\n"
                "      Run a declarative multi-group scenario "
@@ -242,6 +244,7 @@ int Run(int argc, char** argv) {
   unsigned threads = 0;  // all cores: the engine's reason to exist
   uint32_t regions = 32;
   uint32_t landmarks = 4;
+  unsigned repeat = 1;
   bool deterministic = false;
   bool emit_json = false;
   std::string json_path;
@@ -262,6 +265,9 @@ int Run(int argc, char** argv) {
       burst = parsed > 1 ? static_cast<uint32_t>(parsed) : 1;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      const int parsed = std::atoi(arg + 9);
+      repeat = parsed > 1 ? static_cast<unsigned>(parsed) : 1;
     } else if (std::strncmp(arg, "--regions=", 10) == 0) {
       regions = static_cast<uint32_t>(std::atoi(arg + 10));
     } else if (std::strncmp(arg, "--landmarks=", 12) == 0) {
@@ -318,6 +324,7 @@ int Run(int argc, char** argv) {
 
   sim::SimOptions so;
   so.threads = threads;
+  so.repeat = repeat;
   so.loss = broadcast::LossModel::Of(loss, burst);
   so.loss_seed = seed;
   so.deterministic = deterministic;
@@ -384,6 +391,7 @@ int RunScenario(int argc, char** argv) {
   std::string name;
   std::string file;
   unsigned threads = 0;
+  unsigned repeat = 1;
   bool deterministic = false;
   bool emit_json = false;
   std::string json_path;
@@ -400,6 +408,9 @@ int RunScenario(int argc, char** argv) {
       file = arg + 7;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      const int parsed = std::atoi(arg + 9);
+      repeat = parsed > 1 ? static_cast<unsigned>(parsed) : 1;
     } else if (std::strncmp(arg, "--scale=", 8) == 0) {
       scale_override = std::atof(arg + 8);
     } else if (std::strncmp(arg, "--queries=", 10) == 0) {
@@ -451,6 +462,7 @@ int RunScenario(int argc, char** argv) {
 
   sim::ScenarioRunner::RunOptions ro;
   ro.threads = threads;
+  ro.repeat = repeat;
   ro.deterministic = deterministic;
   auto result = sim::ScenarioRunner(ro).Run(scenario);
   if (!result.ok()) {

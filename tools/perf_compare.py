@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Compare a fresh set of BENCH_*.json perf artifacts against a previous run.
+
+Understands two artifact flavours:
+
+  * google-benchmark JSON (BENCH_micro.json): one measurement per benchmark
+    entry, compared on real_time (lower is better). Aggregate entries
+    ("_mean", "_median", ...) are skipped; with --benchmark_repetitions the
+    "_min" aggregate is preferred over the raw repetition entries.
+  * airindex.sim.batch/v1 and airindex.sim.scenario/v1 JSON
+    (BENCH_sim_*.json, BENCH_scenario_*.json): one measurement per system,
+    compared on queries_per_second (higher is better).
+
+Usage:
+  tools/perf_compare.py --old prev_dir_or_file --new new_dir_or_file \
+      [--threshold 0.10] [--fail-on-regression]
+
+Output is a table plus GitHub "::warning::" annotations for every metric
+that regressed by more than the threshold. The exit code is 0 unless
+--fail-on-regression is given (the CI wiring is warn-only: perf numbers
+from shared runners are advisory, the artifacts are the record).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"note: skipping unreadable {path}: {e}")
+        return None
+
+
+def google_benchmark_metrics(doc):
+    """{name: (real_time, unit, lower_is_better=True)} for a GB JSON doc."""
+    out = {}
+    entries = doc.get("benchmarks", [])
+    has_min = {
+        e["run_name"]
+        for e in entries
+        if e.get("run_type") == "aggregate" and e.get("aggregate_name") == "min"
+    }
+    for e in entries:
+        name = e.get("name", "")
+        if e.get("run_type") == "aggregate":
+            if e.get("aggregate_name") != "min":
+                continue  # min-of-N is the stable statistic
+            name = e["run_name"] + "/min"
+        elif e.get("run_name", name) in has_min:
+            continue  # raw repetition shadowed by its min aggregate
+        if "real_time" not in e:
+            continue
+        out[name] = (float(e["real_time"]), e.get("time_unit", "ns"), True)
+    return out
+
+
+def sim_metrics(doc):
+    """{system: (queries_per_second, unit, lower_is_better=False)}."""
+    out = {}
+    if doc.get("schema") == "airindex.sim.batch/v1":
+        for s in doc.get("systems", []):
+            qps = s.get("queries_per_second")
+            if qps:
+                out[s["system"]] = (float(qps), "q/s", False)
+    elif doc.get("schema") == "airindex.sim.scenario/v1":
+        for s in doc.get("fleet", []):
+            qps = s.get("queries_per_second")
+            if qps:
+                out[s["system"]] = (float(qps), "q/s", False)
+    return out
+
+
+def metrics_of(path):
+    doc = load_json(path)
+    if doc is None:
+        return {}
+    if "benchmarks" in doc:
+        return google_benchmark_metrics(doc)
+    return sim_metrics(doc)
+
+
+def artifact_files(root, exclude=None):
+    """BENCH_*.json under `root`, skipping anything inside `exclude`.
+
+    The CI wiring runs with --new . while the previous run's artifacts sit
+    in ./prev-perf, so the fresh scan must not sweep the old tree into the
+    "new" set (that would compare old against itself and mask a bench step
+    that crashed before writing its fresh artifact).
+    """
+    if os.path.isfile(root):
+        return {os.path.basename(root): root}
+    excluded = os.path.abspath(exclude) if exclude else None
+    pattern = os.path.join(root, "**", "BENCH_*.json")
+    out = {}
+    for p in glob.glob(pattern, recursive=True):
+        if excluded and os.path.commonpath(
+                [os.path.abspath(p), excluded]) == excluded:
+            continue
+        out[os.path.relpath(p, root).replace(os.sep, "/")] = p
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--old", required=True,
+                    help="previous artifact file or directory")
+    ap.add_argument("--new", required=True,
+                    help="fresh artifact file or directory")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative regression that triggers a warning")
+    ap.add_argument("--fail-on-regression", action="store_true")
+    args = ap.parse_args()
+
+    old_files = artifact_files(args.old)
+    new_files = artifact_files(args.new, exclude=args.old)
+    if not old_files:
+        print(f"no previous artifacts under {args.old}; nothing to compare")
+        return 0
+    if not new_files:
+        print(f"no fresh artifacts under {args.new}; nothing to compare")
+        return 0
+
+    # Match by basename so nested artifact layouts still pair up.
+    old_by_base = {os.path.basename(k): v for k, v in old_files.items()}
+
+    regressions = []
+    compared = 0
+    print(f"{'artifact/metric':60s} {'old':>14s} {'new':>14s} {'delta':>8s}")
+    for rel, new_path in sorted(new_files.items()):
+        old_path = old_by_base.get(os.path.basename(rel))
+        if old_path is None:
+            print(f"{rel:60s} {'(new)':>14s}")
+            continue
+        old_m = metrics_of(old_path)
+        new_m = metrics_of(new_path)
+        for name in sorted(new_m):
+            if name not in old_m:
+                continue
+            new_val, unit, lower_better = new_m[name]
+            old_val, _, _ = old_m[name]
+            if old_val <= 0:
+                continue
+            compared += 1
+            change = (new_val - old_val) / old_val
+            regressed = change > args.threshold if lower_better \
+                else change < -args.threshold
+            label = f"{os.path.basename(rel)}:{name}"
+            flag = "  << REGRESSION" if regressed else ""
+            print(f"{label:60s} {old_val:14.3f} {new_val:14.3f} "
+                  f"{change:+7.1%}{flag}")
+            if regressed:
+                regressions.append((label, unit, old_val, new_val, change))
+
+    print(f"\ncompared {compared} metrics, "
+          f"{len(regressions)} regression(s) beyond "
+          f"{args.threshold:.0%}")
+    for label, unit, old_val, new_val, change in regressions:
+        print(f"::warning title=perf regression::{label} went "
+              f"{old_val:.3f} -> {new_val:.3f} {unit} ({change:+.1%})")
+
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
