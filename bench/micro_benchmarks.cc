@@ -15,6 +15,7 @@
 #include "graph/catalog.h"
 #include "graph/generator.h"
 #include "partition/kd_tree.h"
+#include "sim/event_engine.h"
 #include "sim/simulator.h"
 #include "workload/workload.h"
 
@@ -248,6 +249,58 @@ void BM_SimulatorThroughputNrLossy(benchmark::State& state) {
   SimulatorThroughput(state, 0.01);
 }
 BENCHMARK(BM_SimulatorThroughputNrLossy)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Fleet latency on the shared station timeline: the same NR fleet, but
+// arriving over time (Poisson, 200 clients/s) on one event-engine station
+// instead of each query privately replaying its own cycle. items/s is
+// simulated queries per second; the thread sweep tracks the event
+// engine's scaling next to the batch engine's.
+const workload::Workload& EventBenchWorkload() {
+  static const auto& w = *new workload::Workload([] {
+    workload::WorkloadSpec spec;
+    spec.count = 128;
+    spec.seed = 9;
+    spec.arrival.kind = workload::ArrivalSpec::Kind::kPoisson;
+    spec.arrival.rate_per_second = 200.0;
+    return workload::GenerateWorkload(BenchGraph(), spec).value();
+  }());
+  return w;
+}
+
+void EventEngineFleet(benchmark::State& state, double loss_rate,
+                      uint32_t subchannels) {
+  const workload::Workload& w = EventBenchWorkload();
+  sim::EventOptions eo;
+  eo.threads = static_cast<unsigned>(state.range(0));
+  eo.loss = broadcast::LossModel::Independent(loss_rate);
+  eo.subchannels = subchannels;
+  eo.deterministic = true;
+  sim::EventEngine engine(BenchGraph(), eo);
+  for (auto _ : state) {
+    auto r = engine.RunSystem(SimBenchSystem(), w);
+    benchmark::DoNotOptimize(r.aggregate.wait_ms.mean);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.queries.size()));
+}
+
+void BM_EventEngineFleetNr(benchmark::State& state) {
+  EventEngineFleet(state, 0.0, 1);
+}
+BENCHMARK(BM_EventEngineFleetNr)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EventEngineFleetNrLossySharded(benchmark::State& state) {
+  EventEngineFleet(state, 0.01, 4);
+}
+BENCHMARK(BM_EventEngineFleetNrLossySharded)
     ->Arg(1)
     ->Arg(4)
     ->UseRealTime()

@@ -18,6 +18,9 @@ bool ReceivedSegment::RangeOk(size_t begin, size_t end) const {
 void ReceiveSegmentAt(ClientSession& session, uint32_t segment_start,
                       ReceivedSegment* out) {
   session.SleepUntilCyclePos(segment_start);
+  // Everything before this packet was wait (probing headers, dozing to the
+  // segment); the demanded segment starts here.
+  session.MarkContentStart();
 
   const BroadcastCycle& cycle = session.cycle();
   const uint32_t si = cycle.SegmentAt(segment_start);
@@ -52,6 +55,9 @@ ReceivedSegment ReceiveSegmentAt(ClientSession& session,
 
 void CompleteSegmentFrom(ClientSession& session, const PacketView& first,
                          ReceivedSegment* out) {
+  // `first` was already received by the caller — it is the content start
+  // (one behind the session cursor).
+  session.MarkContentStart(session.position() - 1);
   const BroadcastCycle& cycle = session.cycle();
   const Segment& seg = cycle.segment(first.segment_index);
   out->segment_index = first.segment_index;

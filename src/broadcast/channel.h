@@ -48,14 +48,36 @@ class BroadcastChannel {
 
   BroadcastChannel(const BroadcastCycle* cycle, LossModel loss,
                    uint64_t seed)
+      : BroadcastChannel(cycle, loss, seed, /*slot_stride=*/1,
+                         /*slot_offset=*/0) {}
+
+  /// Sub-channel view of a time-multiplexed station (broadcast::Station):
+  /// the client's logical position `p` occupies physical transmission slot
+  /// `p * slot_stride + slot_offset`, and loss is decided on physical
+  /// slots. All sub-channels of one station share a seed, so a fade burst
+  /// on the physical channel interleaves across them — each logical stream
+  /// sees shorter holes. A stride of 1 with offset 0 is the plain
+  /// single-channel model and makes identical decisions to the historical
+  /// constructor for every position.
+  BroadcastChannel(const BroadcastCycle* cycle, LossModel loss,
+                   uint64_t seed, uint64_t slot_stride, uint64_t slot_offset)
       : cycle_(cycle),
         loss_(loss),
         seed_(seed),
-        loss_threshold_(LossThreshold(loss.rate)) {}
+        loss_threshold_(LossThreshold(loss.rate)),
+        slot_stride_(slot_stride == 0 ? 1 : slot_stride),
+        slot_offset_(slot_offset) {}
 
   const BroadcastCycle& cycle() const { return *cycle_; }
   double loss_rate() const { return loss_.rate; }
   const LossModel& loss_model() const { return loss_; }
+  uint64_t slot_stride() const { return slot_stride_; }
+  uint64_t slot_offset() const { return slot_offset_; }
+
+  /// Physical transmission slot of logical position `pos` on this channel.
+  uint64_t PhysicalSlot(uint64_t pos) const {
+    return pos * slot_stride_ + slot_offset_;
+  }
 
   /// The 53-bit integer threshold equivalent to "uniform [0,1) draw <
   /// rate". The historical formula converted the 53-bit draw to double
@@ -77,8 +99,8 @@ class BroadcastChannel {
   /// of `burst_len` packets while the long-run rate stays `rate`.
   bool IsLost(uint64_t abs_pos) const {
     if (loss_threshold_ == 0) return false;
-    const uint64_t unit =
-        loss_.burst_len > 1 ? abs_pos / loss_.burst_len : abs_pos;
+    const uint64_t slot = PhysicalSlot(abs_pos);
+    const uint64_t unit = loss_.burst_len > 1 ? slot / loss_.burst_len : slot;
     // SplitMix64 of (seed, unit) -> uniform 53-bit draw.
     uint64_t z = seed_ ^ (unit + 0x9E3779B97f4A7C15ULL);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
@@ -96,6 +118,8 @@ class BroadcastChannel {
   LossModel loss_;
   uint64_t seed_;
   uint64_t loss_threshold_;
+  uint64_t slot_stride_ = 1;
+  uint64_t slot_offset_ = 0;
 };
 
 /// One client's view of the channel during one query. Tracks the paper's
@@ -105,6 +129,15 @@ class BroadcastChannel {
 ///     client needed.
 /// Sleeping (skipping forward without listening) is free apart from wall
 /// clock. Positions are absolute (monotonic across cycle wrap-arounds).
+///
+/// The access latency additionally splits into a *wait* prefix and a
+/// *listen* remainder at the content-start mark (MarkContentStart): the
+/// packets between tune-in and the first packet of the first segment the
+/// client actually demands are pure wait — header probes and dozing toward
+/// the next index copy — while everything after is retrieval. The segment
+/// helpers below (ReceiveSegmentAt / CompleteSegmentFrom) and the
+/// full-cycle loop place the mark, so every client method reports the
+/// split without bespoke bookkeeping.
 class ClientSession {
  public:
   ClientSession(const BroadcastChannel* channel, uint64_t start_pos)
@@ -149,12 +182,33 @@ class ClientSession {
                : last_listened_ - start_pos_ + 1;
   }
 
+  /// Marks absolute position `abs_pos` as the start of real content: the
+  /// first packet of the first segment this client demands. First call
+  /// wins; later marks (chained index hops, repairs) are ignored.
+  void MarkContentStart(uint64_t abs_pos) {
+    if (content_marked_) return;
+    content_marked_ = true;
+    content_start_ = abs_pos;
+  }
+  /// Marks the packet about to be transmitted as the content start.
+  void MarkContentStart() { MarkContentStart(pos_); }
+
+  /// Packets dozed (or probed) between tune-in and the content-start mark.
+  /// A session that never marked — or never listened — waited its whole
+  /// latency window for content that never came.
+  uint64_t wait_packets() const {
+    if (content_marked_) return content_start_ - start_pos_;
+    return latency_packets();
+  }
+
  private:
   const BroadcastChannel* channel_;
   uint64_t start_pos_;
   uint64_t pos_;
   uint64_t tuned_ = 0;
   uint64_t last_listened_ = 0;
+  uint64_t content_start_ = 0;
+  bool content_marked_ = false;
 };
 
 /// A segment reassembled from the air: the payload plus a per-packet

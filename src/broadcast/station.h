@@ -1,0 +1,117 @@
+#ifndef AIRINDEX_BROADCAST_STATION_H_
+#define AIRINDEX_BROADCAST_STATION_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/channel.h"
+#include "broadcast/cycle.h"
+
+namespace airindex::broadcast {
+
+/// Configuration of one broadcast station (see Station).
+struct StationOptions {
+  /// Physical channel bitrate; together with the packet size this fixes the
+  /// station clock (one physical slot = kPacketSize * 8 / bits_per_second).
+  double bits_per_second = 2'000'000.0;
+  /// Loss model of the physical channel. Losses are decided per physical
+  /// slot, so a fade burst spans sub-channels.
+  LossModel loss = LossModel::None();
+  /// One seed for the whole station: every client (and every sub-channel)
+  /// shares the same loss realization — the defining property of a shared
+  /// channel.
+  uint64_t seed = 0x57A710;
+  /// Number of logical sub-channels the physical channel is
+  /// time-multiplexed across (>= 1). Sub-channel `c` transmits its logical
+  /// position `p` in physical slot `p * subchannels + c`.
+  uint32_t subchannels = 1;
+};
+
+/// The broadcast station: one transmitter that starts its cycle at time
+/// zero and repeats it forever, owning the shared clock every client's
+/// wait and listen times are measured against. Unlike the per-query replay
+/// model — where each simulated client invents a private channel — all
+/// clients of a station observe the same packet at the same instant and
+/// agree on whether it was lost, so fleet effects (wait-for-cycle-boundary,
+/// staggered arrivals, rush-hour pileups) emerge from one timeline.
+///
+/// Optionally the physical channel is time-multiplexed across K logical
+/// sub-channels, each carrying the full cycle at 1/K of the bitrate.
+/// Clients are assigned round-robin by arrival ordinal (their interleave
+/// group). Sharding trades per-client bandwidth for fade diversity: a
+/// burst of B physical slots punches only ~B/K consecutive holes into each
+/// logical stream (classic interleaving on a burst-error channel).
+///
+/// Thread-safety: immutable after construction, like the channels it owns.
+class Station {
+ public:
+  /// `cycle` must outlive the station.
+  Station(const BroadcastCycle* cycle, const StationOptions& options)
+      : cycle_(cycle), options_(options) {
+    if (options_.subchannels == 0) options_.subchannels = 1;
+    channels_.reserve(options_.subchannels);
+    for (uint32_t c = 0; c < options_.subchannels; ++c) {
+      channels_.emplace_back(cycle, options_.loss, options_.seed,
+                             /*slot_stride=*/options_.subchannels,
+                             /*slot_offset=*/c);
+    }
+  }
+
+  const BroadcastCycle& cycle() const { return *cycle_; }
+  const StationOptions& options() const { return options_; }
+  uint32_t subchannels() const { return options_.subchannels; }
+
+  /// The channel view of sub-channel `c` (shared by all its clients).
+  const BroadcastChannel& channel(uint32_t c) const { return channels_[c]; }
+
+  /// Sub-channel of the client with arrival ordinal `k` (its interleave
+  /// group): round-robin assignment.
+  uint32_t SubchannelOf(uint64_t client_ordinal) const {
+    return static_cast<uint32_t>(client_ordinal % options_.subchannels);
+  }
+
+  /// Duration of one physical transmission slot, milliseconds.
+  double SlotMs() const {
+    return static_cast<double>(broadcast::kPacketSize) * 8.0 * 1000.0 /
+           options_.bits_per_second;
+  }
+
+  /// Duration of one *logical* packet as a sub-channel client experiences
+  /// it: K physical slots pass between its consecutive packets.
+  double PacketMs() const {
+    return SlotMs() * static_cast<double>(options_.subchannels);
+  }
+
+  /// Duration of one full cycle on a sub-channel, milliseconds.
+  double CycleMs() const {
+    return PacketMs() * static_cast<double>(cycle_->total_packets());
+  }
+
+  /// First logical position on sub-channel `c` whose transmission starts at
+  /// or after `time_ms` on the station clock — where a client arriving at
+  /// that instant tunes in. Clients join at packet boundaries; the
+  /// sub-packet remainder is part of their wait.
+  uint64_t PositionAt(double time_ms, uint32_t c) const {
+    const double slot = time_ms / SlotMs();  // fractional physical slot
+    const double logical = (slot - static_cast<double>(c)) /
+                           static_cast<double>(options_.subchannels);
+    if (!(logical > 0.0)) return 0;  // incl. NaN guard: clamp to the start
+    return static_cast<uint64_t>(std::ceil(logical));
+  }
+
+  /// Station-clock instant (ms) at which logical position `pos` of
+  /// sub-channel `c` starts transmitting. Inverse of PositionAt.
+  double TimeAtMs(uint64_t pos, uint32_t c) const {
+    return static_cast<double>(channels_[c].PhysicalSlot(pos)) * SlotMs();
+  }
+
+ private:
+  const BroadcastCycle* cycle_;
+  StationOptions options_;
+  std::vector<BroadcastChannel> channels_;
+};
+
+}  // namespace airindex::broadcast
+
+#endif  // AIRINDEX_BROADCAST_STATION_H_

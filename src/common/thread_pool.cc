@@ -4,13 +4,16 @@
 
 namespace airindex {
 
+unsigned ResolveThreads(unsigned num_threads) {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 unsigned ResolveWorkers(size_t count, unsigned num_threads) {
   if (count == 0) return 1;
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  const unsigned threads = num_threads == 0 ? hw : num_threads;
-  return static_cast<unsigned>(
-      std::max<size_t>(1, std::min<size_t>(threads, count)));
+  return static_cast<unsigned>(std::max<size_t>(
+      1, std::min<size_t>(ResolveThreads(num_threads), count)));
 }
 
 void ParallelForWorker(

@@ -9,6 +9,11 @@
 
 namespace airindex {
 
+/// The "0 = hardware concurrency" thread-count policy on its own (at least
+/// 1, no per-call clamp): what the simulation engines report as their
+/// effective worker count.
+unsigned ResolveThreads(unsigned num_threads);
+
 /// Worker count ParallelFor/ParallelForWorker will actually use for `count`
 /// iterations and a requested `num_threads` (0 = hardware concurrency,
 /// clamped to `count`, at least 1). Callers that keep per-worker state

@@ -13,15 +13,27 @@
 
 namespace airindex::core {
 
+/// "This query has no absolute arrival": the client tunes in at a private,
+/// cycle-relative phase (the batch engine's replay model).
+inline constexpr uint64_t kNoArrivalPos = ~uint64_t{0};
+
 /// A query as the client sees it: it knows where it is and where it wants to
 /// go (node ids double as record keys; coordinates drive the kd-tree region
-/// mapping), and the instant it tunes in, expressed as a cycle fraction.
+/// mapping), and the instant it tunes in. Two tune-in models coexist:
+///   * phase-relative (`tune_phase`, the historical model): each query
+///     privately replays its own cycle from a fractional offset;
+///   * absolute (`arrival_pos` != kNoArrivalPos, the event engine's model):
+///     the client joins a shared station timeline at that absolute packet
+///     position, mid-cycle, wherever the transmitter happens to be.
 struct AirQuery {
   graph::NodeId source = graph::kInvalidNode;
   graph::NodeId target = graph::kInvalidNode;
   graph::Point source_coord;
   graph::Point target_coord;
   double tune_phase = 0.0;
+  /// Absolute tune-in position on a shared station timeline; overrides
+  /// tune_phase when set (see StartPosition).
+  uint64_t arrival_pos = kNoArrivalPos;
 };
 
 /// Converts a workload query (coordinates looked up in the graph).
@@ -40,6 +52,12 @@ struct ClientOptions {
   /// How many extra cycles a client may spend re-listening to lost packets
   /// before giving up.
   int max_repair_cycles = 8;
+  /// Opt-in fix for the AF header gap (ROADMAP): also repair the
+  /// header/global-index segment of methods whose query cannot run without
+  /// it (ArcFlag's kd-split header). Off by default — the §6.2
+  /// reproduction numbers assume only adjacency data is repaired, and a
+  /// lost header then fails the query (~2-5% at 2% loss).
+  bool repair_header = false;
 };
 
 /// Caller-owned reusable scratch for RunQuery (core/query_scratch.h).
@@ -99,6 +117,18 @@ inline uint64_t TuneInPosition(const broadcast::BroadcastCycle& cycle,
   if (total == 0) return 0;
   const auto pos = static_cast<uint64_t>(phase * static_cast<double>(total));
   return pos >= total ? total - 1 : pos;
+}
+
+/// Where a query's client session starts on this system's timeline: the
+/// absolute arrival position when the query carries one (shared-station
+/// model), else the phase-relative tune-in (private-replay model). Every
+/// RunQuery implementation opens its session here, so both engines drive
+/// the same client code.
+inline uint64_t StartPosition(const broadcast::BroadcastCycle& cycle,
+                              const AirQuery& query) {
+  return query.arrival_pos != kNoArrivalPos
+             ? query.arrival_pos
+             : TuneInPosition(cycle, query.tune_phase);
 }
 
 }  // namespace airindex::core

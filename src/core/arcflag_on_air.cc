@@ -83,8 +83,7 @@ device::QueryMetrics ArcFlagOnAir::RunQuery(
     const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
-  broadcast::ClientSession session(&channel,
-                                   TuneInPosition(cycle_, query.tune_phase));
+  broadcast::ClientSession session(&channel, StartPosition(cycle_, query));
 
   std::optional<QueryScratch> local_scratch;
   QueryScratch& s =
@@ -109,8 +108,15 @@ device::QueryMetrics ArcFlagOnAir::RunQuery(
 
   Status receive_status = ReceiveFullCycle(
       session, memory,
-      [](broadcast::SegmentType t) {
-        return t == broadcast::SegmentType::kNetworkData;
+      [&options](const broadcast::ReceivedSegment& seg) {
+        if (seg.type == broadcast::SegmentType::kNetworkData) return true;
+        // A lost flag chunk degrades to all-ones (§6.2), but a lost header
+        // kills the query — the kd splits cannot be reconstructed. The
+        // opt-in repair closes that gap; off by default to preserve the
+        // paper's reproduction numbers.
+        return options.repair_header &&
+               seg.type == broadcast::SegmentType::kAuxData &&
+               seg.segment_id == kHeaderSegment;
       },
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
@@ -167,6 +173,7 @@ device::QueryMetrics ArcFlagOnAir::RunQuery(
     // Without splits there is no region mapping; ArcFlag cannot run.
     metrics.tuning_packets = session.tuned_packets();
     metrics.latency_packets = session.latency_packets();
+    metrics.wait_packets = session.wait_packets();
     metrics.peak_memory_bytes = memory.peak();
     metrics.memory_exceeded = memory.exceeded();
     metrics.cpu_ms = cpu_ms + sw.ElapsedMs();
@@ -212,6 +219,7 @@ device::QueryMetrics ArcFlagOnAir::RunQuery(
 
   metrics.tuning_packets = session.tuned_packets();
   metrics.latency_packets = session.latency_packets();
+  metrics.wait_packets = session.wait_packets();
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;

@@ -26,8 +26,7 @@ device::QueryMetrics DijkstraOnAir::RunQuery(
     const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
-  broadcast::ClientSession session(&channel,
-                                   TuneInPosition(cycle_, query.tune_phase));
+  broadcast::ClientSession session(&channel, StartPosition(cycle_, query));
 
   std::optional<QueryScratch> local;
   QueryScratch& s = scratch != nullptr ? *scratch : local.emplace();
@@ -37,7 +36,9 @@ device::QueryMetrics DijkstraOnAir::RunQuery(
   double cpu_ms = 0.0;
   Status receive_status = ReceiveFullCycle(
       session, memory,
-      [](broadcast::SegmentType) { return true; },  // all data is adjacency
+      [](const broadcast::ReceivedSegment&) {
+        return true;  // all data is adjacency
+      },
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         const size_t before = pg.MemoryBytes();
@@ -59,6 +60,7 @@ device::QueryMetrics DijkstraOnAir::RunQuery(
 
   metrics.tuning_packets = session.tuned_packets();
   metrics.latency_packets = session.latency_packets();
+  metrics.wait_packets = session.wait_packets();
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;

@@ -218,8 +218,7 @@ device::QueryMetrics EbSystem::RunQuery(
     const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
-  broadcast::ClientSession session(&channel,
-                                   TuneInPosition(cycle_, query.tune_phase));
+  broadcast::ClientSession session(&channel, StartPosition(cycle_, query));
   const uint32_t total = cycle_.total_packets();
   double cpu_ms = 0.0;
 
@@ -462,6 +461,7 @@ device::QueryMetrics EbSystem::RunQuery(
 
   metrics.tuning_packets = session.tuned_packets();
   metrics.latency_packets = session.latency_packets();
+  metrics.wait_packets = session.wait_packets();
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;

@@ -35,10 +35,11 @@ struct FullCycleScratch {
 /// `on_segment` receives the segment as an lvalue reference into the
 /// scratch; it may read it in place (the allocation-free path) or move
 /// buffers out to retain them. Segments with lost packets are re-listened
-/// to on subsequent cycles when `must_repair(type)` is true (adjacency data
-/// must be complete, §6.2); otherwise they are delivered incomplete
-/// (packet_ok flags show the holes) so the method-specific fallback can
-/// apply.
+/// to on subsequent cycles when `must_repair(seg)` is true (adjacency data
+/// must be complete, §6.2; the predicate sees the whole ReceivedSegment so
+/// a method can single out e.g. its header segment); otherwise they are
+/// delivered incomplete (packet_ok flags show the holes) so the
+/// method-specific fallback can apply.
 ///
 /// `scratch` may be null (a throwaway local is used — the historical
 /// behaviour); generic callables avoid the std::function type-erasure
@@ -98,7 +99,9 @@ Status ReceiveFullCycle(broadcast::ClientSession& session,
     on_segment(seg);
   };
 
-  // One pass over the whole cycle.
+  // One pass over the whole cycle. A full-cycle client consumes every
+  // packet, so content starts the instant it tunes in (wait is zero).
+  session.MarkContentStart();
   const uint32_t total = cycle.total_packets();
   for (uint32_t i = 0; i < total; ++i) {
     auto view = session.ReceiveNext();
@@ -113,7 +116,7 @@ Status ReceiveFullCycle(broadcast::ClientSession& session,
     for (uint32_t si = 0; si < num_segments; ++si) {
       if (s.delivered[si]) continue;
       ensure_buffer(si);
-      if (!must_repair(s.partial[si].type)) continue;
+      if (!must_repair(s.partial[si])) continue;
       anything_missing = true;
       for (uint32_t p = 0; p < s.partial[si].packet_ok.size(); ++p) {
         if (s.partial[si].packet_ok[p]) continue;
@@ -132,7 +135,7 @@ Status ReceiveFullCycle(broadcast::ClientSession& session,
   for (uint32_t si = 0; si < num_segments; ++si) {
     if (s.delivered[si]) continue;
     ensure_buffer(si);
-    if (must_repair(s.partial[si].type) && !s.partial[si].complete &&
+    if (must_repair(s.partial[si]) && !s.partial[si].complete &&
         s.received_packets[si] != s.partial[si].packet_ok.size()) {
       status = Status::DataLoss(
           "segment still incomplete after repair budget");

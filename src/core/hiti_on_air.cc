@@ -77,8 +77,7 @@ device::QueryMetrics HiTiOnAir::RunQuery(
     const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
-  broadcast::ClientSession session(&channel,
-                                   TuneInPosition(cycle_, query.tune_phase));
+  broadcast::ClientSession session(&channel, StartPosition(cycle_, query));
 
   std::optional<QueryScratch> local_scratch;
   QueryScratch& s =
@@ -96,8 +95,9 @@ device::QueryMetrics HiTiOnAir::RunQuery(
 
   Status receive_status = ReceiveFullCycle(
       session, memory,
-      [](broadcast::SegmentType) { return true; },  // the index must be
-                                                    // complete to be usable
+      [](const broadcast::ReceivedSegment&) {
+        return true;  // the index must be complete to be usable
+      },
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
@@ -173,6 +173,7 @@ device::QueryMetrics HiTiOnAir::RunQuery(
 
   metrics.tuning_packets = session.tuned_packets();
   metrics.latency_packets = session.latency_packets();
+  metrics.wait_packets = session.wait_packets();
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;

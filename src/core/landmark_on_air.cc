@@ -87,8 +87,7 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
     const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
-  broadcast::ClientSession session(&channel,
-                                   TuneInPosition(cycle_, query.tune_phase));
+  broadcast::ClientSession session(&channel, StartPosition(cycle_, query));
 
   std::optional<QueryScratch> local_scratch;
   QueryScratch& s =
@@ -139,9 +138,9 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
 
   Status receive_status = ReceiveFullCycle(
       session, memory,
-      [](broadcast::SegmentType t) {
+      [](const broadcast::ReceivedSegment& seg) {
         // Only adjacency must be complete; lost vectors degrade the bound.
-        return t == broadcast::SegmentType::kNetworkData;
+        return seg.type == broadcast::SegmentType::kNetworkData;
       },
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
@@ -186,6 +185,7 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
 
   metrics.tuning_packets = session.tuned_packets();
   metrics.latency_packets = session.latency_packets();
+  metrics.wait_packets = session.wait_packets();
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;

@@ -137,6 +137,7 @@ RangeResult RunRangeQuery(const EbSystem& system,
 
   result.metrics.tuning_packets = session.tuned_packets();
   result.metrics.latency_packets = session.latency_packets();
+  result.metrics.wait_packets = session.wait_packets();
   result.metrics.peak_memory_bytes = memory.peak();
   result.metrics.memory_exceeded = memory.exceeded();
   result.metrics.cpu_ms = cpu_ms;

@@ -110,8 +110,7 @@ device::QueryMetrics SpqOnAir::RunQuery(
     const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
-  broadcast::ClientSession session(&channel,
-                                   TuneInPosition(cycle_, query.tune_phase));
+  broadcast::ClientSession session(&channel, StartPosition(cycle_, query));
 
   std::optional<QueryScratch> local_scratch;
   QueryScratch& s =
@@ -129,7 +128,7 @@ device::QueryMetrics SpqOnAir::RunQuery(
 
   Status receive_status = ReceiveFullCycle(
       session, memory,
-      [](broadcast::SegmentType) { return true; },
+      [](const broadcast::ReceivedSegment&) { return true; },
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
@@ -186,6 +185,7 @@ device::QueryMetrics SpqOnAir::RunQuery(
 
   metrics.tuning_packets = session.tuned_packets();
   metrics.latency_packets = session.latency_packets();
+  metrics.wait_packets = session.wait_packets();
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;

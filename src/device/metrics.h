@@ -16,6 +16,18 @@ struct QueryMetrics {
   uint64_t tuning_packets = 0;
   /// Packets from query arrival to the last packet listened to.
   uint64_t latency_packets = 0;
+  /// Wait prefix of the latency window: packets from arrival to the start
+  /// of the first segment the client actually demanded (header probes and
+  /// dozing toward the next index copy). latency - wait is the listen
+  /// remainder. See ClientSession::wait_packets.
+  uint64_t wait_packets = 0;
+  /// The same split on the engine's clock, milliseconds: wait_ms = doze
+  /// before the first useful packet, listen_ms = retrieval from there to
+  /// the last packet needed. Filled by the simulation engines (packet
+  /// durations depend on bitrate and sub-channel count, which RunQuery
+  /// does not know); zero when a query ran outside an engine.
+  double wait_ms = 0.0;
+  double listen_ms = 0.0;
   /// Peak client working memory.
   size_t peak_memory_bytes = 0;
   /// Client-side computation time (decode + search), milliseconds.

@@ -47,14 +47,18 @@ Aggregate Aggregate::Of(std::string_view system,
   agg.system = std::string(system);
   agg.queries = metrics.size();
 
-  std::vector<double> tuning, latency, memory, cpu;
+  std::vector<double> tuning, latency, wait, listen, memory, cpu;
   tuning.reserve(metrics.size());
   latency.reserve(metrics.size());
+  wait.reserve(metrics.size());
+  listen.reserve(metrics.size());
   memory.reserve(metrics.size());
   cpu.reserve(metrics.size());
   for (const auto& m : metrics) {
     tuning.push_back(static_cast<double>(m.tuning_packets));
     latency.push_back(static_cast<double>(m.latency_packets));
+    wait.push_back(m.wait_ms);
+    listen.push_back(m.listen_ms);
     memory.push_back(static_cast<double>(m.peak_memory_bytes));
     cpu.push_back(m.cpu_ms);
     if (!m.ok) ++agg.failures;
@@ -62,6 +66,8 @@ Aggregate Aggregate::Of(std::string_view system,
   }
   agg.tuning_packets = StatOf(tuning);
   agg.latency_packets = StatOf(latency);
+  agg.wait_ms = StatOf(wait);
+  agg.listen_ms = StatOf(listen);
   agg.peak_memory_bytes = StatOf(memory);
   agg.cpu_ms = StatOf(cpu);
   agg.energy_joules = StatOf(joules);

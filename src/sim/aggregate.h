@@ -37,6 +37,10 @@ struct Aggregate {
   size_t memory_exceeded = 0;
   Stat tuning_packets;
   Stat latency_packets;
+  /// The latency window split on the engine clock: doze before the first
+  /// useful packet vs retrieval from there (see QueryMetrics::wait_ms).
+  Stat wait_ms;
+  Stat listen_ms;
   Stat peak_memory_bytes;
   Stat cpu_ms;
   Stat energy_joules;

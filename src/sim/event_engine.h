@@ -1,0 +1,99 @@
+#ifndef AIRINDEX_SIM_EVENT_ENGINE_H_
+#define AIRINDEX_SIM_EVENT_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "broadcast/channel.h"
+#include "broadcast/station.h"
+#include "core/air_system.h"
+#include "device/device_profile.h"
+#include "graph/graph.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace airindex::sim {
+
+/// Configuration of one event-engine run: the shared station (bitrate,
+/// loss, seed, sub-channel count) plus the client/device knobs shared with
+/// the batch engine.
+struct EventOptions {
+  /// Worker threads (0 = hardware concurrency). Results are bit-identical
+  /// for every thread count.
+  unsigned threads = 1;
+  /// Physical-channel loss model of the station.
+  broadcast::LossModel loss = broadcast::LossModel::None();
+  /// One seed for the whole station: unlike the batch engine's per-query
+  /// streams, every client shares this loss realization.
+  uint64_t station_seed = 0x10552;
+  /// Logical sub-channels the station time-multiplexes (clients assigned
+  /// round-robin by arrival ordinal — their interleave group).
+  uint32_t subchannels = 1;
+  core::ClientOptions client;
+  device::DeviceProfile profile = device::DeviceProfile::J2mePhone();
+  double bits_per_second = device::kBitrateStatic3G;
+  /// Zeroes the wall-clock-measured cpu_ms field (see SimOptions).
+  bool deterministic = false;
+  /// Min-of-N wall-time repetitions (see SimOptions::repeat).
+  unsigned repeat = 1;
+};
+
+/// The discrete-event shared-channel engine. Where sim::Simulator replays a
+/// private channel per query (every client pretends the cycle started for
+/// it), EventEngine stands up one broadcast::Station per system — a single
+/// timeline started at t=0 and looping forever — and lets the fleet arrive
+/// over time: each query's workload::Query::arrival_ms is mapped to the
+/// absolute packet position airing at that instant, and the client state
+/// machine (the same RunQuery code, via AirQuery::arrival_pos) wakes on the
+/// packets it needs from there. Two clients listening to the same packet
+/// observe the same loss, so contention effects — wait-for-cycle-boundary,
+/// staggered arrivals, rush-hour pileups — emerge from the shared timeline
+/// instead of being invented per query.
+///
+/// Per-query access latency splits into wait_ms (doze before the first
+/// useful packet) and listen_ms (retrieval from there), on the station
+/// clock. Workloads without an arrival process fall back to phase-derived
+/// arrivals: tune_phase * cycle duration, one cycle's worth of arrivals.
+///
+/// Determinism: a query's outcome is a pure function of (query, station),
+/// never of scheduling — broadcast is one-way, so clients cannot perturb
+/// each other's observations even when their listening windows overlap.
+/// That is what lets the engine fan the event timeline across threads with
+/// results byte-identical to the serial replay (same guarantee, and same
+/// per-worker scratch reuse, as sim::Simulator).
+class EventEngine {
+ public:
+  /// `g` must outlive the engine.
+  EventEngine(const graph::Graph& g, EventOptions options)
+      : graph_(&g), options_(options) {
+    if (options_.subchannels == 0) options_.subchannels = 1;
+  }
+
+  const EventOptions& options() const { return options_; }
+  device::EnergyModel energy_model() const {
+    return device::EnergyModel(options_.profile, options_.bits_per_second);
+  }
+  unsigned effective_threads() const;
+
+  /// The station this engine would stand up for `sys` (exposed for tests
+  /// and for callers that want the clock mapping).
+  broadcast::Station MakeStation(const core::AirSystem& sys) const;
+
+  /// Runs every workload query as one client arriving on the shared
+  /// station timeline of `sys`.
+  SystemResult RunSystem(const core::AirSystem& sys,
+                         const workload::Workload& w) const;
+
+  /// Runs the workload through each system in turn (one station each; the
+  /// timelines share the seed, so co-broadcast systems fade together).
+  BatchResult Run(std::span<const core::AirSystem* const> systems,
+                  const workload::Workload& w) const;
+
+ private:
+  const graph::Graph* graph_;
+  EventOptions options_;
+};
+
+}  // namespace airindex::sim
+
+#endif  // AIRINDEX_SIM_EVENT_ENGINE_H_

@@ -8,6 +8,7 @@ namespace {
 
 using jsonutil::GetNumber;
 using jsonutil::GetString;
+using jsonutil::GetStringOr;
 using jsonutil::GetUint64;
 using jsonutil::GetUint64Or;
 using jsonutil::JsonValue;
@@ -37,9 +38,40 @@ Result<Stat> StatFromJson(const JsonValue& obj, std::string_view key) {
   return s;
 }
 
+/// Additive-field variant: zeros when the stat is absent (documents from
+/// writers predating the wait/listen split).
+Result<Stat> StatFromJsonOr(const JsonValue& obj, std::string_view key) {
+  if (obj.object.find(key) == obj.object.end()) return Stat{};
+  return StatFromJson(obj, key);
+}
+
 }  // namespace
 
 namespace detail {
+
+void AppendSystemTable(std::string& out,
+                       std::span<const SystemResult> systems) {
+  char line[320];
+  std::snprintf(line, sizeof(line),
+                "%-6s %12s %12s %12s %10s %10s %10s %10s %8s %10s %6s\n",
+                "method", "tuning[pkt]", "p95[pkt]", "latency[pkt]",
+                "wait[ms]", "listen[ms]", "mem[MB]", "energy[J]", "cpu[ms]",
+                "qps", "fail");
+  out += line;
+  for (const SystemResult& r : systems) {
+    const Aggregate& a = r.aggregate;
+    std::snprintf(line, sizeof(line),
+                  "%-6s %12.0f %12.0f %12.0f %10.1f %10.1f %10.2f %10.3f "
+                  "%8.2f %10.0f %6zu\n",
+                  a.system.c_str(), a.tuning_packets.mean,
+                  a.tuning_packets.p95, a.latency_packets.mean,
+                  a.wait_ms.mean, a.listen_ms.mean,
+                  a.peak_memory_bytes.mean / (1024.0 * 1024.0),
+                  a.energy_joules.mean, a.cpu_ms.mean, r.queries_per_second,
+                  a.failures);
+    out += line;
+  }
+}
 
 void WriteSystemEntry(JsonWriter& w, const SystemResult& r) {
   const Aggregate& a = r.aggregate;
@@ -52,6 +84,8 @@ void WriteSystemEntry(JsonWriter& w, const SystemResult& r) {
   w.Field("queries_per_second", r.queries_per_second);
   WriteStat(w, "tuning_packets", a.tuning_packets);
   WriteStat(w, "latency_packets", a.latency_packets);
+  WriteStat(w, "wait_ms", a.wait_ms);
+  WriteStat(w, "listen_ms", a.listen_ms);
   WriteStat(w, "peak_memory_bytes", a.peak_memory_bytes);
   WriteStat(w, "cpu_ms", a.cpu_ms);
   WriteStat(w, "energy_joules", a.energy_joules);
@@ -81,6 +115,9 @@ Result<SystemResult> SystemEntryFromJson(const JsonValue& entry) {
                             StatFromJson(entry, "tuning_packets"));
   AIRINDEX_ASSIGN_OR_RETURN(a.latency_packets,
                             StatFromJson(entry, "latency_packets"));
+  // Additive in-schema stats: absent in reports from older v1 writers.
+  AIRINDEX_ASSIGN_OR_RETURN(a.wait_ms, StatFromJsonOr(entry, "wait_ms"));
+  AIRINDEX_ASSIGN_OR_RETURN(a.listen_ms, StatFromJsonOr(entry, "listen_ms"));
   AIRINDEX_ASSIGN_OR_RETURN(a.peak_memory_bytes,
                             StatFromJson(entry, "peak_memory_bytes"));
   AIRINDEX_ASSIGN_OR_RETURN(a.cpu_ms, StatFromJson(entry, "cpu_ms"));
@@ -93,35 +130,26 @@ Result<SystemResult> SystemEntryFromJson(const JsonValue& entry) {
 
 std::string ToText(const BatchResult& batch) {
   std::string out;
-  char line[256];
+  char line[320];
+  std::string header = "# " + std::to_string(batch.num_queries) +
+                       " queries, " + std::to_string(batch.threads) +
+                       " thread(s)";
+  if (batch.engine != "batch") {
+    header += ", engine=" + batch.engine;
+    if (batch.subchannels > 1) {
+      header += " (" + std::to_string(batch.subchannels) + " sub-channels)";
+    }
+  }
+  std::snprintf(line, sizeof(line), ", loss=%.4f", batch.loss_rate);
+  header += line;
   if (batch.loss_burst_len > 1) {
-    std::snprintf(line, sizeof(line),
-                  "# %zu queries, %u thread(s), loss=%.4f (bursts of %u)\n",
-                  batch.num_queries, batch.threads, batch.loss_rate,
+    std::snprintf(line, sizeof(line), " (bursts of %u)",
                   batch.loss_burst_len);
-  } else {
-    std::snprintf(line, sizeof(line),
-                  "# %zu queries, %u thread(s), loss=%.4f\n",
-                  batch.num_queries, batch.threads, batch.loss_rate);
+    header += line;
   }
-  out += line;
-  std::snprintf(line, sizeof(line),
-                "%-6s %12s %12s %12s %10s %10s %8s %10s %6s\n", "method",
-                "tuning[pkt]", "p95[pkt]", "latency[pkt]", "mem[MB]",
-                "energy[J]", "cpu[ms]", "qps", "fail");
-  out += line;
-  for (const auto& r : batch.systems) {
-    const Aggregate& a = r.aggregate;
-    std::snprintf(line, sizeof(line),
-                  "%-6s %12.0f %12.0f %12.0f %10.2f %10.3f %8.2f %10.0f "
-                  "%6zu\n",
-                  a.system.c_str(), a.tuning_packets.mean,
-                  a.tuning_packets.p95, a.latency_packets.mean,
-                  a.peak_memory_bytes.mean / (1024.0 * 1024.0),
-                  a.energy_joules.mean, a.cpu_ms.mean, r.queries_per_second,
-                  a.failures);
-    out += line;
-  }
+  out += header;
+  out += '\n';
+  detail::AppendSystemTable(out, batch.systems);
   std::snprintf(line, sizeof(line), "# wall %.3f s total\n",
                 batch.wall_seconds);
   out += line;
@@ -132,11 +160,13 @@ std::string ToJson(const BatchResult& batch) {
   JsonWriter w;
   w.BeginObject();
   w.Field("schema", kReportSchema);
+  w.Field("engine", batch.engine);
   w.Field("num_queries", static_cast<uint64_t>(batch.num_queries));
   w.Field("threads", static_cast<uint64_t>(batch.threads));
   w.Field("loss_rate", batch.loss_rate);
   w.Field("loss_burst_len", static_cast<uint64_t>(batch.loss_burst_len));
   w.Field("loss_seed", static_cast<uint64_t>(batch.loss_seed));
+  w.Field("subchannels", static_cast<uint64_t>(batch.subchannels));
   w.Field("wall_seconds", batch.wall_seconds);
   w.BeginArray("systems");
   for (const auto& r : batch.systems) detail::WriteSystemEntry(w, r);
@@ -158,6 +188,9 @@ Result<BatchResult> FromJson(std::string_view json) {
   }
 
   BatchResult batch;
+  // Additive in-schema field: older v1 writers only knew the batch engine.
+  AIRINDEX_ASSIGN_OR_RETURN(batch.engine,
+                            GetStringOr(root, "engine", "batch"));
   AIRINDEX_ASSIGN_OR_RETURN(uint64_t nq, GetUint64(root, "num_queries"));
   batch.num_queries = static_cast<size_t>(nq);
   AIRINDEX_ASSIGN_OR_RETURN(uint64_t threads, GetUint64(root, "threads"));
@@ -168,6 +201,9 @@ Result<BatchResult> FromJson(std::string_view json) {
                             GetUint64Or(root, "loss_burst_len", 1));
   batch.loss_burst_len = static_cast<uint32_t>(burst);
   AIRINDEX_ASSIGN_OR_RETURN(batch.loss_seed, GetUint64(root, "loss_seed"));
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t subs,
+                            GetUint64Or(root, "subchannels", 1));
+  batch.subchannels = static_cast<uint32_t>(subs);
   AIRINDEX_ASSIGN_OR_RETURN(batch.wall_seconds,
                             GetNumber(root, "wall_seconds"));
 

@@ -1,6 +1,7 @@
 #ifndef AIRINDEX_SIM_REPORT_H_
 #define AIRINDEX_SIM_REPORT_H_
 
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -30,6 +31,12 @@ std::string ToJson(const BatchResult& batch);
 Result<BatchResult> FromJson(std::string_view json);
 
 namespace detail {
+
+/// Appends the per-system text table (header row + one row per system) to
+/// `out`. The one formatter behind both the batch report and the scenario
+/// report's group/fleet tables, so their columns cannot desynchronize.
+void AppendSystemTable(std::string& out,
+                       std::span<const SystemResult> systems);
 
 /// Writes one system's aggregate as a JSON object (the element shape of the
 /// batch report's "systems" array). Shared with the scenario report writer

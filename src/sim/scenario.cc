@@ -7,6 +7,7 @@
 #include "device/energy.h"
 #include "device/profile_catalog.h"
 #include "graph/catalog.h"
+#include "sim/event_engine.h"
 #include "sim/report.h"
 
 namespace airindex::sim {
@@ -155,6 +156,12 @@ Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
   if (systems.empty()) {
     return Status::InvalidArgument("scenario lists no systems");
   }
+  const std::string engine =
+      !options_.engine.empty() ? options_.engine : s.engine;
+  if (!IsKnownEngine(engine)) {
+    return Status::InvalidArgument("unknown engine \"" + engine +
+                                   "\" (batch|event)");
+  }
 
   // One build per (method, knob) across all groups, via the registry.
   core::SharedSystems shared;
@@ -167,6 +174,8 @@ Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
   ScenarioResult result;
   result.scenario = s.name;
   result.network = s.network;
+  result.engine = engine;
+  result.subchannels = engine == "event" ? std::max(1u, s.subchannels) : 1;
   result.scale = s.scale;
 
   const auto start = std::chrono::steady_clock::now();
@@ -188,23 +197,49 @@ Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
     AIRINDEX_ASSIGN_OR_RETURN(workload::Workload w,
                               workload::GenerateWorkload(g, wspec));
 
-    SimOptions so;
-    so.threads = options_.threads;
-    so.repeat = options_.repeat;
-    so.loss = gr.spec.loss;
-    so.loss_seed = gr.spec.loss_seed != 0
-                       ? gr.spec.loss_seed
-                       : DeriveSeed(s.seed, kLossSalt, gi);
-    gr.loss_seed = so.loss_seed;
-    so.client = gr.spec.client;
-    so.profile = profile;
-    so.bits_per_second = gr.spec.bits_per_second;
-    so.deterministic = options_.deterministic;
-    Simulator simulator(g, so);
-    result.threads = simulator.effective_threads();
-
-    for (const auto& sys : shared) {
-      gr.systems.push_back(simulator.RunSystem(*sys, w));
+    // Channel seed: the event engine derives one seed for the *whole
+    // scenario* (shared-station model — groups with the same loss model
+    // and bitrate literally share a channel realization, so the
+    // flash-crowd pileup is every group fading together; a group with a
+    // different loss model or bitrate still models its own radio
+    // environment on the same clock). The batch engine keeps its
+    // historical per-group streams.
+    const uint64_t channel_seed =
+        gr.spec.loss_seed != 0
+            ? gr.spec.loss_seed
+            : DeriveSeed(s.seed, kLossSalt, engine == "event" ? 0 : gi);
+    gr.loss_seed = channel_seed;
+    if (engine == "event") {
+      EventOptions eo;
+      eo.threads = options_.threads;
+      eo.repeat = options_.repeat;
+      eo.loss = gr.spec.loss;
+      eo.station_seed = channel_seed;
+      eo.subchannels = result.subchannels;
+      eo.client = gr.spec.client;
+      eo.profile = profile;
+      eo.bits_per_second = gr.spec.bits_per_second;
+      eo.deterministic = options_.deterministic;
+      EventEngine event_engine(g, eo);
+      result.threads = event_engine.effective_threads();
+      for (const auto& sys : shared) {
+        gr.systems.push_back(event_engine.RunSystem(*sys, w));
+      }
+    } else {
+      SimOptions so;
+      so.threads = options_.threads;
+      so.repeat = options_.repeat;
+      so.loss = gr.spec.loss;
+      so.loss_seed = channel_seed;
+      so.client = gr.spec.client;
+      so.profile = profile;
+      so.bits_per_second = gr.spec.bits_per_second;
+      so.deterministic = options_.deterministic;
+      Simulator simulator(g, so);
+      result.threads = simulator.effective_threads();
+      for (const auto& sys : shared) {
+        gr.systems.push_back(simulator.RunSystem(*sys, w));
+      }
     }
     result.num_queries += counts[gi];
     result.groups.push_back(std::move(gr));
@@ -278,6 +313,29 @@ Result<workload::WorkloadSpec> WorkloadSpecFromJson(const JsonValue& obj) {
                             GetNumberOr(obj, "phase_peak", w.phase_peak));
   AIRINDEX_ASSIGN_OR_RETURN(w.phase_width,
                             GetNumberOr(obj, "phase_width", w.phase_width));
+
+  // Additive airindex.sim.scenario/v1 fields: the event engine's arrival
+  // process. Older specs without them keep the phase-derived fallback.
+  AIRINDEX_ASSIGN_OR_RETURN(std::string arrivals,
+                            GetStringOr(obj, "arrivals", "none"));
+  AIRINDEX_ASSIGN_OR_RETURN(w.arrival.kind,
+                            workload::ParseArrivalKind(arrivals));
+  AIRINDEX_ASSIGN_OR_RETURN(
+      w.arrival.rate_per_second,
+      GetNumberOr(obj, "arrival_rate", w.arrival.rate_per_second));
+  AIRINDEX_ASSIGN_OR_RETURN(
+      w.arrival.peak_seconds,
+      GetNumberOr(obj, "arrival_peak_s", w.arrival.peak_seconds));
+  AIRINDEX_ASSIGN_OR_RETURN(
+      w.arrival.width_seconds,
+      GetNumberOr(obj, "arrival_width_s", w.arrival.width_seconds));
+  AIRINDEX_ASSIGN_OR_RETURN(
+      w.arrival.peak_multiplier,
+      GetNumberOr(obj, "arrival_peak_multiplier",
+                  w.arrival.peak_multiplier));
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t arrival_seed,
+                            GetUint64Or(obj, "arrival_seed", 0));
+  w.arrival.seed = arrival_seed;
   return w;
 }
 
@@ -330,6 +388,9 @@ Result<ClientGroupSpec> GroupFromJson(const JsonValue& obj) {
         GetUint64Or(c, "max_repair_cycles",
                     static_cast<uint64_t>(g.client.max_repair_cycles)));
     g.client.max_repair_cycles = static_cast<int>(repair);
+    AIRINDEX_ASSIGN_OR_RETURN(
+        g.client.repair_header,
+        GetBoolOr(c, "repair_header", g.client.repair_header));
   }
 
   if (auto it = obj.object.find("workload"); it != obj.object.end()) {
@@ -383,6 +444,18 @@ Result<Scenario> ScenarioFromJson(std::string_view json) {
                             GetUint64Or(root, "total_queries",
                                         s.total_queries));
   s.total_queries = static_cast<size_t>(total);
+  // Additive in-schema fields: engine selection and sub-channel sharding.
+  AIRINDEX_ASSIGN_OR_RETURN(s.engine, GetStringOr(root, "engine", s.engine));
+  if (!IsKnownEngine(s.engine)) {
+    return Status::InvalidArgument("unknown engine \"" + s.engine +
+                                   "\" (batch|event)");
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t subs,
+                            GetUint64Or(root, "subchannels", s.subchannels));
+  if (subs == 0) {
+    return Status::InvalidArgument("subchannels must be >= 1");
+  }
+  s.subchannels = static_cast<uint32_t>(subs);
 
   if (auto it = root.object.find("systems"); it != root.object.end()) {
     if (it->second.type != JsonValue::Type::kArray) {
@@ -452,6 +525,18 @@ void WriteWorkloadSpec(JsonWriter& w, const workload::WorkloadSpec& spec) {
     w.Field("phase_peak", spec.phase_peak);
     w.Field("phase_width", spec.phase_width);
   }
+  if (spec.arrival.kind != workload::ArrivalSpec::Kind::kNone) {
+    w.Field("arrivals", workload::ArrivalKindName(spec.arrival.kind));
+    w.Field("arrival_rate", spec.arrival.rate_per_second);
+    if (spec.arrival.kind == workload::ArrivalSpec::Kind::kRushHour) {
+      w.Field("arrival_peak_s", spec.arrival.peak_seconds);
+      w.Field("arrival_width_s", spec.arrival.width_seconds);
+      w.Field("arrival_peak_multiplier", spec.arrival.peak_multiplier);
+    }
+    if (spec.arrival.seed != 0) {
+      w.Field("arrival_seed", static_cast<uint64_t>(spec.arrival.seed));
+    }
+  }
   if (spec.seed != 0) w.Field("seed", static_cast<uint64_t>(spec.seed));
   w.EndObject();
 }
@@ -468,6 +553,8 @@ std::string ScenarioToJson(const Scenario& s) {
   w.Field("scale", s.scale);
   w.Field("seed", static_cast<uint64_t>(s.seed));
   w.Field("total_queries", static_cast<uint64_t>(s.total_queries));
+  w.Field("engine", s.engine);
+  w.Field("subchannels", static_cast<uint64_t>(s.subchannels));
   w.BeginArray("systems");
   for (const std::string& name : s.EffectiveSystems()) w.Element(name);
   w.EndArray();
@@ -502,6 +589,7 @@ std::string ScenarioToJson(const Scenario& s) {
     w.FieldBool("cross_border_opt", g.client.cross_border_opt);
     w.Field("max_repair_cycles",
             static_cast<uint64_t>(g.client.max_repair_cycles));
+    w.FieldBool("repair_header", g.client.repair_header);
     w.EndObject();
     WriteWorkloadSpec(w, g.workload);
     w.EndObject();
@@ -517,41 +605,25 @@ std::string ScenarioToJson(const Scenario& s) {
 // Reports
 // ---------------------------------------------------------------------------
 
-namespace {
-
-void AppendSystemRows(std::string& out,
-                      const std::vector<SystemResult>& systems) {
-  char line[256];
-  std::snprintf(line, sizeof(line),
-                "%-6s %12s %12s %12s %10s %10s %8s %10s %6s\n", "method",
-                "tuning[pkt]", "p95[pkt]", "latency[pkt]", "mem[MB]",
-                "energy[J]", "cpu[ms]", "qps", "fail");
-  out += line;
-  for (const SystemResult& r : systems) {
-    const Aggregate& a = r.aggregate;
-    std::snprintf(line, sizeof(line),
-                  "%-6s %12.0f %12.0f %12.0f %10.2f %10.3f %8.2f %10.0f "
-                  "%6zu\n",
-                  a.system.c_str(), a.tuning_packets.mean,
-                  a.tuning_packets.p95, a.latency_packets.mean,
-                  a.peak_memory_bytes.mean / (1024.0 * 1024.0),
-                  a.energy_joules.mean, a.cpu_ms.mean, r.queries_per_second,
-                  a.failures);
-    out += line;
-  }
-}
-
-}  // namespace
-
 std::string ScenarioToText(const ScenarioResult& r) {
   std::string out;
-  char line[256];
+  char line[320];
   std::snprintf(line, sizeof(line),
                 "# scenario %s on %s (scale %.2f): %zu queries, %zu "
                 "group(s), %u thread(s)\n",
                 r.scenario.c_str(), r.network.c_str(), r.scale,
                 r.num_queries, r.groups.size(), r.threads);
   out += line;
+  if (r.engine != "batch") {
+    if (r.subchannels > 1) {
+      std::snprintf(line, sizeof(line),
+                    "# engine %s (%u sub-channels)\n", r.engine.c_str(),
+                    r.subchannels);
+    } else {
+      std::snprintf(line, sizeof(line), "# engine %s\n", r.engine.c_str());
+    }
+    out += line;
+  }
   for (const GroupResult& gr : r.groups) {
     if (gr.spec.loss.burst_len > 1) {
       std::snprintf(line, sizeof(line),
@@ -571,12 +643,12 @@ std::string ScenarioToText(const ScenarioResult& r) {
                     gr.spec.loss.rate * 100.0);
     }
     out += line;
-    AppendSystemRows(out, gr.systems);
+    detail::AppendSystemTable(out, gr.systems);
   }
   std::snprintf(line, sizeof(line), "\n## fleet (%zu queries)\n",
                 r.num_queries);
   out += line;
-  AppendSystemRows(out, r.fleet);
+  detail::AppendSystemTable(out, r.fleet);
   std::snprintf(line, sizeof(line), "# wall %.3f s total\n",
                 r.wall_seconds);
   out += line;
@@ -589,6 +661,8 @@ std::string ScenarioReportToJson(const ScenarioResult& r) {
   w.Field("schema", kScenarioSchema);
   w.Field("scenario", r.scenario);
   w.Field("network", r.network);
+  w.Field("engine", r.engine);
+  w.Field("subchannels", static_cast<uint64_t>(r.subchannels));
   w.Field("scale", r.scale);
   w.Field("num_queries", static_cast<uint64_t>(r.num_queries));
   w.Field("threads", static_cast<uint64_t>(r.threads));
@@ -640,6 +714,11 @@ Result<ScenarioResult> ScenarioReportFromJson(std::string_view json) {
   ScenarioResult r;
   AIRINDEX_ASSIGN_OR_RETURN(r.scenario, GetString(root, "scenario"));
   AIRINDEX_ASSIGN_OR_RETURN(r.network, GetString(root, "network"));
+  // Additive in-schema fields: older v1 reports are batch-engine runs.
+  AIRINDEX_ASSIGN_OR_RETURN(r.engine, GetStringOr(root, "engine", "batch"));
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t subs,
+                            GetUint64Or(root, "subchannels", 1));
+  r.subchannels = static_cast<uint32_t>(subs);
   AIRINDEX_ASSIGN_OR_RETURN(r.scale, GetNumber(root, "scale"));
   AIRINDEX_ASSIGN_OR_RETURN(uint64_t nq, GetUint64(root, "num_queries"));
   r.num_queries = static_cast<size_t>(nq);

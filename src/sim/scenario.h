@@ -73,6 +73,13 @@ struct Scenario {
   uint64_t seed = 20100913;
   /// Fleet-wide query budget split over groups without explicit counts.
   size_t total_queries = 64;
+  /// Simulation engine: "batch" (per-query private replay) or "event"
+  /// (shared station timeline with arrival processes). Additive schema
+  /// field; the CLI can override it per run.
+  std::string engine = "batch";
+  /// Logical sub-channels of the event engine's station (ignored by the
+  /// batch engine).
+  uint32_t subchannels = 1;
   /// Systems under test, paper names. Empty = all seven.
   std::vector<std::string> systems;
   core::SystemParams params;
@@ -97,6 +104,10 @@ struct GroupResult {
 struct ScenarioResult {
   std::string scenario;
   std::string network;
+  /// Engine the run used ("batch" or "event") and, for event runs, the
+  /// station's sub-channel count.
+  std::string engine = "batch";
+  uint32_t subchannels = 1;
   double scale = 0.0;
   size_t num_queries = 0;
   unsigned threads = 1;
@@ -132,6 +143,9 @@ class ScenarioRunner {
     /// Run each group's batch N times, reporting min-of-N wall time (see
     /// SimOptions::repeat).
     unsigned repeat = 1;
+    /// Engine override: "batch" or "event"; empty uses the scenario's own
+    /// engine field.
+    std::string engine;
   };
 
   ScenarioRunner() = default;

@@ -180,10 +180,46 @@ Scenario MemboundPrecompute() {
   return s;
 }
 
+/// Shared-channel flash crowd on the event engine: a steady Poisson
+/// trickle of background clients, then a rush-hour burst piling onto the
+/// same station timeline — the pileup (everyone waiting for the same
+/// index/cycle packets) shows up as the wait_ms tail.
+Scenario FlashCrowd() {
+  Scenario s;
+  s.name = "flash-crowd";
+  s.description =
+      "event engine: steady Poisson arrivals plus a rush-hour burst piling "
+      "onto one shared broadcast station (wait/listen latency split)";
+  s.engine = "event";
+  s.total_queries = 60;
+
+  ClientGroupSpec steady = Group("steady", 1.0);
+  steady.loss = broadcast::LossModel::Independent(0.005);
+  steady.client.max_repair_cycles = 64;
+  steady.workload.arrival.kind = workload::ArrivalSpec::Kind::kPoisson;
+  steady.workload.arrival.rate_per_second = 4.0;
+  s.groups.push_back(std::move(steady));
+
+  ClientGroupSpec crowd = Group("flash-crowd", 2.0);
+  crowd.profile = "smartphone";
+  crowd.loss = broadcast::LossModel::Independent(0.005);
+  crowd.client.max_repair_cycles = 64;
+  crowd.workload.dest = workload::WorkloadSpec::Dest::kZipf;
+  crowd.workload.zipf_s = 1.2;
+  crowd.workload.arrival.kind = workload::ArrivalSpec::Kind::kRushHour;
+  crowd.workload.arrival.rate_per_second = 2.0;
+  crowd.workload.arrival.peak_seconds = 6.0;
+  crowd.workload.arrival.width_seconds = 3.0;
+  crowd.workload.arrival.peak_multiplier = 10.0;
+  s.groups.push_back(std::move(crowd));
+  return s;
+}
+
 const std::vector<Scenario>& Catalog() {
   static const std::vector<Scenario>* catalog = new std::vector<Scenario>{
       PaperBaseline(),    CommuterRush(), HotspotCity(), IotFleet(),
-      LossyTunnel(),      MixedFleet(),   MemboundPrecompute()};
+      LossyTunnel(),      MixedFleet(),   MemboundPrecompute(),
+      FlashCrowd()};
   return *catalog;
 }
 

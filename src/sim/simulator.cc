@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
 
 #include "common/thread_pool.h"
 #include "core/query_scratch.h"
@@ -10,9 +9,7 @@
 namespace airindex::sim {
 
 unsigned Simulator::effective_threads() const {
-  if (options_.threads != 0) return options_.threads;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return ResolveThreads(options_.threads);
 }
 
 uint64_t QueryLossSeed(uint64_t base_seed, size_t index) {
@@ -34,6 +31,11 @@ SystemResult Simulator::RunSystem(const core::AirSystem& sys,
   std::vector<core::QueryScratch> scratch(
       ResolveWorkers(w.queries.size(), options_.threads));
 
+  // Packet duration on this engine's (single, full-rate) channel — prices
+  // the wait/listen split of the latency window in milliseconds.
+  const double pkt_ms =
+      device::PacketSeconds(options_.bits_per_second) * 1000.0;
+
   const unsigned repeat = std::max(1u, options_.repeat);
   double best_wall = 0.0;
   for (unsigned rep = 0; rep < repeat; ++rep) {
@@ -47,6 +49,10 @@ SystemResult Simulator::RunSystem(const core::AirSystem& sys,
           device::QueryMetrics m = sys.RunQuery(
               channel, core::MakeAirQuery(*graph_, w.queries[i]),
               options_.client, &scratch[worker]);
+          m.wait_ms = static_cast<double>(m.wait_packets) * pkt_ms;
+          m.listen_ms =
+              static_cast<double>(m.latency_packets - m.wait_packets) *
+              pkt_ms;
           if (options_.deterministic) m.cpu_ms = 0.0;
           result.per_query[i] = m;
         },

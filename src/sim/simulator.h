@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "broadcast/channel.h"
@@ -55,8 +56,18 @@ struct SystemResult {
   double queries_per_second = 0.0;
 };
 
+/// Known simulation engine names. The one validator behind the scenario
+/// spec parser, the scenario runner, and the CLI's --engine flag.
+inline bool IsKnownEngine(std::string_view name) {
+  return name == "batch" || name == "event";
+}
+
 /// A whole batch: every requested system over the same workload.
 struct BatchResult {
+  /// Which engine produced the batch: "batch" (per-query private replay,
+  /// sim::Simulator) or "event" (shared station timeline,
+  /// sim::EventEngine).
+  std::string engine = "batch";
   size_t num_queries = 0;
   /// Effective worker count (a SimOptions::threads of 0 is resolved to the
   /// hardware concurrency before being recorded here).
@@ -66,6 +77,9 @@ struct BatchResult {
   double loss_rate = 0.0;
   uint32_t loss_burst_len = 1;
   uint64_t loss_seed = 0;
+  /// Logical sub-channels of the event engine's station (1 for the batch
+  /// engine's single private channel).
+  uint32_t subchannels = 1;
   double wall_seconds = 0.0;
   std::vector<SystemResult> systems;
 };

@@ -1,0 +1,109 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+
+namespace airindex::workload {
+
+std::string_view ArrivalKindName(ArrivalSpec::Kind kind) {
+  switch (kind) {
+    case ArrivalSpec::Kind::kUniform:
+      return "uniform";
+    case ArrivalSpec::Kind::kPoisson:
+      return "poisson";
+    case ArrivalSpec::Kind::kRushHour:
+      return "rush-hour";
+    case ArrivalSpec::Kind::kNone:
+      break;
+  }
+  return "none";
+}
+
+Result<ArrivalSpec::Kind> ParseArrivalKind(std::string_view name) {
+  for (auto kind :
+       {ArrivalSpec::Kind::kNone, ArrivalSpec::Kind::kUniform,
+        ArrivalSpec::Kind::kPoisson, ArrivalSpec::Kind::kRushHour}) {
+    if (name == ArrivalKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown arrival process \"" +
+                                 std::string(name) +
+                                 "\" (none|uniform|poisson|rush-hour)");
+}
+
+namespace {
+
+constexpr uint64_t kArrivalSalt = 0xA881Da1ull;
+
+/// Triangular bump in [0, 1]: 1 at the peak, 0 outside the half-width.
+double Bump(double t, double peak, double width) {
+  const double d = std::fabs(t - peak);
+  return d >= width ? 0.0 : 1.0 - d / width;
+}
+
+/// Exponential inter-arrival draw with the given rate (arrivals/second).
+/// 1 - u is in (0, 1], so the log is finite.
+double NextExponential(Rng& rng, double rate) {
+  return -std::log(1.0 - rng.NextDouble()) / rate;
+}
+
+}  // namespace
+
+Result<std::vector<double>> GenerateArrivals(const ArrivalSpec& spec,
+                                             size_t count,
+                                             uint64_t fallback_seed) {
+  if (spec.kind == ArrivalSpec::Kind::kNone) {
+    return Status::InvalidArgument(
+        "arrival kind is none; derive arrivals from tune phases instead");
+  }
+  if (!(spec.rate_per_second > 0.0)) {
+    return Status::InvalidArgument("arrival rate must be positive");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+
+  if (spec.kind == ArrivalSpec::Kind::kUniform) {
+    // Deterministic even spacing: no randomness to seed.
+    const double step_ms = 1000.0 / spec.rate_per_second;
+    for (size_t i = 0; i < count; ++i) {
+      out.push_back(static_cast<double>(i) * step_ms);
+    }
+    return out;
+  }
+
+  Rng rng(spec.seed != 0 ? spec.seed : fallback_seed ^ kArrivalSalt);
+  if (spec.kind == ArrivalSpec::Kind::kPoisson) {
+    double t = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      t += NextExponential(rng, spec.rate_per_second);
+      out.push_back(t * 1000.0);
+    }
+    return out;
+  }
+
+  // kRushHour: inhomogeneous Poisson via Lewis-Shedler thinning. The
+  // intensity is base * (1 + (mult - 1) * bump(t)), bounded by base * mult,
+  // so candidate arrivals are drawn at the peak rate and accepted with
+  // probability intensity(t) / peak.
+  if (!(spec.width_seconds > 0.0)) {
+    return Status::InvalidArgument("rush-hour arrival width must be positive");
+  }
+  if (!(spec.peak_multiplier >= 1.0)) {
+    return Status::InvalidArgument(
+        "rush-hour peak multiplier must be >= 1");
+  }
+  const double peak_rate = spec.rate_per_second * spec.peak_multiplier;
+  double t = 0.0;
+  while (out.size() < count) {
+    t += NextExponential(rng, peak_rate);
+    const double intensity =
+        spec.rate_per_second *
+        (1.0 + (spec.peak_multiplier - 1.0) *
+                   Bump(t, spec.peak_seconds, spec.width_seconds));
+    if (rng.NextDouble() < intensity / peak_rate) out.push_back(t * 1000.0);
+  }
+  return out;
+}
+
+}  // namespace airindex::workload

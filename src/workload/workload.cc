@@ -117,6 +117,17 @@ Result<Workload> GenerateWorkload(const graph::Graph& g,
       q.tune_phase = rng.NextDouble();
     }
   }
+  if (spec.arrival.kind != ArrivalSpec::Kind::kNone) {
+    // Arrivals come from their own salted stream *after* the query
+    // sampling above, so specs with and without an arrival process draw
+    // the exact same query population.
+    AIRINDEX_ASSIGN_OR_RETURN(
+        std::vector<double> arrivals,
+        GenerateArrivals(spec.arrival, spec.count, spec.seed));
+    for (size_t i = 0; i < spec.count; ++i) {
+      w.queries[i].arrival_ms = arrivals[i];
+    }
+  }
   ParallelFor(spec.count, [&](size_t i) {
     auto& q = w.queries[i];
     q.true_dist = algo::DijkstraSearch(g, q.source, q.target,

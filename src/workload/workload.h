@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "workload/arrival.h"
 
 namespace airindex::workload {
 
@@ -20,6 +21,11 @@ struct Query {
   /// (method cycles differ in length, so the instant is stored
   /// cycle-relative).
   double tune_phase = 0.0;
+  /// When the client poses the query on the shared station clock,
+  /// milliseconds since the station started (event-engine model). Negative
+  /// means "no arrival process": the event engine derives the arrival from
+  /// tune_phase, and the batch engine ignores it either way.
+  double arrival_ms = -1.0;
 };
 
 struct Workload {
@@ -56,6 +62,11 @@ struct WorkloadSpec {
   enum class Phase { kUniform, kRushHour } phase = Phase::kUniform;
   double phase_peak = 0.35;
   double phase_width = 0.08;
+
+  /// Arrival process on the shared station clock (event engine). Sampled
+  /// from its own salted stream, so enabling arrivals never perturbs the
+  /// query population above — the batch path stays bit-identical.
+  ArrivalSpec arrival;
 
   bool operator==(const WorkloadSpec&) const = default;
 };

@@ -34,7 +34,7 @@ TEST(FullCycleTest, DeliversEverySegmentOnce) {
   device::MemoryTracker mem;
   std::map<uint32_t, ReceivedSegment> got;
   Status st = ReceiveFullCycle(
-      session, mem, [](SegmentType) { return true; },
+      session, mem, [](const broadcast::ReceivedSegment&) { return true; },
       [&](ReceivedSegment& seg) {
         EXPECT_TRUE(got.emplace(seg.segment_index, std::move(seg)).second);
       },
@@ -57,7 +57,7 @@ TEST(FullCycleTest, RepairsLostDataSegments) {
   device::MemoryTracker mem;
   std::map<uint32_t, ReceivedSegment> got;
   Status st = ReceiveFullCycle(
-      session, mem, [](SegmentType t) { return t == SegmentType::kNetworkData; },
+      session, mem, [](const broadcast::ReceivedSegment& s) { return s.type == SegmentType::kNetworkData; },
       [&](ReceivedSegment& seg) {
         got.emplace(seg.segment_index, std::move(seg));
       },
@@ -79,7 +79,7 @@ TEST(FullCycleTest, NonRepairableSegmentsDeliveredIncomplete) {
   device::MemoryTracker mem;
   bool any_incomplete_aux = false;
   Status st = ReceiveFullCycle(
-      session, mem, [](SegmentType t) { return t == SegmentType::kNetworkData; },
+      session, mem, [](const broadcast::ReceivedSegment& s) { return s.type == SegmentType::kNetworkData; },
       [&](ReceivedSegment& seg) {
         if (seg.type == SegmentType::kAuxData && !seg.complete) {
           any_incomplete_aux = true;
@@ -97,7 +97,7 @@ TEST(FullCycleTest, ChargesRawBytesToMemory) {
   ClientSession session(&channel, 0);
   device::MemoryTracker mem;
   ReceiveFullCycle(
-      session, mem, [](SegmentType) { return true; },
+      session, mem, [](const broadcast::ReceivedSegment&) { return true; },
       [](ReceivedSegment&) {}, 2);
   EXPECT_GE(mem.peak(), cycle.TotalPayloadBytes());
 }

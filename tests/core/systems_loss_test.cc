@@ -95,6 +95,51 @@ TEST(SystemsLossTest, AllMethodsExactUnderBurstLoss) {
   }
 }
 
+// The AF header gap (ROADMAP): ArcFlag's kd-split header is not in its
+// repair set, so a lost header packet fails the query outright. The
+// opt-in ClientOptions::repair_header closes the gap; leaving it off must
+// reproduce the historical numbers byte-for-byte.
+TEST(SystemsLossTest, ArcFlagHeaderRepairClosesTheGap) {
+  graph::Graph g = SmallNetwork(350, 560, 641);
+  SystemParams params;
+  params.arcflag_regions = 16;  // 130-byte header: 2 packets at risk
+  auto af = BuildSystem(g, "AF", params).value();
+  auto w = workload::GenerateWorkload(g, 24, 642).value();
+
+  ClientOptions off;
+  off.max_repair_cycles = 32;
+  ClientOptions on = off;
+  on.repair_header = true;
+
+  size_t failures_off = 0, failures_on = 0;
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    // Per-query loss streams, like the engine's (the header fade must hit
+    // some queries and miss others).
+    broadcast::BroadcastChannel channel(
+        &af->cycle(), broadcast::LossModel::Independent(0.02), 643 + i);
+    const AirQuery q = MakeAirQuery(g, w.queries[i]);
+    const device::QueryMetrics m_off = af->RunQuery(channel, q, off);
+    const device::QueryMetrics m_on = af->RunQuery(channel, q, on);
+
+    if (!m_off.ok) ++failures_off;
+    if (!m_on.ok) ++failures_on;
+    if (m_on.ok) EXPECT_EQ(m_on.distance, w.queries[i].true_dist);
+
+    // Off must be byte-identical to a default-options run (the option
+    // changes nothing unless switched on)...
+    ClientOptions defaults;
+    defaults.max_repair_cycles = 32;
+    device::QueryMetrics m_default = af->RunQuery(channel, q, defaults);
+    m_default.cpu_ms = m_off.cpu_ms;  // the one wall-clock field
+    device::QueryMetrics m_off_stable = m_off;
+    m_off_stable.cpu_ms = m_default.cpu_ms;
+    EXPECT_EQ(m_off_stable, m_default) << "query " << i;
+  }
+  // ...the gap is real with the repair off, and closed with it on.
+  EXPECT_GT(failures_off, 0u);
+  EXPECT_EQ(failures_on, 0u);
+}
+
 TEST(SystemsLossTest, MemoryBoundClientsSurviveLoss) {
   graph::Graph g = SmallNetwork(300, 480, 611);
   SystemParams params;

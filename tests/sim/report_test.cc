@@ -18,6 +18,8 @@ Stat MakeStat(double base) {
 
 BatchResult MakeBatch() {
   BatchResult batch;
+  batch.engine = "event";
+  batch.subchannels = 4;
   batch.num_queries = 128;
   batch.threads = 4;
   batch.loss_rate = 0.015;
@@ -37,6 +39,8 @@ BatchResult MakeBatch() {
   r.aggregate.memory_exceeded = 1;
   r.aggregate.tuning_packets = MakeStat(431.0);
   r.aggregate.latency_packets = MakeStat(900.0);
+  r.aggregate.wait_ms = MakeStat(37.0);
+  r.aggregate.listen_ms = MakeStat(410.0);
   r.aggregate.peak_memory_bytes = MakeStat(1.5e6);
   r.aggregate.cpu_ms = MakeStat(0.25);
   r.aggregate.energy_joules = MakeStat(1e-9);
@@ -58,6 +62,8 @@ TEST(ReportTest, JsonRoundTripIsExact) {
   auto parsed = FromJson(json);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
 
+  EXPECT_EQ(parsed->engine, batch.engine);
+  EXPECT_EQ(parsed->subchannels, batch.subchannels);
   EXPECT_EQ(parsed->num_queries, batch.num_queries);
   EXPECT_EQ(parsed->threads, batch.threads);
   EXPECT_EQ(parsed->loss_rate, batch.loss_rate);
@@ -100,6 +106,52 @@ TEST(ReportTest, AcceptsLegacyReportsWithoutBurstField) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->loss_burst_len, 1u);
   EXPECT_EQ(parsed->loss_rate, batch.loss_rate);
+}
+
+TEST(ReportTest, AcceptsLegacyReportsWithoutEventFields) {
+  // engine / subchannels / wait_ms / listen_ms are additive within
+  // airindex.sim.batch/v1: a document written before the event engine
+  // existed must keep parsing, reading back as a plain batch run with a
+  // zero wait/listen split.
+  BatchResult batch = MakeBatch();
+  batch.engine = "batch";
+  batch.subchannels = 1;
+  for (auto& r : batch.systems) {
+    r.aggregate.wait_ms = Stat{};
+    r.aggregate.listen_ms = Stat{};
+  }
+  std::string json = ToJson(batch);
+  for (std::string_view field : {"engine", "subchannels"}) {
+    const std::string needle = "\"" + std::string(field) + "\":";
+    const size_t pos = json.find(needle);
+    ASSERT_NE(pos, std::string::npos) << field;
+    const size_t line_start = json.rfind('\n', pos) + 1;
+    const size_t line_end = json.find('\n', pos) + 1;
+    json.erase(line_start, line_end - line_start);
+  }
+  for (std::string_view field : {"wait_ms", "listen_ms"}) {
+    // Remove every per-system stat object for the field (spans 6 lines:
+    // key + 4 stats + closing brace).
+    const std::string needle = "\"" + std::string(field) + "\": {";
+    size_t pos;
+    while ((pos = json.find(needle)) != std::string::npos) {
+      const size_t start = json.rfind('\n', pos) + 1;
+      const size_t close = json.find('}', pos);
+      const size_t end = json.find('\n', close) + 1;
+      json.erase(start, end - start);
+    }
+  }
+
+  auto parsed = FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->engine, "batch");
+  EXPECT_EQ(parsed->subchannels, 1u);
+  ASSERT_EQ(parsed->systems.size(), batch.systems.size());
+  for (size_t i = 0; i < batch.systems.size(); ++i) {
+    EXPECT_EQ(parsed->systems[i].aggregate.wait_ms, Stat{});
+    EXPECT_EQ(parsed->systems[i].aggregate.listen_ms, Stat{});
+    EXPECT_EQ(parsed->systems[i].aggregate, batch.systems[i].aggregate);
+  }
 }
 
 TEST(ReportTest, JsonCarriesSchemaTag) {

@@ -104,6 +104,43 @@ TEST_F(ScenarioRunnerTest, FleetAggregateEqualsMergeOfGroups) {
   }
 }
 
+TEST_F(ScenarioRunnerTest, EventScenarioGroupsShareOneStation) {
+  // The shared-station contract at the scenario level: every group of an
+  // event scenario derives the *same* station seed, so twin groups with
+  // identical loss model, bitrate, workload, and arrivals observe the
+  // exact same channel realization — byte-identical per-query metrics.
+  // (The batch engine deliberately keeps per-group streams instead.)
+  Scenario s;
+  s.name = "twin-stations";
+  s.network = "Milan";
+  s.scale = 0.02;
+  s.seed = 7;
+  s.engine = "event";
+  s.total_queries = 8;
+  s.systems = {"DJ"};
+
+  ClientGroupSpec twin;
+  twin.name = "a";
+  twin.weight = 1.0;
+  twin.loss = broadcast::LossModel::Independent(0.02);
+  twin.client.max_repair_cycles = 64;
+  twin.workload.seed = 4242;  // pin: identical queries in both groups
+  twin.workload.arrival.kind = workload::ArrivalSpec::Kind::kPoisson;
+  twin.workload.arrival.rate_per_second = 10.0;
+  twin.workload.arrival.seed = 77;  // pin: identical arrival instants
+  s.groups.push_back(twin);
+  twin.name = "b";
+  s.groups.push_back(twin);
+
+  const ScenarioResult r = RunDeterministic(s, 1);
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(r.engine, "event");
+  EXPECT_EQ(r.groups[0].loss_seed, r.groups[1].loss_seed);
+  ASSERT_EQ(r.groups[0].systems.size(), 1u);
+  EXPECT_EQ(r.groups[0].systems[0].per_query,
+            r.groups[1].systems[0].per_query);
+}
+
 TEST_F(ScenarioRunnerTest, GroupsDifferingOnlyInLossAreThreadInvariant) {
   // The acceptance shape: two groups identical except for the loss model
   // must produce bit-identical aggregates at 1 and 4 threads.

@@ -1,0 +1,134 @@
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/test_graphs.h"
+#include "workload/workload.h"
+
+namespace airindex::workload {
+namespace {
+
+using testing_support::SmallNetwork;
+
+ArrivalSpec Poisson(double rate, uint64_t seed = 0) {
+  ArrivalSpec a;
+  a.kind = ArrivalSpec::Kind::kPoisson;
+  a.rate_per_second = rate;
+  a.seed = seed;
+  return a;
+}
+
+TEST(ArrivalTest, UniformIsEvenlySpaced) {
+  ArrivalSpec a;
+  a.kind = ArrivalSpec::Kind::kUniform;
+  a.rate_per_second = 8.0;  // one client every 125 ms
+  auto arrivals = GenerateArrivals(a, 5, 42).value();
+  ASSERT_EQ(arrivals.size(), 5u);
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(arrivals[i], static_cast<double>(i) * 125.0);
+  }
+}
+
+TEST(ArrivalTest, DeterministicAndSeedSensitive) {
+  for (auto kind :
+       {ArrivalSpec::Kind::kPoisson, ArrivalSpec::Kind::kRushHour}) {
+    ArrivalSpec a;
+    a.kind = kind;
+    a.rate_per_second = 20.0;
+    a.seed = 7;
+    auto first = GenerateArrivals(a, 64, 0).value();
+    auto second = GenerateArrivals(a, 64, 0).value();
+    EXPECT_EQ(first, second);
+    a.seed = 8;
+    auto other = GenerateArrivals(a, 64, 0).value();
+    EXPECT_NE(first, other);
+  }
+}
+
+TEST(ArrivalTest, TimestampsAreNonDecreasingAndNonNegative) {
+  for (auto kind :
+       {ArrivalSpec::Kind::kUniform, ArrivalSpec::Kind::kPoisson,
+        ArrivalSpec::Kind::kRushHour}) {
+    ArrivalSpec a;
+    a.kind = kind;
+    a.rate_per_second = 50.0;
+    auto arrivals = GenerateArrivals(a, 256, 11).value();
+    ASSERT_EQ(arrivals.size(), 256u);
+    EXPECT_GE(arrivals.front(), 0.0);
+    EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  }
+}
+
+TEST(ArrivalTest, PoissonMeanInterArrivalMatchesRate) {
+  const double rate = 40.0;
+  auto arrivals = GenerateArrivals(Poisson(rate, 5), 2000, 0).value();
+  const double mean_gap_ms = arrivals.back() / 1999.0;
+  // Mean inter-arrival of a rate-40 process is 25 ms; a 2000-sample
+  // estimate lands well within 10%.
+  EXPECT_NEAR(mean_gap_ms, 25.0, 2.5);
+}
+
+TEST(ArrivalTest, RushHourConcentratesArrivalsInTheBurst) {
+  ArrivalSpec a;
+  a.kind = ArrivalSpec::Kind::kRushHour;
+  a.rate_per_second = 10.0;
+  a.peak_seconds = 20.0;
+  a.width_seconds = 5.0;
+  a.peak_multiplier = 8.0;
+  a.seed = 13;
+  auto arrivals = GenerateArrivals(a, 512, 0).value();
+  // Compare the burst window against an equal-width off-peak window that
+  // the stream provably spans (arrivals run from ~0 to well past 30 s).
+  size_t in_burst = 0, off_peak = 0;
+  for (double ms : arrivals) {
+    const double s = ms / 1000.0;
+    if (s >= 15.0 && s < 25.0) ++in_burst;
+    if (s >= 0.0 && s < 10.0) ++off_peak;
+  }
+  EXPECT_GT(in_burst, 2 * off_peak);
+}
+
+TEST(ArrivalTest, RejectsInvalidSpecs) {
+  ArrivalSpec a;
+  EXPECT_FALSE(GenerateArrivals(a, 4, 1).ok());  // kNone
+  a.kind = ArrivalSpec::Kind::kPoisson;
+  a.rate_per_second = 0.0;
+  EXPECT_FALSE(GenerateArrivals(a, 4, 1).ok());
+  a.kind = ArrivalSpec::Kind::kRushHour;
+  a.rate_per_second = 10.0;
+  a.width_seconds = 0.0;
+  EXPECT_FALSE(GenerateArrivals(a, 4, 1).ok());
+  a.width_seconds = 5.0;
+  a.peak_multiplier = 0.5;
+  EXPECT_FALSE(GenerateArrivals(a, 4, 1).ok());
+}
+
+TEST(ArrivalTest, WorkloadArrivalsFillTimestampsWithoutPerturbingQueries) {
+  graph::Graph g = SmallNetwork(200, 320, 31);
+  WorkloadSpec plain;
+  plain.count = 24;
+  plain.seed = 99;
+  Workload without = GenerateWorkload(g, plain).value();
+
+  WorkloadSpec with = plain;
+  with.arrival = Poisson(30.0);
+  Workload withArrivals = GenerateWorkload(g, with).value();
+
+  ASSERT_EQ(without.queries.size(), withArrivals.queries.size());
+  for (size_t i = 0; i < without.queries.size(); ++i) {
+    // The query population is bit-identical — arrivals come from their own
+    // salted stream, so enabling them never changes what clients ask.
+    EXPECT_EQ(without.queries[i].source, withArrivals.queries[i].source);
+    EXPECT_EQ(without.queries[i].target, withArrivals.queries[i].target);
+    EXPECT_EQ(without.queries[i].tune_phase,
+              withArrivals.queries[i].tune_phase);
+    // No arrival process -> the sentinel; with one -> real timestamps.
+    EXPECT_LT(without.queries[i].arrival_ms, 0.0);
+    EXPECT_GE(withArrivals.queries[i].arrival_ms, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace airindex::workload

@@ -34,6 +34,7 @@
 #include "graph/catalog.h"
 #include "graph/dimacs.h"
 #include "graph/generator.h"
+#include "sim/event_engine.h"
 #include "sim/report.h"
 #include "sim/scenario.h"
 #include "sim/scenario_catalog.h"
@@ -58,6 +59,8 @@ void PrintUsage(std::FILE* out) {
                "      [--loss=F] [--burst=N] [--threads=N] [--repeat=N]\n"
                "      [--systems=DJ,NR,...] [--regions=N]\n"
                "      [--landmarks=N] [--json[=FILE]] [--deterministic]\n"
+               "      [--engine=batch|event] [--subchannels=N]\n"
+               "      [--arrival=uniform|poisson|rush-hour] [--rate=F]\n"
                "      Simulate a batch of clients through the parallel "
                "engine\n"
                "      (--threads=0 uses all cores; --burst=N groups losses "
@@ -68,17 +71,25 @@ void PrintUsage(std::FILE* out) {
                "      bit-reproducible; timing fields still vary by "
                "run;\n"
                "      --repeat=N reports min-of-N wall time per "
-               "system).\n"
+               "system;\n"
+               "      --engine=event runs the fleet on one shared station\n"
+               "      timeline — clients arrive per --arrival at --rate\n"
+               "      clients/s, and latency splits into wait/listen ms;\n"
+               "      --subchannels=N shards the station across N "
+               "interleaved\n"
+               "      logical sub-channels).\n"
                "  airindex_cli scenario --list | --name=NAME | "
                "--file=SPEC.json\n"
                "      [--threads=N] [--repeat=N] [--scale=F] [--queries=N] "
                "[--json[=FILE]]\n"
-               "      [--deterministic]\n"
+               "      [--deterministic] [--engine=batch|event]\n"
                "      Run a declarative multi-group scenario "
                "(airindex.sim.scenario/v1);\n"
                "      --list shows the built-in catalog, --scale/--queries "
                "override\n"
-               "      the spec for quick smoke runs.\n");
+               "      the spec for quick smoke runs, --engine overrides "
+               "the\n"
+               "      spec's engine field.\n");
 }
 
 int Usage() {
@@ -248,6 +259,10 @@ int Run(int argc, char** argv) {
   bool deterministic = false;
   bool emit_json = false;
   std::string json_path;
+  std::string engine = "batch";
+  std::string arrival = "none";
+  double rate = 50.0;
+  uint32_t subchannels = 1;
   std::vector<std::string> names = {"DJ", "NR", "EB", "LD", "AF"};
 
   for (int i = 3; i < argc; ++i) {
@@ -274,6 +289,19 @@ int Run(int argc, char** argv) {
       landmarks = static_cast<uint32_t>(std::atoi(arg + 12));
     } else if (std::strncmp(arg, "--systems=", 10) == 0) {
       names = SplitNames(arg + 10);
+    } else if (std::strncmp(arg, "--engine=", 9) == 0) {
+      engine = arg + 9;
+    } else if (std::strncmp(arg, "--arrival=", 10) == 0) {
+      arrival = arg + 10;
+    } else if (std::strncmp(arg, "--rate=", 7) == 0) {
+      rate = std::atof(arg + 7);
+    } else if (std::strncmp(arg, "--subchannels=", 14) == 0) {
+      const int parsed = std::atoi(arg + 14);
+      if (parsed < 1) {
+        std::fprintf(stderr, "--subchannels must be >= 1\n");
+        return 2;
+      }
+      subchannels = static_cast<uint32_t>(parsed);
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       emit_json = true;
       json_path = arg + 7;
@@ -286,6 +314,20 @@ int Run(int argc, char** argv) {
     }
   }
   if (names.empty()) return Usage();
+  if (!sim::IsKnownEngine(engine)) {
+    std::fprintf(stderr, "unknown engine \"%s\" (batch|event)\n",
+                 engine.c_str());
+    return 2;
+  }
+  if (engine != "event" && (arrival != "none" || subchannels > 1)) {
+    // The batch engine replays a private channel per query and would
+    // silently ignore arrival timing / station sharding — refuse instead
+    // of printing numbers that do not measure what the flags imply.
+    std::fprintf(stderr,
+                 "--arrival/--rate/--subchannels need --engine=event (the "
+                 "batch engine has no shared station timeline)\n");
+    return 2;
+  }
 
   auto spec = graph::FindNetwork(argv[2]);
   if (!spec.ok()) {
@@ -316,20 +358,43 @@ int Run(int argc, char** argv) {
     systems.push_back(std::move(sys).value());
   }
 
-  auto w = workload::GenerateWorkload(*g, queries, seed);
+  workload::WorkloadSpec wspec;
+  wspec.count = queries;
+  wspec.seed = seed;
+  auto arrival_kind = workload::ParseArrivalKind(arrival);
+  if (!arrival_kind.ok()) {
+    std::fprintf(stderr, "%s\n", arrival_kind.status().ToString().c_str());
+    return 2;
+  }
+  wspec.arrival.kind = *arrival_kind;
+  wspec.arrival.rate_per_second = rate;
+  auto w = workload::GenerateWorkload(*g, wspec);
   if (!w.ok()) {
     std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
     return 1;
   }
 
-  sim::SimOptions so;
-  so.threads = threads;
-  so.repeat = repeat;
-  so.loss = broadcast::LossModel::Of(loss, burst);
-  so.loss_seed = seed;
-  so.deterministic = deterministic;
-  sim::Simulator simulator(*g, so);
-  sim::BatchResult batch = simulator.Run(system_ptrs, *w);
+  sim::BatchResult batch;
+  if (engine == "event") {
+    sim::EventOptions eo;
+    eo.threads = threads;
+    eo.repeat = repeat;
+    eo.loss = broadcast::LossModel::Of(loss, burst);
+    eo.station_seed = seed;
+    eo.subchannels = subchannels;
+    eo.deterministic = deterministic;
+    sim::EventEngine event_engine(*g, eo);
+    batch = event_engine.Run(system_ptrs, *w);
+  } else {
+    sim::SimOptions so;
+    so.threads = threads;
+    so.repeat = repeat;
+    so.loss = broadcast::LossModel::Of(loss, burst);
+    so.loss_seed = seed;
+    so.deterministic = deterministic;
+    sim::Simulator simulator(*g, so);
+    batch = simulator.Run(system_ptrs, *w);
+  }
 
   if (emit_json) {
     const std::string json = sim::ToJson(batch);
@@ -395,6 +460,7 @@ int RunScenario(int argc, char** argv) {
   bool deterministic = false;
   bool emit_json = false;
   std::string json_path;
+  std::string engine_override;
   double scale_override = 0.0;
   size_t queries_override = 0;
 
@@ -402,6 +468,8 @@ int RunScenario(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--list") == 0) {
       list = true;
+    } else if (std::strncmp(arg, "--engine=", 9) == 0) {
+      engine_override = arg + 9;
     } else if (std::strncmp(arg, "--name=", 7) == 0) {
       name = arg + 7;
     } else if (std::strncmp(arg, "--file=", 7) == 0) {
@@ -464,6 +532,7 @@ int RunScenario(int argc, char** argv) {
   ro.threads = threads;
   ro.repeat = repeat;
   ro.deterministic = deterministic;
+  ro.engine = engine_override;
   auto result = sim::ScenarioRunner(ro).Run(scenario);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());

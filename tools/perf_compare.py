@@ -120,10 +120,15 @@ def main():
     old_files = artifact_files(args.old)
     new_files = artifact_files(args.new, exclude=args.old)
     if not old_files:
-        print(f"no previous artifacts under {args.old}; nothing to compare")
+        # First run of the perf job (or an expired artifact): nothing to
+        # diff against is expected, not an error worth a noisy red log.
+        print(f"::notice title=perf baseline missing::no previous "
+              f"artifacts under {args.old}; skipping comparison "
+              f"(expected on the first run)")
         return 0
     if not new_files:
-        print(f"no fresh artifacts under {args.new}; nothing to compare")
+        print(f"::notice title=perf artifacts missing::no fresh artifacts "
+              f"under {args.new}; nothing to compare")
         return 0
 
     # Match by basename so nested artifact layouts still pair up.
@@ -139,6 +144,14 @@ def main():
             continue
         old_m = metrics_of(old_path)
         new_m = metrics_of(new_path)
+        if new_m and old_m and not set(new_m) & set(old_m):
+            # Same artifact name, disjoint benchmark names: a renamed or
+            # rewritten bench, not a regression — say so once instead of
+            # silently dropping every row.
+            print(f"::notice title=perf names disjoint::"
+                  f"{os.path.basename(rel)} shares no benchmark names "
+                  f"with the previous run; skipping it")
+            continue
         for name in sorted(new_m):
             if name not in old_m:
                 continue
@@ -157,6 +170,11 @@ def main():
             if regressed:
                 regressions.append((label, unit, old_val, new_val, change))
 
+    if compared == 0:
+        print(f"::notice title=perf nothing comparable::previous and "
+              f"fresh artifact sets share no metrics (first run of a new "
+              f"bench?); nothing compared")
+        return 0
     print(f"\ncompared {compared} metrics, "
           f"{len(regressions)} regression(s) beyond "
           f"{args.threshold:.0%}")
