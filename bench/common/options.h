@@ -23,6 +23,12 @@ struct BenchOptions {
   /// Loss burst length: 1 = independent losses, >1 groups losses into
   /// fade bursts of that many packets at the same long-run rate.
   uint32_t burst = 1;
+  /// Per-bit corruption rate of packets that survive erasure (CRC-detected
+  /// on the client; 0 = pristine payloads).
+  double corrupt = 0.0;
+  /// Station FEC code rate: round(fec_rate * 16) parity packets per
+  /// 16-packet group (0 = no parity).
+  double fec_rate = 0.0;
   bool full = false;
   /// Skip SPQ/HiTi (whose pre-computation is all-pairs-flavoured) even in
   /// benches that normally include them.
@@ -42,15 +48,21 @@ struct BenchOptions {
   /// Device heap budget scaled with the network.
   size_t ScaledHeapBytes() const;
 
-  /// The configured channel loss model (--loss + --burst).
+  /// The configured channel loss model (--loss + --burst + --corrupt).
   broadcast::LossModel Loss() const {
-    return broadcast::LossModel::Of(loss, burst);
+    return broadcast::LossModel::Of(loss, burst, corrupt);
+  }
+
+  /// The configured station FEC scheme (--fec-rate).
+  broadcast::FecScheme Fec() const {
+    return broadcast::FecScheme::OfRate(fec_rate);
   }
 };
 
-/// Parses --scale=, --queries=, --seed=, --loss=, --burst=, --threads=,
-/// --repeat=, --full, --no-heavy. Unknown flags abort with a usage
-/// message.
+/// Parses --scale=, --queries=, --seed=, --loss=, --burst=, --corrupt=,
+/// --fec-rate=, --threads=, --repeat=, --full, --no-heavy. Numeric values
+/// are validated strictly; a malformed or unknown flag aborts with a usage
+/// message (exit 2).
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 }  // namespace airindex::bench

@@ -1,0 +1,98 @@
+// Code-rate x loss-rate sweep of the FEC-coded broadcast cycle: every
+// system runs the same workload at parity 0 (plain next-cycle repair),
+// 1, 2, and 4 parity packets per 16-packet group, across three loss
+// rates.
+//
+// Expected shape: parity stretches the cycle (latency floor rises by
+// p/16), but once the loss rate exceeds the code overhead, reconstruction
+// beats waiting a full cycle for a repair pass — the wait_ms p95 frontier
+// crosses. Emits one airindex.sim.batch/v1 document to stdout (system
+// names suffixed "@pP@lRATE" so tools/perf_compare.py tracks each grid
+// point as its own series) and the frontier table to stderr.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "core/systems.h"
+#include "graph/catalog.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+using namespace airindex;  // NOLINT: experiment binary
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseBenchOptions(argc, argv);
+  // stdout carries exactly one batch/v1 JSON document (CI feeds it to
+  // perf_compare.py), so the usual harness banner goes to stderr.
+  std::fprintf(stderr,
+               "# FEC sweep on Germany: scale=%.2f queries=%zu seed=%llu\n",
+               opts.scale, opts.queries,
+               static_cast<unsigned long long>(opts.seed));
+  graph::Graph g =
+      graph::MakeNetwork(graph::FindNetwork("Germany").value(), opts.scale)
+          .value();
+  std::fprintf(stderr, "# %zu nodes, %zu arcs\n", g.num_nodes(),
+               g.num_arcs());
+
+  core::SystemParams params;
+  params.arcflag_regions = 16;
+  params.eb_regions = 32;
+  params.nr_regions = 32;
+  params.landmarks = 4;
+  params.include_spq = !opts.no_heavy;
+  params.include_hiti = !opts.no_heavy;
+  auto systems = core::SystemRegistry::Global().GetAll(g, params).value();
+  auto w = workload::GenerateWorkload(g, opts.queries, opts.seed).value();
+
+  const uint32_t parities[4] = {0, 1, 2, 4};
+  const double rates[3] = {0.005, 0.02, 0.05};
+
+  sim::BatchResult batch;
+  batch.num_queries = w.queries.size();
+  batch.loss_seed = opts.seed + 31;
+
+  for (double rate : rates) {
+    std::fprintf(stderr,
+                 "\nloss %.2f%%%s\n%-6s %6s %12s %12s %12s %12s\n",
+                 rate * 100.0, opts.corrupt > 0.0 ? " (+corruption)" : "",
+                 "method", "parity", "tuning[pkt]", "wait p95[ms]",
+                 "listen[ms]", "recovered");
+    for (const auto& sys : systems) {
+      for (uint32_t p : parities) {
+        sim::SimOptions so;
+        so.threads = opts.threads;
+        so.repeat = opts.repeat;
+        so.loss = broadcast::LossModel::Of(rate, opts.burst, opts.corrupt);
+        so.fec = broadcast::FecScheme{16, p};
+        so.loss_seed = opts.seed + 31;
+        so.client.max_repair_cycles = 64;
+        sim::Simulator simulator(g, so);
+        batch.threads = simulator.effective_threads();
+
+        sim::SystemResult r = simulator.RunSystem(*sys, w);
+        char name[64];
+        std::snprintf(name, sizeof(name), "%s@p%u@l%.4f",
+                      r.system.c_str(), p, rate);
+        std::fprintf(stderr, "%-6s %6u %12.0f %12.1f %12.1f %12.2f\n",
+                     r.system.c_str(), p, r.aggregate.tuning_packets.mean,
+                     r.aggregate.wait_ms.p95, r.aggregate.listen_ms.mean,
+                     r.aggregate.fec_recovered.mean);
+        r.system = name;
+        r.aggregate.system = name;
+        r.per_query.clear();  // the batch doc carries aggregates only
+        batch.wall_seconds += r.wall_seconds;
+        batch.systems.push_back(std::move(r));
+      }
+    }
+  }
+
+  std::fputs(sim::ToJson(batch).c_str(), stdout);
+  std::fprintf(stderr,
+               "\n# frontier: parity raises the latency floor by p/16 of "
+               "a cycle;\n# above that loss rate, in-group reconstruction "
+               "beats next-cycle repair.\n");
+  return 0;
+}

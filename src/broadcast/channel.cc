@@ -1,9 +1,61 @@
 #include "broadcast/channel.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 namespace airindex::broadcast {
+
+double LossModel::PacketCorruptProbability() const {
+  if (!(corrupt_bit > 0.0)) return 0.0;  // incl. NaN: never corrupted
+  if (corrupt_bit >= 1.0) return 1.0;
+  constexpr double kBits = kPacketSize * 8;
+  // 1 - (1 - p)^bits, computed in log space so tiny bit-error rates
+  // don't round to zero.
+  return -std::expm1(kBits * std::log1p(-corrupt_bit));
+}
+
+std::optional<PacketView> ClientSession::ReceiveCorrupted(uint64_t pos,
+                                                          uint64_t slot) {
+  const PacketView view = cycle().PacketAt(channel_->CyclePos(pos));
+  const size_t n = view.chunk.size();
+  if (n == 0) {  // nothing to checksum: drop the mangled packet
+    ++corrupted_;
+    return std::nullopt;
+  }
+  const uint32_t stamped = Crc32(view.chunk);
+  uint8_t mangled[kPacketSize];
+  std::memcpy(mangled, view.chunk.data(), n);
+  const uint64_t bit = channel_->CorruptBitIndex(slot, n * 8);
+  mangled[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  if (Crc32({mangled, n}) != stamped) {
+    ++corrupted_;
+    return std::nullopt;
+  }
+  // CRC-32 detects every single-bit error, so this is unreachable for the
+  // one-flip model — but an undetected corruption would be delivered,
+  // which is the honest failure mode of a checksum.
+  return view;
+}
+
+uint32_t ClientSession::ListenGroupParity(uint64_t group_member_pos) {
+  const FecLayout& fec = channel_->fec();
+  const uint32_t parity = fec.parity_per_group();
+  uint32_t heard = 0;
+  for (uint32_t j = 0; j < parity; ++j) {
+    const uint64_t slot =
+        channel_->PhysicalOfFecSlot(fec.ParitySlot(group_member_pos, j));
+    ++tuned_;
+    if (slot > last_slot_listened_) last_slot_listened_ = slot;
+    if (channel_->SlotLost(slot)) continue;
+    if (channel_->corruption_enabled() && channel_->SlotCorrupted(slot)) {
+      ++corrupted_;
+      continue;
+    }
+    ++heard;
+  }
+  return heard;
+}
 
 bool ReceivedSegment::RangeOk(size_t begin, size_t end) const {
   if (begin >= end) return true;
@@ -14,6 +66,23 @@ bool ReceivedSegment::RangeOk(size_t begin, size_t end) const {
   }
   return last < packet_ok.size();
 }
+
+namespace {
+
+/// Writes the true on-air bytes of the packet at absolute position
+/// `abs_pos` into `out` — the FEC fill callback: a decoded parity group
+/// hands back exactly what the station transmitted.
+void FillRecovered(const ClientSession& session, uint64_t abs_pos,
+                   ReceivedSegment* out) {
+  const PacketView view =
+      session.cycle().PacketAt(session.channel().CyclePos(abs_pos));
+  out->packet_ok[view.seq] = true;
+  std::memcpy(out->payload.data() +
+                  static_cast<size_t>(view.seq) * kPayloadSize,
+              view.chunk.data(), view.chunk.size());
+}
+
+}  // namespace
 
 void ReceiveSegmentAt(ClientSession& session, uint32_t segment_start,
                       ReceivedSegment* out) {
@@ -32,9 +101,15 @@ void ReceiveSegmentAt(ClientSession& session, uint32_t segment_start,
   const uint32_t packets = seg.PacketCount();
   out->packet_ok.assign(packets, false);
 
+  const bool fec_on = session.channel().fec().enabled();
+  FecGroupRun fec_run;
+  auto fill = [&](uint64_t abs) { FillRecovered(session, abs, out); };
+
   out->complete = true;
   for (uint32_t p = 0; p < packets; ++p) {
+    const uint64_t abs = session.position();
     auto view = session.ReceiveNext();
+    if (fec_on) fec_run.Observe(session, abs, view.has_value(), fill);
     if (!view.has_value()) {
       out->complete = false;
       continue;
@@ -43,6 +118,14 @@ void ReceiveSegmentAt(ClientSession& session, uint32_t segment_start,
     std::memcpy(out->payload.data() +
                     static_cast<size_t>(view->seq) * kPayloadSize,
                 view->chunk.data(), view->chunk.size());
+  }
+  if (fec_on) {
+    fec_run.Flush(session, fill);
+    if (!out->complete) {
+      out->complete = std::all_of(out->packet_ok.begin(),
+                                  out->packet_ok.end(),
+                                  [](bool b) { return b; });
+    }
   }
 }
 
@@ -67,18 +150,28 @@ void CompleteSegmentFrom(ClientSession& session, const PacketView& first,
   const uint32_t packets = seg.PacketCount();
   out->packet_ok.assign(packets, false);
 
+  const bool fec_on = session.channel().fec().enabled();
+  FecGroupRun fec_run;
+  auto fill = [&](uint64_t abs) { FillRecovered(session, abs, out); };
+
   out->packet_ok[first.seq] = true;
   std::memcpy(out->payload.data() +
                   static_cast<size_t>(first.seq) * kPayloadSize,
               first.chunk.data(), first.chunk.size());
+  if (fec_on) {
+    fec_run.Observe(session, session.position() - 1, true, fill);
+  }
   for (uint32_t p = first.seq + 1; p < packets; ++p) {
+    const uint64_t abs = session.position();
     auto view = session.ReceiveNext();
+    if (fec_on) fec_run.Observe(session, abs, view.has_value(), fill);
     if (!view.has_value()) continue;
     out->packet_ok[view->seq] = true;
     std::memcpy(out->payload.data() +
                     static_cast<size_t>(view->seq) * kPayloadSize,
                 view->chunk.data(), view->chunk.size());
   }
+  if (fec_on) fec_run.Flush(session, fill);
   out->complete = std::all_of(out->packet_ok.begin(), out->packet_ok.end(),
                               [](bool b) { return b; });
 }

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "broadcast/cycle.h"
+#include "broadcast/fec.h"
 #include "broadcast/packet.h"
 
 namespace airindex::broadcast {
@@ -14,9 +15,15 @@ namespace airindex::broadcast {
 /// §6.2 model); larger values group losses into fade bursts of that many
 /// consecutive packets (wireless losses are bursty in practice — the
 /// paper's [15] reference), keeping the same long-run rate.
+///
+/// `corrupt_bit` is an orthogonal impairment: the probability that any one
+/// bit of a packet that *was* received flips in flight. A flipped bit
+/// fails the per-packet CRC-32 check, so the packet is discarded like a
+/// loss but counted separately (QueryMetrics::corrupted_packets).
 struct LossModel {
   double rate = 0.0;
   uint32_t burst_len = 1;
+  double corrupt_bit = 0.0;
 
   static LossModel None() { return {0.0, 1}; }
   static LossModel Independent(double rate) { return {rate, 1}; }
@@ -27,6 +34,13 @@ struct LossModel {
   static LossModel Of(double rate, uint32_t burst_len) {
     return {rate, burst_len > 1 ? burst_len : 1};
   }
+  static LossModel Of(double rate, uint32_t burst_len, double corrupt_bit) {
+    return {rate, burst_len > 1 ? burst_len : 1, corrupt_bit};
+  }
+
+  /// Probability that a kPacketSize packet takes at least one bit flip:
+  /// 1 - (1 - corrupt_bit)^bits.
+  double PacketCorruptProbability() const;
 };
 
 /// The wireless channel: endlessly replays a broadcast cycle and drops
@@ -47,9 +61,9 @@ class BroadcastChannel {
       : BroadcastChannel(cycle, LossModel::Independent(loss_rate), seed) {}
 
   BroadcastChannel(const BroadcastCycle* cycle, LossModel loss,
-                   uint64_t seed)
+                   uint64_t seed, FecScheme fec = {})
       : BroadcastChannel(cycle, loss, seed, /*slot_stride=*/1,
-                         /*slot_offset=*/0) {}
+                         /*slot_offset=*/0, fec) {}
 
   /// Sub-channel view of a time-multiplexed station (broadcast::Station):
   /// the client's logical position `p` occupies physical transmission slot
@@ -58,25 +72,37 @@ class BroadcastChannel {
   /// on the physical channel interleaves across them — each logical stream
   /// sees shorter holes. A stride of 1 with offset 0 is the plain
   /// single-channel model and makes identical decisions to the historical
-  /// constructor for every position.
+  /// constructor for every position. An enabled FecScheme interposes the
+  /// FecLayout between logical positions and slots (parity packets occupy
+  /// slots of their own), before the stride/offset multiplexing.
   BroadcastChannel(const BroadcastCycle* cycle, LossModel loss,
-                   uint64_t seed, uint64_t slot_stride, uint64_t slot_offset)
+                   uint64_t seed, uint64_t slot_stride, uint64_t slot_offset,
+                   FecScheme fec = {})
       : cycle_(cycle),
         loss_(loss),
         seed_(seed),
         loss_threshold_(LossThreshold(loss.rate)),
+        corrupt_threshold_(LossThreshold(loss.PacketCorruptProbability())),
         slot_stride_(slot_stride == 0 ? 1 : slot_stride),
-        slot_offset_(slot_offset) {}
+        slot_offset_(slot_offset),
+        fec_(cycle->total_packets(), fec) {}
 
   const BroadcastCycle& cycle() const { return *cycle_; }
   double loss_rate() const { return loss_.rate; }
   const LossModel& loss_model() const { return loss_; }
   uint64_t slot_stride() const { return slot_stride_; }
   uint64_t slot_offset() const { return slot_offset_; }
+  const FecLayout& fec() const { return fec_; }
+  bool corruption_enabled() const { return corrupt_threshold_ != 0; }
 
   /// Physical transmission slot of logical position `pos` on this channel.
   uint64_t PhysicalSlot(uint64_t pos) const {
-    return pos * slot_stride_ + slot_offset_;
+    const uint64_t fs = fec_.enabled() ? fec_.DataSlot(pos) : pos;
+    return fs * slot_stride_ + slot_offset_;
+  }
+  /// Physical slot of a fec slot (parity slots included).
+  uint64_t PhysicalOfFecSlot(uint64_t fec_slot) const {
+    return fec_slot * slot_stride_ + slot_offset_;
   }
 
   /// The 53-bit integer threshold equivalent to "uniform [0,1) draw <
@@ -97,16 +123,26 @@ class BroadcastChannel {
   /// Whether the packet broadcast at absolute position `abs_pos` is lost.
   /// Bursty mode decides per burst-length block, so losses arrive in runs
   /// of `burst_len` packets while the long-run rate stays `rate`.
-  bool IsLost(uint64_t abs_pos) const {
+  bool IsLost(uint64_t abs_pos) const { return SlotLost(PhysicalSlot(abs_pos)); }
+
+  /// Loss decision for a physical slot (parity slots fade like any other).
+  bool SlotLost(uint64_t slot) const {
     if (loss_threshold_ == 0) return false;
-    const uint64_t slot = PhysicalSlot(abs_pos);
     const uint64_t unit = loss_.burst_len > 1 ? slot / loss_.burst_len : slot;
-    // SplitMix64 of (seed, unit) -> uniform 53-bit draw.
-    uint64_t z = seed_ ^ (unit + 0x9E3779B97f4A7C15ULL);
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    z ^= z >> 31;
-    return (z >> 11) < loss_threshold_;
+    return Draw53(seed_, unit) < loss_threshold_;
+  }
+
+  /// Whether the packet in physical slot `slot`, having survived the loss
+  /// draw, takes a bit flip in flight. A separate salted stream so
+  /// enabling corruption never perturbs the loss realization.
+  bool SlotCorrupted(uint64_t slot) const {
+    if (corrupt_threshold_ == 0) return false;
+    return Draw53(seed_ ^ kCorruptStreamSalt, slot) < corrupt_threshold_;
+  }
+
+  /// Deterministic choice of which bit flips in a corrupted packet.
+  uint64_t CorruptBitIndex(uint64_t slot, uint64_t bits) const {
+    return Draw53(seed_ ^ kCorruptStreamSalt, ~slot) % bits;
   }
 
   uint32_t CyclePos(uint64_t abs_pos) const {
@@ -114,12 +150,25 @@ class BroadcastChannel {
   }
 
  private:
+  static constexpr uint64_t kCorruptStreamSalt = 0x6B8E9C4D2F5A3E1DULL;
+
+  /// SplitMix64 of (seed, unit) -> uniform 53-bit draw.
+  static uint64_t Draw53(uint64_t seed, uint64_t unit) {
+    uint64_t z = seed ^ (unit + 0x9E3779B97f4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return z >> 11;
+  }
+
   const BroadcastCycle* cycle_;
   LossModel loss_;
   uint64_t seed_;
   uint64_t loss_threshold_;
+  uint64_t corrupt_threshold_;
   uint64_t slot_stride_ = 1;
   uint64_t slot_offset_ = 0;
+  FecLayout fec_;
 };
 
 /// One client's view of the channel during one query. Tracks the paper's
@@ -150,14 +199,27 @@ class ClientSession {
   const BroadcastCycle& cycle() const { return channel_->cycle(); }
 
   /// Listens to the packet at the current position. Counts one packet of
-  /// tuning time either way; returns nullopt if the packet was lost on air.
+  /// tuning time either way; returns nullopt if the packet was lost on air
+  /// or received corrupted (CRC-32 mismatch — counted separately).
   std::optional<PacketView> ReceiveNext() {
     const uint64_t p = pos_++;
     ++tuned_;
     last_listened_ = p;
-    if (channel_->IsLost(p)) return std::nullopt;
+    const uint64_t slot = channel_->PhysicalSlot(p);
+    if (slot > last_slot_listened_) last_slot_listened_ = slot;
+    if (channel_->SlotLost(slot)) return std::nullopt;
+    if (channel_->corruption_enabled() && channel_->SlotCorrupted(slot)) {
+      return ReceiveCorrupted(p, slot);
+    }
     return cycle().PacketAt(channel_->CyclePos(p));
   }
+
+  /// Listens to every parity packet of the group containing logical
+  /// position `group_member_pos` (an atomic side-channel read at the group
+  /// boundary: the cursor does not move, tuning time is charged per parity
+  /// packet, and parity fades/corrupts like any other packet). Returns how
+  /// many parity packets arrived intact.
+  uint32_t ListenGroupParity(uint64_t group_member_pos);
 
   /// Sleeps until cycle position `cpos` is about to be transmitted (the
   /// next occurrence at or after the current position).
@@ -174,12 +236,34 @@ class ClientSession {
   /// Paper metric: number of packets received (energy proxy).
   uint64_t tuned_packets() const { return tuned_; }
 
+  /// Packets that arrived but failed the CRC-32 check (corruption model).
+  uint64_t corrupted_packets() const { return corrupted_; }
+  /// Data packets reconstructed from FEC parity instead of rebroadcast.
+  uint64_t fec_recovered() const { return fec_recovered_; }
+  void AddFecRecovered(uint64_t n) { fec_recovered_ += n; }
+
   /// Paper metric: packets between posing the query and the end of the last
   /// packet listened to.
   uint64_t latency_packets() const {
     return last_listened_ == 0 && tuned_ == 0
                ? 0
                : last_listened_ - start_pos_ + 1;
+  }
+
+  /// latency_packets / wait_packets measured in *physical slots* — the
+  /// on-air timeline that FEC parity and sub-channel striding stretch.
+  /// On a stride-1 channel without FEC these equal the packet counts.
+  uint64_t latency_slots() const {
+    return tuned_ == 0 ? 0
+                       : last_slot_listened_ -
+                             channel_->PhysicalSlot(start_pos_) + 1;
+  }
+  uint64_t wait_slots() const {
+    if (content_marked_) {
+      return channel_->PhysicalSlot(content_start_) -
+             channel_->PhysicalSlot(start_pos_);
+    }
+    return latency_slots();
   }
 
   /// Marks absolute position `abs_pos` as the start of real content: the
@@ -202,13 +286,85 @@ class ClientSession {
   }
 
  private:
+  /// Cold path of ReceiveNext: the slot's corruption draw fired. Flips a
+  /// deterministic bit in a local copy of the on-air bytes and runs the
+  /// CRC-32 check against the station's stamp; a mismatch discards the
+  /// packet as an erasure.
+  std::optional<PacketView> ReceiveCorrupted(uint64_t pos, uint64_t slot);
+
   const BroadcastChannel* channel_;
   uint64_t start_pos_;
   uint64_t pos_;
   uint64_t tuned_ = 0;
   uint64_t last_listened_ = 0;
+  uint64_t last_slot_listened_ = 0;
   uint64_t content_start_ = 0;
+  uint64_t corrupted_ = 0;
+  uint64_t fec_recovered_ = 0;
   bool content_marked_ = false;
+};
+
+/// Streaming FEC decoder over one client's listening run: feed it every
+/// logical position the client listened to (in order, heard or not) and it
+/// settles each parity group as the run crosses the group boundary. A
+/// group with no holes costs nothing — its parity is slept over. A group
+/// with holes listens to all of the group's parity packets and, when the
+/// MDS condition holds (heard data + intact parity >= group data size),
+/// reconstructs every missing packet via `fill(abs_pos)`. Fixed-size
+/// state — no allocation on the query hot path.
+class FecGroupRun {
+ public:
+  bool active() const { return active_; }
+
+  template <typename Fill>
+  void Observe(ClientSession& session, uint64_t abs_pos, bool heard,
+               Fill&& fill) {
+    const FecLayout& fec = session.channel().fec();
+    if (!fec.enabled()) return;
+    if (active_ && fec.GroupKey(abs_pos) != key_) Flush(session, fill);
+    if (!active_) {
+      active_ = true;
+      key_ = fec.GroupKey(abs_pos);
+      member_ = abs_pos;
+      heard_ = 0;
+      missing_count_ = 0;
+    }
+    if (heard) {
+      ++heard_;
+    } else if (missing_count_ < kMaxGroup) {
+      missing_[missing_count_++] = abs_pos;
+    }
+  }
+
+  /// Settles the open group (call once after the run's last Observe).
+  template <typename Fill>
+  void Flush(ClientSession& session, Fill&& fill) {
+    if (!active_) return;
+    active_ = false;
+    if (missing_count_ == 0) return;  // intact: parity slept over, free
+    const FecLayout& fec = session.channel().fec();
+    const uint32_t parity_heard = session.ListenGroupParity(member_);
+    const uint32_t group_size = fec.GroupDataSize(
+        fec.GroupOf(member_ % session.cycle().total_packets()));
+    // MDS erasure condition: any `group_size` intact symbols of the
+    // group's `group_size + parity` reconstruct the rest. `heard_` only
+    // counts this run's packets, so a run that entered the group mid-way
+    // (wrap seam, partial segment) simply fails the condition and falls
+    // back to next-cycle repair.
+    if (heard_ + parity_heard < group_size) return;
+    for (uint32_t i = 0; i < missing_count_; ++i) fill(missing_[i]);
+    session.AddFecRecovered(missing_count_);
+  }
+
+ private:
+  static constexpr uint32_t kMaxGroup = 64;  // FecScheme::Valid()'s cap
+
+  bool active_ = false;
+  uint64_t key_ = 0;
+  uint64_t member_ = 0;
+  uint32_t heard_ = 0;
+  uint32_t missing_count_ = 0;
+  uint64_t missing_[kMaxGroup];
 };
 
 /// A segment reassembled from the air: the payload plus a per-packet

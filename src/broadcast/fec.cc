@@ -1,0 +1,75 @@
+#include "broadcast/fec.h"
+
+#include <array>
+#include <cmath>
+
+namespace airindex::broadcast {
+
+FecScheme FecScheme::OfRate(double rate, uint32_t data_per_group) {
+  FecScheme s;
+  s.data_per_group = data_per_group;
+  if (rate > 0.0) {  // NaN and negatives disable
+    const double parity = std::round(rate * data_per_group);
+    s.parity_per_group = parity >= data_per_group
+                             ? data_per_group
+                             : static_cast<uint32_t>(parity);
+  }
+  return s;
+}
+
+FecLayout::FecLayout(uint64_t cycle_packets, FecScheme scheme)
+    : scheme_(scheme),
+      // A one-packet floor keeps the / and % in the slot maps well-defined
+      // for an empty cycle (nothing is ever transmitted on one anyway).
+      cycle_packets_(cycle_packets == 0 ? 1 : cycle_packets),
+      groups_((cycle_packets_ + scheme.data_per_group - 1) /
+              scheme.data_per_group),
+      phys_cycle_(scheme.enabled()
+                      ? cycle_packets_ + groups_ * scheme.parity_per_group
+                      : cycle_packets_) {}
+
+uint64_t FecLayout::LogicalAtOrAfterSlot(uint64_t fs) const {
+  if (!scheme_.enabled()) return fs;
+  const uint64_t inst = fs / phys_cycle_;
+  const uint64_t r = fs % phys_cycle_;
+  const uint64_t stride = scheme_.data_per_group + scheme_.parity_per_group;
+  const uint32_t g = static_cast<uint32_t>(r / stride);
+  const uint64_t within = r - uint64_t{g} * stride;
+  const uint64_t base = inst * cycle_packets_;
+  if (within < GroupDataSize(g)) {
+    return base + uint64_t{g} * scheme_.data_per_group + within;
+  }
+  // Inside the group's parity run: the next data packet opens the next
+  // group (or the next cycle repetition, for the tail group).
+  const uint64_t next_group_start =
+      (uint64_t{g} + 1) * scheme_.data_per_group;
+  return next_group_start < cycle_packets_ ? base + next_group_start
+                                           : base + cycle_packets_;
+}
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> bytes) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t b : bytes) {
+    crc = kTable[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace airindex::broadcast

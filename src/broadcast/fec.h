@@ -1,0 +1,120 @@
+#ifndef AIRINDEX_BROADCAST_FEC_H_
+#define AIRINDEX_BROADCAST_FEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace airindex::broadcast {
+
+/// Forward-error-correction code applied by the station on top of the
+/// broadcast cycle: the cycle's packets are cut into *parity groups* of
+/// `data_per_group` consecutive cycle positions, and the station appends
+/// `parity_per_group` parity packets right after each group's data (a
+/// systematic MDS erasure code — XOR for one parity packet, Reed-Solomon
+/// style beyond). A client that heard at least `group size` of the
+/// `group size + parity` symbols of a group can reconstruct every missing
+/// data packet *within the current cycle pass*, instead of waiting for the
+/// next cycle's repair rebroadcast (§6.2). `parity_per_group == 0` turns
+/// the code off — the physical slot stream is then exactly the historical
+/// one, bit for bit.
+struct FecScheme {
+  uint32_t data_per_group = 16;
+  uint32_t parity_per_group = 0;
+
+  bool enabled() const { return parity_per_group > 0; }
+
+  /// Schemes the decoder supports: group size in [2, 64] (the run decoder
+  /// keeps its missing-list in fixed storage) and at most one parity
+  /// symbol per data symbol (code rate >= 1/2).
+  bool Valid() const {
+    return data_per_group >= 2 && data_per_group <= 64 &&
+           parity_per_group <= data_per_group;
+  }
+
+  static FecScheme None() { return {16, 0}; }
+  /// `rate` is the parity overhead as a fraction of the group: parity =
+  /// round(rate * data_per_group). rate 0 disables the code.
+  static FecScheme OfRate(double rate, uint32_t data_per_group = 16);
+};
+
+/// Slot arithmetic of a FEC-coded cycle. Logical positions (what every
+/// client state machine reasons in) are unchanged; the layout maps them to
+/// *fec slots* — the on-air packet stream with parity interleaved — and
+/// back. With L data packets per cycle, G = ceil(L / k) groups, the
+/// physical cycle is P = L + G*p slots long: group g occupies the
+/// contiguous slot run [g*(k+p), g*(k+p) + size(g) + p), data first, its p
+/// parity packets immediately after (the last group may hold fewer than k
+/// data packets but still carries p parity). With the code disabled the
+/// mapping is the identity.
+class FecLayout {
+ public:
+  FecLayout() : FecLayout(0, FecScheme::None()) {}
+  FecLayout(uint64_t cycle_packets, FecScheme scheme);
+
+  const FecScheme& scheme() const { return scheme_; }
+  bool enabled() const { return scheme_.enabled(); }
+  uint32_t parity_per_group() const { return scheme_.parity_per_group; }
+  uint64_t groups_per_cycle() const { return groups_; }
+  /// On-air packets per cycle (data + parity).
+  uint64_t phys_cycle_packets() const { return phys_cycle_; }
+
+  /// Parity group (within its cycle) of cycle position `cpos`.
+  uint32_t GroupOf(uint64_t cpos) const {
+    return static_cast<uint32_t>(cpos / scheme_.data_per_group);
+  }
+  /// Number of data packets in group `g` (the tail group may be short).
+  uint32_t GroupDataSize(uint32_t g) const {
+    const uint64_t start = uint64_t{g} * scheme_.data_per_group;
+    const uint64_t left = cycle_packets_ - start;
+    return static_cast<uint32_t>(
+        left < scheme_.data_per_group ? left : scheme_.data_per_group);
+  }
+  /// Group identity of an absolute logical position, unique across cycle
+  /// repetitions (the wrap-seam halves of one cycle-group are distinct).
+  uint64_t GroupKey(uint64_t abs_pos) const {
+    return (abs_pos / cycle_packets_) * groups_ +
+           GroupOf(abs_pos % cycle_packets_);
+  }
+
+  /// Fec slot carrying the data packet at absolute logical position `pos`.
+  uint64_t DataSlot(uint64_t pos) const {
+    if (!scheme_.enabled()) return pos;
+    const uint64_t inst = pos / cycle_packets_;
+    const uint64_t cpos = pos % cycle_packets_;
+    return inst * phys_cycle_ + cpos +
+           uint64_t{GroupOf(cpos)} * scheme_.parity_per_group;
+  }
+
+  /// Fec slot of parity packet `j` of the group containing absolute
+  /// logical position `member_pos`.
+  uint64_t ParitySlot(uint64_t member_pos, uint32_t j) const {
+    const uint64_t inst = member_pos / cycle_packets_;
+    const uint32_t g = GroupOf(member_pos % cycle_packets_);
+    const uint64_t stride =
+        scheme_.data_per_group + scheme_.parity_per_group;
+    return inst * phys_cycle_ + uint64_t{g} * stride + GroupDataSize(g) + j;
+  }
+
+  /// First logical position whose data slot is at or after fec slot `fs`
+  /// (a parity slot resolves to the next group's first data packet). The
+  /// inverse of DataSlot for station tune-in arithmetic.
+  uint64_t LogicalAtOrAfterSlot(uint64_t fs) const;
+
+ private:
+  FecScheme scheme_;
+  uint64_t cycle_packets_;
+  uint64_t groups_;
+  uint64_t phys_cycle_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over `bytes`. The
+/// station stamps every packet's payload chunk with it; a client compares
+/// against its own recomputation to detect in-flight bit corruption —
+/// CRC-32 catches every single-bit error, so a corrupted packet is
+/// discarded (an erasure) rather than silently decoded.
+uint32_t Crc32(std::span<const uint8_t> bytes);
+
+}  // namespace airindex::broadcast
+
+#endif  // AIRINDEX_BROADCAST_FEC_H_

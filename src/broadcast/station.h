@@ -26,6 +26,10 @@ struct StationOptions {
   /// time-multiplexed across (>= 1). Sub-channel `c` transmits its logical
   /// position `p` in physical slot `p * subchannels + c`.
   uint32_t subchannels = 1;
+  /// Forward-error-correction code the station applies to the cycle:
+  /// parity packets interleave with the data (lengthening the on-air
+  /// cycle) and clients reconstruct lost packets within the current pass.
+  FecScheme fec = {};
 };
 
 /// The broadcast station: one transmitter that starts its cycle at time
@@ -54,7 +58,7 @@ class Station {
     for (uint32_t c = 0; c < options_.subchannels; ++c) {
       channels_.emplace_back(cycle, options_.loss, options_.seed,
                              /*slot_stride=*/options_.subchannels,
-                             /*slot_offset=*/c);
+                             /*slot_offset=*/c, options_.fec);
     }
   }
 
@@ -83,21 +87,25 @@ class Station {
     return SlotMs() * static_cast<double>(options_.subchannels);
   }
 
-  /// Duration of one full cycle on a sub-channel, milliseconds.
+  /// Duration of one full cycle on a sub-channel, milliseconds. FEC parity
+  /// lengthens the on-air cycle beyond the data packet count.
   double CycleMs() const {
-    return PacketMs() * static_cast<double>(cycle_->total_packets());
+    return PacketMs() *
+           static_cast<double>(channels_[0].fec().phys_cycle_packets());
   }
 
   /// First logical position on sub-channel `c` whose transmission starts at
   /// or after `time_ms` on the station clock — where a client arriving at
   /// that instant tunes in. Clients join at packet boundaries; the
-  /// sub-packet remainder is part of their wait.
+  /// sub-packet remainder is part of their wait. With FEC on, an arrival
+  /// inside a parity run joins at the next group's first data packet.
   uint64_t PositionAt(double time_ms, uint32_t c) const {
     const double slot = time_ms / SlotMs();  // fractional physical slot
-    const double logical = (slot - static_cast<double>(c)) /
-                           static_cast<double>(options_.subchannels);
-    if (!(logical > 0.0)) return 0;  // incl. NaN guard: clamp to the start
-    return static_cast<uint64_t>(std::ceil(logical));
+    const double fec_slot = (slot - static_cast<double>(c)) /
+                            static_cast<double>(options_.subchannels);
+    if (!(fec_slot > 0.0)) return 0;  // incl. NaN guard: clamp to the start
+    return channels_[0].fec().LogicalAtOrAfterSlot(
+        static_cast<uint64_t>(std::ceil(fec_slot)));
   }
 
   /// Station-clock instant (ms) at which logical position `pos` of

@@ -61,6 +61,10 @@ device::QueryMetrics DijkstraOnAir::RunQuery(
   metrics.tuning_packets = session.tuned_packets();
   metrics.latency_packets = session.latency_packets();
   metrics.wait_packets = session.wait_packets();
+  metrics.corrupted_packets = session.corrupted_packets();
+  metrics.fec_recovered = session.fec_recovered();
+  metrics.wait_slots = session.wait_slots();
+  metrics.latency_slots = session.latency_slots();
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;

@@ -101,14 +101,30 @@ Status ReceiveFullCycle(broadcast::ClientSession& session,
 
   // One pass over the whole cycle. A full-cycle client consumes every
   // packet, so content starts the instant it tunes in (wait is zero).
+  // With FEC on, each parity group is settled as the sweep crosses its
+  // boundary: a lost packet whose group decodes is reconstructed here, in
+  // the same pass, and never reaches the repair cycles below. The decoder
+  // state is fixed-size (stack-resident POD) and the reconstructed bytes
+  // land in the scratch's segment buffers — no allocation either way.
   session.MarkContentStart();
   const uint32_t total = cycle.total_packets();
+  const bool fec_on = session.channel().fec().enabled();
+  broadcast::FecGroupRun fec_run;
+  auto fec_fill = [&](uint64_t abs) {
+    const broadcast::PacketView v =
+        cycle.PacketAt(session.channel().CyclePos(abs));
+    ingest(v);
+    try_deliver(v.segment_index, /*force=*/false);
+  };
   for (uint32_t i = 0; i < total; ++i) {
+    const uint64_t abs = session.position();
     auto view = session.ReceiveNext();
+    if (fec_on) fec_run.Observe(session, abs, view.has_value(), fec_fill);
     if (!view.has_value()) continue;
     ingest(*view);
     try_deliver(view->segment_index, /*force=*/false);
   }
+  if (fec_on) fec_run.Flush(session, fec_fill);
 
   // Repair passes for segments that must be complete.
   for (int pass = 0; pass < max_repair_cycles; ++pass) {

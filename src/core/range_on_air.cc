@@ -138,6 +138,10 @@ RangeResult RunRangeQuery(const EbSystem& system,
   result.metrics.tuning_packets = session.tuned_packets();
   result.metrics.latency_packets = session.latency_packets();
   result.metrics.wait_packets = session.wait_packets();
+  result.metrics.corrupted_packets = session.corrupted_packets();
+  result.metrics.fec_recovered = session.fec_recovered();
+  result.metrics.wait_slots = session.wait_slots();
+  result.metrics.latency_slots = session.latency_slots();
   result.metrics.peak_memory_bytes = memory.peak();
   result.metrics.memory_exceeded = memory.exceeded();
   result.metrics.cpu_ms = cpu_ms;

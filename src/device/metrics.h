@@ -28,6 +28,18 @@ struct QueryMetrics {
   /// does not know); zero when a query ran outside an engine.
   double wait_ms = 0.0;
   double listen_ms = 0.0;
+  /// Packets that arrived but failed the per-packet CRC-32 check (the
+  /// corruption channel model) — discarded like losses, counted apart.
+  uint64_t corrupted_packets = 0;
+  /// Data packets reconstructed from FEC parity within the current cycle
+  /// pass (each one avoided a next-cycle repair rebroadcast).
+  uint64_t fec_recovered = 0;
+  /// The latency/wait window measured in physical transmission slots: the
+  /// on-air timeline that FEC parity and sub-channel striding stretch.
+  /// Equal to the packet counts on a stride-1 channel without FEC. The
+  /// engines price wait_ms/listen_ms from these when FEC is on.
+  uint64_t wait_slots = 0;
+  uint64_t latency_slots = 0;
   /// Peak client working memory.
   size_t peak_memory_bytes = 0;
   /// Client-side computation time (decode + search), milliseconds.

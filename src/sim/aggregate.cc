@@ -9,6 +9,10 @@ namespace airindex::sim {
 namespace {
 
 double NearestRank(const std::vector<double>& sorted, double q) {
+  // q <= 0 (and NaN) would send ceil(q*n) negative — casting a negative
+  // double to size_t is UB, so clamp to the minimum explicitly; q >= 1
+  // clamps to the maximum via the index bound below.
+  if (!(q > 0.0)) return sorted.front();
   const auto n = static_cast<double>(sorted.size());
   const auto rank = static_cast<size_t>(std::ceil(q * n));
   const size_t index = rank == 0 ? 0 : rank - 1;
@@ -16,6 +20,13 @@ double NearestRank(const std::vector<double>& sorted, double q) {
 }
 
 }  // namespace
+
+double Percentile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return NearestRank(sorted, q);
+}
 
 Stat StatOf(std::span<const double> values) {
   Stat s;
@@ -48,12 +59,15 @@ Aggregate Aggregate::Of(std::string_view system,
   agg.queries = metrics.size();
 
   std::vector<double> tuning, latency, wait, listen, memory, cpu;
+  std::vector<double> corrupted, recovered;
   tuning.reserve(metrics.size());
   latency.reserve(metrics.size());
   wait.reserve(metrics.size());
   listen.reserve(metrics.size());
   memory.reserve(metrics.size());
   cpu.reserve(metrics.size());
+  corrupted.reserve(metrics.size());
+  recovered.reserve(metrics.size());
   for (const auto& m : metrics) {
     tuning.push_back(static_cast<double>(m.tuning_packets));
     latency.push_back(static_cast<double>(m.latency_packets));
@@ -61,6 +75,8 @@ Aggregate Aggregate::Of(std::string_view system,
     listen.push_back(m.listen_ms);
     memory.push_back(static_cast<double>(m.peak_memory_bytes));
     cpu.push_back(m.cpu_ms);
+    corrupted.push_back(static_cast<double>(m.corrupted_packets));
+    recovered.push_back(static_cast<double>(m.fec_recovered));
     if (!m.ok) ++agg.failures;
     if (m.memory_exceeded) ++agg.memory_exceeded;
   }
@@ -71,6 +87,8 @@ Aggregate Aggregate::Of(std::string_view system,
   agg.peak_memory_bytes = StatOf(memory);
   agg.cpu_ms = StatOf(cpu);
   agg.energy_joules = StatOf(joules);
+  agg.corrupted_packets = StatOf(corrupted);
+  agg.fec_recovered = StatOf(recovered);
   return agg;
 }
 

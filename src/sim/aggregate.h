@@ -23,6 +23,12 @@ struct Stat {
   bool operator==(const Stat&) const = default;
 };
 
+/// Nearest-rank percentile of `values` (the input is copied and sorted
+/// per call; prefer StatOf for whole summaries). q maps to
+/// sorted[ceil(q*n)-1], clamped: q <= 0 (and NaN) yields the minimum,
+/// q >= 1 the maximum, an empty input 0.
+double Percentile(std::span<const double> values, double q);
+
 /// Nearest-rank summary of `values` (the input is copied and sorted).
 /// Percentile q maps to sorted[ceil(q*n)-1]; an empty input yields zeros.
 Stat StatOf(std::span<const double> values);
@@ -44,6 +50,10 @@ struct Aggregate {
   Stat peak_memory_bytes;
   Stat cpu_ms;
   Stat energy_joules;
+  /// Corruption/FEC channel diagnostics (all zero on a clean channel —
+  /// serialized only when active, so legacy reports are unchanged).
+  Stat corrupted_packets;
+  Stat fec_recovered;
 
   bool operator==(const Aggregate&) const = default;
 

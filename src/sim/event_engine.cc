@@ -19,6 +19,7 @@ broadcast::Station EventEngine::MakeStation(
   so.loss = options_.loss;
   so.seed = options_.station_seed;
   so.subchannels = options_.subchannels;
+  so.fec = options_.fec;
   return broadcast::Station(&sys.cycle(), so);
 }
 
@@ -30,7 +31,9 @@ SystemResult EventEngine::RunSystem(const core::AirSystem& sys,
 
   const broadcast::Station station = MakeStation(sys);
   const double pkt_ms = station.PacketMs();
+  const double slot_ms = station.SlotMs();
   const double cycle_ms = station.CycleMs();
+  const bool fec_on = options_.fec.enabled();
 
   std::vector<core::QueryScratch> scratch(
       ResolveWorkers(w.queries.size(), options_.threads));
@@ -59,11 +62,23 @@ SystemResult EventEngine::RunSystem(const core::AirSystem& sys,
           // joined packet starts transmitting is dozing too.
           const double boundary_ms =
               station.TimeAtMs(q.arrival_pos, sub) - arrival_ms;
-          m.wait_ms = (boundary_ms > 0.0 ? boundary_ms : 0.0) +
-                      static_cast<double>(m.wait_packets) * pkt_ms;
-          m.listen_ms = static_cast<double>(m.latency_packets -
-                                            m.wait_packets) *
-                        pkt_ms;
+          if (fec_on) {
+            // Parity slots stretch the on-air timeline past the logical
+            // packet count, so price the session's physical-slot window
+            // (the FEC-off branch keeps the historical formula verbatim —
+            // bit-identical when the code is off).
+            m.wait_ms = (boundary_ms > 0.0 ? boundary_ms : 0.0) +
+                        static_cast<double>(m.wait_slots) * slot_ms;
+            m.listen_ms = static_cast<double>(m.latency_slots -
+                                              m.wait_slots) *
+                          slot_ms;
+          } else {
+            m.wait_ms = (boundary_ms > 0.0 ? boundary_ms : 0.0) +
+                        static_cast<double>(m.wait_packets) * pkt_ms;
+            m.listen_ms = static_cast<double>(m.latency_packets -
+                                              m.wait_packets) *
+                          pkt_ms;
+          }
           if (options_.deterministic) m.cpu_ms = 0.0;
           result.per_query[i] = m;
         },
@@ -94,8 +109,10 @@ BatchResult EventEngine::Run(
   batch.threads = effective_threads();
   batch.loss_rate = options_.loss.rate;
   batch.loss_burst_len = options_.loss.burst_len;
+  batch.corrupt_bit = options_.loss.corrupt_bit;
   batch.loss_seed = options_.station_seed;
   batch.subchannels = options_.subchannels;
+  batch.fec = options_.fec;
   const auto start = std::chrono::steady_clock::now();
   for (const core::AirSystem* sys : systems) {
     batch.systems.push_back(RunSystem(*sys, w));

@@ -29,6 +29,8 @@ struct EventOptions {
   /// Logical sub-channels the station time-multiplexes (clients assigned
   /// round-robin by arrival ordinal — their interleave group).
   uint32_t subchannels = 1;
+  /// Station-side forward error correction (parity 0 = off).
+  broadcast::FecScheme fec = {};
   core::ClientOptions client;
   device::DeviceProfile profile = device::DeviceProfile::J2mePhone();
   double bits_per_second = device::kBitrateStatic3G;

@@ -3,10 +3,16 @@
 #include <array>
 #include <cctype>
 #include <charconv>
+#include <cmath>
+#include <limits>
 
 namespace airindex::sim::jsonutil {
 
 std::string DoubleToString(double v) {
+  // JSON has no NaN/inf literals: to_chars would emit "nan"/"inf", which
+  // no reader (including this library's) round-trips. Emit null instead;
+  // GetNumber maps it back to NaN.
+  if (!std::isfinite(v)) return "null";
   std::array<char, 32> buf;
   auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
   return std::string(buf.data(), end);
@@ -352,8 +358,16 @@ Result<JsonValue> ParseJson(std::string_view text) {
 
 Result<double> GetNumber(const JsonValue& obj, std::string_view key) {
   auto it = obj.object.find(key);
-  if (it == obj.object.end() ||
-      it->second.type != JsonValue::Type::kNumber) {
+  if (it == obj.object.end()) {
+    return Status::InvalidArgument("missing numeric field " +
+                                   std::string(key));
+  }
+  // The writer serializes non-finite doubles as null (JSON has no NaN
+  // literal); map them back so a report with a NaN metric round-trips.
+  if (it->second.type == JsonValue::Type::kNull) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (it->second.type != JsonValue::Type::kNumber) {
     return Status::InvalidArgument("missing numeric field " +
                                    std::string(key));
   }

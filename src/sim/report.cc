@@ -7,6 +7,7 @@ namespace airindex::sim {
 namespace {
 
 using jsonutil::GetNumber;
+using jsonutil::GetNumberOr;
 using jsonutil::GetString;
 using jsonutil::GetStringOr;
 using jsonutil::GetUint64;
@@ -89,6 +90,15 @@ void WriteSystemEntry(JsonWriter& w, const SystemResult& r) {
   WriteStat(w, "peak_memory_bytes", a.peak_memory_bytes);
   WriteStat(w, "cpu_ms", a.cpu_ms);
   WriteStat(w, "energy_joules", a.energy_joules);
+  // Additive corruption/FEC diagnostics: emitted only when the channel
+  // produced any, so clean-channel reports stay byte-identical to older
+  // writers.
+  if (a.corrupted_packets.max > 0.0) {
+    WriteStat(w, "corrupted_packets", a.corrupted_packets);
+  }
+  if (a.fec_recovered.max > 0.0) {
+    WriteStat(w, "fec_recovered", a.fec_recovered);
+  }
   w.EndObject();
 }
 
@@ -123,6 +133,10 @@ Result<SystemResult> SystemEntryFromJson(const JsonValue& entry) {
   AIRINDEX_ASSIGN_OR_RETURN(a.cpu_ms, StatFromJson(entry, "cpu_ms"));
   AIRINDEX_ASSIGN_OR_RETURN(a.energy_joules,
                             StatFromJson(entry, "energy_joules"));
+  AIRINDEX_ASSIGN_OR_RETURN(a.corrupted_packets,
+                            StatFromJsonOr(entry, "corrupted_packets"));
+  AIRINDEX_ASSIGN_OR_RETURN(a.fec_recovered,
+                            StatFromJsonOr(entry, "fec_recovered"));
   return r;
 }
 
@@ -147,6 +161,16 @@ std::string ToText(const BatchResult& batch) {
                   batch.loss_burst_len);
     header += line;
   }
+  if (batch.corrupt_bit > 0.0) {
+    std::snprintf(line, sizeof(line), ", corrupt_bit=%.2e",
+                  batch.corrupt_bit);
+    header += line;
+  }
+  if (batch.fec.enabled()) {
+    std::snprintf(line, sizeof(line), ", fec=%u+%u",
+                  batch.fec.data_per_group, batch.fec.parity_per_group);
+    header += line;
+  }
   out += header;
   out += '\n';
   detail::AppendSystemTable(out, batch.systems);
@@ -165,8 +189,16 @@ std::string ToJson(const BatchResult& batch) {
   w.Field("threads", static_cast<uint64_t>(batch.threads));
   w.Field("loss_rate", batch.loss_rate);
   w.Field("loss_burst_len", static_cast<uint64_t>(batch.loss_burst_len));
+  // Additive channel-impairment fields, emitted only when active so runs
+  // on a clean channel reproduce the historical document byte for byte.
+  if (batch.corrupt_bit > 0.0) w.Field("corrupt_bit", batch.corrupt_bit);
   w.Field("loss_seed", static_cast<uint64_t>(batch.loss_seed));
   w.Field("subchannels", static_cast<uint64_t>(batch.subchannels));
+  if (batch.fec.enabled()) {
+    w.Field("fec_data", static_cast<uint64_t>(batch.fec.data_per_group));
+    w.Field("fec_parity",
+            static_cast<uint64_t>(batch.fec.parity_per_group));
+  }
   w.Field("wall_seconds", batch.wall_seconds);
   w.BeginArray("systems");
   for (const auto& r : batch.systems) detail::WriteSystemEntry(w, r);
@@ -200,10 +232,18 @@ Result<BatchResult> FromJson(std::string_view json) {
   AIRINDEX_ASSIGN_OR_RETURN(uint64_t burst,
                             GetUint64Or(root, "loss_burst_len", 1));
   batch.loss_burst_len = static_cast<uint32_t>(burst);
+  AIRINDEX_ASSIGN_OR_RETURN(batch.corrupt_bit,
+                            GetNumberOr(root, "corrupt_bit", 0.0));
   AIRINDEX_ASSIGN_OR_RETURN(batch.loss_seed, GetUint64(root, "loss_seed"));
   AIRINDEX_ASSIGN_OR_RETURN(uint64_t subs,
                             GetUint64Or(root, "subchannels", 1));
   batch.subchannels = static_cast<uint32_t>(subs);
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t fec_data,
+                            GetUint64Or(root, "fec_data", 16));
+  batch.fec.data_per_group = static_cast<uint32_t>(fec_data);
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t fec_parity,
+                            GetUint64Or(root, "fec_parity", 0));
+  batch.fec.parity_per_group = static_cast<uint32_t>(fec_parity);
   AIRINDEX_ASSIGN_OR_RETURN(batch.wall_seconds,
                             GetNumber(root, "wall_seconds"));
 

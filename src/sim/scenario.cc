@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 
 #include "device/energy.h"
@@ -60,9 +61,13 @@ Result<std::vector<size_t>> ResolveGroupCounts(const Scenario& s) {
       counts[i] = g.queries;
       explicit_total += g.queries;
     } else {
-      if (g.weight <= 0.0) {
-        return Status::InvalidArgument("group \"" + g.name +
-                                       "\" needs queries > 0 or weight > 0");
+      // NaN compares false against everything, so `weight <= 0.0` alone
+      // would wave a NaN weight through into the largest-remainder math
+      // (where it poisons every share). Reject non-finite and <= 0 alike.
+      if (!(g.weight > 0.0) || !std::isfinite(g.weight)) {
+        return Status::InvalidArgument(
+            "group \"" + g.name +
+            "\" needs queries > 0 or a finite weight > 0");
       }
       weight_total += g.weight;
     }
@@ -214,6 +219,7 @@ Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
       eo.threads = options_.threads;
       eo.repeat = options_.repeat;
       eo.loss = gr.spec.loss;
+      eo.fec = gr.spec.fec;
       eo.station_seed = channel_seed;
       eo.subchannels = result.subchannels;
       eo.client = gr.spec.client;
@@ -230,6 +236,7 @@ Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
       so.threads = options_.threads;
       so.repeat = options_.repeat;
       so.loss = gr.spec.loss;
+      so.fec = gr.spec.fec;
       so.loss_seed = channel_seed;
       so.client = gr.spec.client;
       so.profile = profile;
@@ -346,6 +353,17 @@ Result<ClientGroupSpec> GroupFromJson(const JsonValue& obj) {
                             GetUint64Or(obj, "queries", 0));
   g.queries = static_cast<size_t>(queries);
   AIRINDEX_ASSIGN_OR_RETURN(g.weight, GetNumberOr(obj, "weight", g.weight));
+  // Reject bad weights here, where the offending group is still a named
+  // JSON entry, instead of letting ResolveGroupCounts trip over them (or,
+  // pre-fix, letting a NaN slide into the share math).
+  if (!std::isfinite(g.weight)) {
+    return Status::InvalidArgument("group \"" + g.name +
+                                   "\" has a non-finite weight");
+  }
+  if (g.queries == 0 && !(g.weight > 0.0)) {
+    return Status::InvalidArgument("group \"" + g.name +
+                                   "\" needs queries > 0 or weight > 0");
+  }
   AIRINDEX_ASSIGN_OR_RETURN(g.profile,
                             GetStringOr(obj, "profile", g.profile));
   AIRINDEX_ASSIGN_OR_RETURN(
@@ -366,6 +384,35 @@ Result<ClientGroupSpec> GroupFromJson(const JsonValue& obj) {
     g.loss.burst_len = static_cast<uint32_t>(burst);
     if (g.loss.burst_len == 0) {
       return Status::InvalidArgument("loss burst_len must be >= 1");
+    }
+    // Additive airindex.sim.scenario/v1 field: per-bit corruption rate of
+    // packets that survive erasure (see LossModel::corrupt_bit).
+    AIRINDEX_ASSIGN_OR_RETURN(g.loss.corrupt_bit,
+                              GetNumberOr(it->second, "corrupt_bit", 0.0));
+    if (!(g.loss.corrupt_bit >= 0.0) || g.loss.corrupt_bit >= 1.0) {
+      return Status::InvalidArgument(
+          "loss corrupt_bit must be in [0, 1)");
+    }
+  }
+
+  // Additive airindex.sim.scenario/v1 field: station-side FEC for this
+  // group's channel. Absent = no parity (plain next-cycle repair).
+  if (auto it = obj.object.find("fec"); it != obj.object.end()) {
+    if (it->second.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("fec must be an object");
+    }
+    AIRINDEX_ASSIGN_OR_RETURN(
+        uint64_t data,
+        GetUint64Or(it->second, "data_per_group", g.fec.data_per_group));
+    AIRINDEX_ASSIGN_OR_RETURN(
+        uint64_t parity,
+        GetUint64Or(it->second, "parity_per_group", g.fec.parity_per_group));
+    g.fec.data_per_group = static_cast<uint32_t>(data);
+    g.fec.parity_per_group = static_cast<uint32_t>(parity);
+    if (!g.fec.Valid()) {
+      return Status::InvalidArgument(
+          "fec needs 2 <= data_per_group <= 64 and parity_per_group <= "
+          "data_per_group");
     }
   }
 
@@ -581,7 +628,18 @@ std::string ScenarioToJson(const Scenario& s) {
     w.BeginObject();
     w.Field("rate", g.loss.rate);
     w.Field("burst_len", static_cast<uint64_t>(g.loss.burst_len));
+    if (g.loss.corrupt_bit > 0.0) {
+      w.Field("corrupt_bit", g.loss.corrupt_bit);
+    }
     w.EndObject();
+    if (g.fec.enabled()) {
+      w.Key("fec");
+      w.BeginObject();
+      w.Field("data_per_group", static_cast<uint64_t>(g.fec.data_per_group));
+      w.Field("parity_per_group",
+              static_cast<uint64_t>(g.fec.parity_per_group));
+      w.EndObject();
+    }
     w.Key("client");
     w.BeginObject();
     w.Field("heap_bytes", static_cast<uint64_t>(g.client.heap_bytes));
@@ -643,6 +701,17 @@ std::string ScenarioToText(const ScenarioResult& r) {
                     gr.spec.loss.rate * 100.0);
     }
     out += line;
+    if (gr.spec.fec.enabled()) {
+      std::snprintf(line, sizeof(line),
+                    "##   fec: %u data + %u parity per group\n",
+                    gr.spec.fec.data_per_group, gr.spec.fec.parity_per_group);
+      out += line;
+    }
+    if (gr.spec.loss.corrupt_bit > 0.0) {
+      std::snprintf(line, sizeof(line), "##   corrupt_bit: %.2e\n",
+                    gr.spec.loss.corrupt_bit);
+      out += line;
+    }
     detail::AppendSystemTable(out, gr.systems);
   }
   std::snprintf(line, sizeof(line), "\n## fleet (%zu queries)\n",
@@ -676,6 +745,17 @@ std::string ScenarioReportToJson(const ScenarioResult& r) {
     w.Field("bits_per_second", gr.spec.bits_per_second);
     w.Field("loss_rate", gr.spec.loss.rate);
     w.Field("loss_burst_len", static_cast<uint64_t>(gr.spec.loss.burst_len));
+    // Additive airindex.sim.scenario/v1 fields, written only when the
+    // channel actually corrupts or codes — clean-channel reports stay
+    // byte-identical to pre-FEC builds.
+    if (gr.spec.loss.corrupt_bit > 0.0) {
+      w.Field("corrupt_bit", gr.spec.loss.corrupt_bit);
+    }
+    if (gr.spec.fec.enabled()) {
+      w.Field("fec_data", static_cast<uint64_t>(gr.spec.fec.data_per_group));
+      w.Field("fec_parity",
+              static_cast<uint64_t>(gr.spec.fec.parity_per_group));
+    }
     w.Field("loss_seed", static_cast<uint64_t>(gr.loss_seed));
     w.Field("workload_seed", static_cast<uint64_t>(gr.workload_seed));
     w.BeginArray("systems");
@@ -749,6 +829,15 @@ Result<ScenarioResult> ScenarioReportFromJson(std::string_view json) {
     AIRINDEX_ASSIGN_OR_RETURN(uint64_t burst,
                               GetUint64(entry, "loss_burst_len"));
     gr.spec.loss.burst_len = static_cast<uint32_t>(burst);
+    AIRINDEX_ASSIGN_OR_RETURN(
+        gr.spec.loss.corrupt_bit, GetNumberOr(entry, "corrupt_bit", 0.0));
+    AIRINDEX_ASSIGN_OR_RETURN(
+        uint64_t fec_data,
+        GetUint64Or(entry, "fec_data", gr.spec.fec.data_per_group));
+    AIRINDEX_ASSIGN_OR_RETURN(uint64_t fec_parity,
+                              GetUint64Or(entry, "fec_parity", 0));
+    gr.spec.fec.data_per_group = static_cast<uint32_t>(fec_data);
+    gr.spec.fec.parity_per_group = static_cast<uint32_t>(fec_parity);
     AIRINDEX_ASSIGN_OR_RETURN(gr.loss_seed, GetUint64(entry, "loss_seed"));
     AIRINDEX_ASSIGN_OR_RETURN(gr.workload_seed,
                               GetUint64(entry, "workload_seed"));

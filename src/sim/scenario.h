@@ -40,10 +40,14 @@ struct ClientGroupSpec {
   std::string profile = "j2me";
   /// Broadcast bitrate this group's clients listen at.
   double bits_per_second = device::kBitrateStatic3G;
-  /// Channel loss model: independent (burst_len 1) or bursty.
+  /// Channel loss model: independent (burst_len 1) or bursty, plus the
+  /// optional corrupting-bit rate (loss.corrupt_bit).
   broadcast::LossModel loss = broadcast::LossModel::None();
   /// Loss stream seed; 0 derives one from the scenario seed + group index.
   uint64_t loss_seed = 0;
+  /// Station-side forward error correction this group listens under
+  /// (parity 0 = plain next-cycle repair). Additive schema field.
+  broadcast::FecScheme fec = {};
   /// Client algorithm options. A heap_bytes of 0 means "the device
   /// profile's heap" — the common case for named-profile groups.
   core::ClientOptions client = DefaultClient();

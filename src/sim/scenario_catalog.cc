@@ -180,6 +180,37 @@ Scenario MemboundPrecompute() {
   return s;
 }
 
+/// LossyTunnel's twin design aimed at FEC: both groups ride the identical
+/// 2% independent-loss realization, but one listens to an FEC-coded cycle
+/// (16 data + 2 parity per group) and the other repairs losses next cycle.
+/// The delta between the groups is exactly what the parity slots buy.
+Scenario LossyTunnelFec() {
+  Scenario s;
+  s.name = "lossy-tunnel-fec";
+  s.description =
+      "twin J2ME groups on the same 2% lossy stream: FEC-coded cycle "
+      "(16+2 parity per group) vs plain next-cycle repair";
+  s.total_queries = 48;
+
+  ClientGroupSpec coded = Group("fec-16p2", 1.0);
+  coded.loss = broadcast::LossModel::Independent(0.02);
+  coded.fec = broadcast::FecScheme{16, 2};
+  coded.client.max_repair_cycles = 64;
+  // Same twin-pinning trick as lossy-tunnel: identical workload and loss
+  // streams, so the only difference between the groups is the code.
+  coded.workload.seed = 20100913;
+  coded.loss_seed = 20100913;
+  s.groups.push_back(std::move(coded));
+
+  ClientGroupSpec plain = Group("repair-only", 1.0);
+  plain.loss = broadcast::LossModel::Independent(0.02);
+  plain.client.max_repair_cycles = 64;
+  plain.workload.seed = 20100913;
+  plain.loss_seed = 20100913;
+  s.groups.push_back(std::move(plain));
+  return s;
+}
+
 /// Shared-channel flash crowd on the event engine: a steady Poisson
 /// trickle of background clients, then a rush-hour burst piling onto the
 /// same station timeline — the pileup (everyone waiting for the same
@@ -215,11 +246,49 @@ Scenario FlashCrowd() {
   return s;
 }
 
+/// FlashCrowd on a dirtier radio: the same station pileup, but the channel
+/// both drops and corrupts packets, and the station codes the cycle. CRC
+/// failures surface as corrupted_packets; group recoveries as
+/// fec_recovered.
+Scenario FlashCrowdFec() {
+  Scenario s;
+  s.name = "flash-crowd-fec";
+  s.description =
+      "event engine under a corrupting channel: the flash-crowd pileup "
+      "with bit errors (CRC-detected) and an FEC-coded station cycle";
+  s.engine = "event";
+  s.total_queries = 60;
+
+  ClientGroupSpec steady = Group("steady", 1.0);
+  steady.loss = broadcast::LossModel::Of(0.01, 1, 2e-5);
+  steady.fec = broadcast::FecScheme{16, 2};
+  steady.client.max_repair_cycles = 64;
+  steady.workload.arrival.kind = workload::ArrivalSpec::Kind::kPoisson;
+  steady.workload.arrival.rate_per_second = 4.0;
+  s.groups.push_back(std::move(steady));
+
+  ClientGroupSpec crowd = Group("flash-crowd", 2.0);
+  crowd.profile = "smartphone";
+  crowd.loss = broadcast::LossModel::Of(0.01, 1, 2e-5);
+  crowd.fec = broadcast::FecScheme{16, 2};
+  crowd.client.max_repair_cycles = 64;
+  crowd.workload.dest = workload::WorkloadSpec::Dest::kZipf;
+  crowd.workload.zipf_s = 1.2;
+  crowd.workload.arrival.kind = workload::ArrivalSpec::Kind::kRushHour;
+  crowd.workload.arrival.rate_per_second = 2.0;
+  crowd.workload.arrival.peak_seconds = 6.0;
+  crowd.workload.arrival.width_seconds = 3.0;
+  crowd.workload.arrival.peak_multiplier = 10.0;
+  s.groups.push_back(std::move(crowd));
+  return s;
+}
+
 const std::vector<Scenario>& Catalog() {
   static const std::vector<Scenario>* catalog = new std::vector<Scenario>{
-      PaperBaseline(),    CommuterRush(), HotspotCity(), IotFleet(),
-      LossyTunnel(),      MixedFleet(),   MemboundPrecompute(),
-      FlashCrowd()};
+      PaperBaseline(),    CommuterRush(),  HotspotCity(),
+      IotFleet(),         LossyTunnel(),   LossyTunnelFec(),
+      MixedFleet(),       MemboundPrecompute(), FlashCrowd(),
+      FlashCrowdFec()};
   return *catalog;
 }
 

@@ -32,9 +32,14 @@ SystemResult Simulator::RunSystem(const core::AirSystem& sys,
       ResolveWorkers(w.queries.size(), options_.threads));
 
   // Packet duration on this engine's (single, full-rate) channel — prices
-  // the wait/listen split of the latency window in milliseconds.
+  // the wait/listen split of the latency window in milliseconds. With FEC
+  // on, the on-air timeline is longer than the logical packet count
+  // (parity slots), so the pricing switches to the session's physical-slot
+  // window; the historical packet-count formula is kept verbatim otherwise
+  // so FEC-off runs stay bit-identical.
   const double pkt_ms =
       device::PacketSeconds(options_.bits_per_second) * 1000.0;
+  const bool fec_on = options_.fec.enabled();
 
   const unsigned repeat = std::max(1u, options_.repeat);
   double best_wall = 0.0;
@@ -45,14 +50,21 @@ SystemResult Simulator::RunSystem(const core::AirSystem& sys,
         [&](unsigned worker, size_t i) {
           broadcast::BroadcastChannel channel(
               &sys.cycle(), options_.loss,
-              QueryLossSeed(options_.loss_seed, i));
+              QueryLossSeed(options_.loss_seed, i), options_.fec);
           device::QueryMetrics m = sys.RunQuery(
               channel, core::MakeAirQuery(*graph_, w.queries[i]),
               options_.client, &scratch[worker]);
-          m.wait_ms = static_cast<double>(m.wait_packets) * pkt_ms;
-          m.listen_ms =
-              static_cast<double>(m.latency_packets - m.wait_packets) *
-              pkt_ms;
+          if (fec_on) {
+            m.wait_ms = static_cast<double>(m.wait_slots) * pkt_ms;
+            m.listen_ms =
+                static_cast<double>(m.latency_slots - m.wait_slots) *
+                pkt_ms;
+          } else {
+            m.wait_ms = static_cast<double>(m.wait_packets) * pkt_ms;
+            m.listen_ms =
+                static_cast<double>(m.latency_packets - m.wait_packets) *
+                pkt_ms;
+          }
           if (options_.deterministic) m.cpu_ms = 0.0;
           result.per_query[i] = m;
         },
@@ -81,7 +93,9 @@ BatchResult Simulator::Run(std::span<const core::AirSystem* const> systems,
   batch.threads = effective_threads();
   batch.loss_rate = options_.loss.rate;
   batch.loss_burst_len = options_.loss.burst_len;
+  batch.corrupt_bit = options_.loss.corrupt_bit;
   batch.loss_seed = options_.loss_seed;
+  batch.fec = options_.fec;
   const auto start = std::chrono::steady_clock::now();
   for (const core::AirSystem* sys : systems) {
     batch.systems.push_back(RunSystem(*sys, w));

@@ -23,10 +23,13 @@ namespace airindex::sim {
 struct SimOptions {
   /// Worker threads the clients are spread over (0 = hardware concurrency).
   unsigned threads = 1;
-  /// Channel loss model shared by every client.
+  /// Channel loss model shared by every client (drop rate, fade bursts,
+  /// and the per-bit corruption rate all live here).
   broadcast::LossModel loss = broadcast::LossModel::None();
   /// Base seed of the per-query loss streams (see QueryLossSeed).
   uint64_t loss_seed = 0x10552;
+  /// Station-side forward error correction applied to every channel.
+  broadcast::FecScheme fec = {};
   /// Per-client device configuration.
   core::ClientOptions client;
   /// Device whose radio/CPU power figures price each query.
@@ -76,10 +79,14 @@ struct BatchResult {
   /// previously reported as if their losses were independent.
   double loss_rate = 0.0;
   uint32_t loss_burst_len = 1;
+  /// Per-bit corruption rate of the channel (0 = pristine packets).
+  double corrupt_bit = 0.0;
   uint64_t loss_seed = 0;
   /// Logical sub-channels of the event engine's station (1 for the batch
   /// engine's single private channel).
   uint32_t subchannels = 1;
+  /// Station FEC code of the run (parity 0 = off).
+  broadcast::FecScheme fec = {};
   double wall_seconds = 0.0;
   std::vector<SystemResult> systems;
 };

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace airindex::sim {
@@ -47,6 +48,31 @@ TEST(StatOfTest, NearestRankRoundsUpOnSmallInputs) {
   EXPECT_EQ(s.p50, 20.0);
   EXPECT_EQ(s.p95, 30.0);
   EXPECT_DOUBLE_EQ(s.mean, 20.0);
+}
+
+TEST(PercentileTest, EdgeQuantilesAreClampedNotUndefined) {
+  // Regression: q <= 0 used to compute ceil(q*n)-1 = -1 and index the
+  // sorted array out of bounds (UB that happened to read the element
+  // before the buffer). The contract is now pinned: q <= 0 and NaN clamp
+  // to the minimum, q >= 1 to the maximum.
+  std::vector<double> v = {30.0, 10.0, 20.0, 40.0};
+  EXPECT_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_EQ(Percentile(v, -0.5), 10.0);
+  EXPECT_EQ(Percentile(v, std::nan("")), 10.0);
+  EXPECT_EQ(Percentile(v, 1.0), 40.0);
+  EXPECT_EQ(Percentile(v, 1.5), 40.0);
+  // Interior values stay nearest-rank.
+  EXPECT_EQ(Percentile(v, 0.25), 10.0);
+  EXPECT_EQ(Percentile(v, 0.26), 20.0);
+}
+
+TEST(PercentileTest, DegenerateInputs) {
+  std::vector<double> one = {7.0};
+  for (double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_EQ(Percentile(one, q), 7.0) << "q=" << q;
+  }
+  EXPECT_EQ(Percentile({}, 0.0), 0.0);
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
 }
 
 TEST(AggregateTest, CountsFailuresAndMemoryExceeded) {

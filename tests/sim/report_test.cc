@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 namespace airindex::sim {
@@ -152,6 +154,61 @@ TEST(ReportTest, AcceptsLegacyReportsWithoutEventFields) {
     EXPECT_EQ(parsed->systems[i].aggregate.listen_ms, Stat{});
     EXPECT_EQ(parsed->systems[i].aggregate, batch.systems[i].aggregate);
   }
+}
+
+TEST(ReportTest, NonFiniteStatsSerializeAsNullAndReadBackAsNaN) {
+  // Regression: to_chars wrote "nan"/"inf" for non-finite doubles, which
+  // is not JSON — FromJson (and every other reader) choked on its own
+  // writer's output. Non-finite now emits null; the reader maps null back
+  // to NaN so the document stays machine-readable end to end.
+  BatchResult batch = MakeBatch();
+  batch.systems[0].aggregate.cpu_ms.mean =
+      std::numeric_limits<double>::quiet_NaN();
+  batch.systems[0].aggregate.cpu_ms.max =
+      std::numeric_limits<double>::infinity();
+  batch.systems[0].aggregate.cpu_ms.p50 =
+      -std::numeric_limits<double>::infinity();
+
+  const std::string json = ToJson(batch);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);
+
+  auto parsed = FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Stat& cpu = parsed->systems[0].aggregate.cpu_ms;
+  EXPECT_TRUE(std::isnan(cpu.mean));
+  EXPECT_TRUE(std::isnan(cpu.max));
+  EXPECT_TRUE(std::isnan(cpu.p50));
+  EXPECT_EQ(cpu.p95, batch.systems[0].aggregate.cpu_ms.p95);
+  // The undamaged system round-trips exactly.
+  EXPECT_EQ(parsed->systems[1].aggregate, batch.systems[1].aggregate);
+}
+
+TEST(ReportTest, FecAndCorruptionFieldsAreGatedAndRoundTrip) {
+  // Inactive channel: none of the new fields appear, so a pre-FEC reader
+  // (and a byte-compare against a pre-FEC document) sees nothing new.
+  const std::string clean = ToJson(MakeBatch());
+  for (std::string_view field :
+       {"corrupt_bit", "fec_data", "fec_parity", "corrupted_packets",
+        "fec_recovered"}) {
+    EXPECT_EQ(clean.find(field), std::string::npos) << field;
+  }
+
+  BatchResult batch = MakeBatch();
+  batch.corrupt_bit = 2e-5;
+  batch.fec = broadcast::FecScheme{16, 2};
+  batch.systems[0].aggregate.corrupted_packets = MakeStat(3.0);
+  batch.systems[0].aggregate.fec_recovered = MakeStat(11.0);
+  const std::string json = ToJson(batch);
+
+  auto parsed = FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->corrupt_bit, 2e-5);
+  EXPECT_EQ(parsed->fec.data_per_group, 16u);
+  EXPECT_EQ(parsed->fec.parity_per_group, 2u);
+  EXPECT_EQ(parsed->systems[0].aggregate, batch.systems[0].aggregate);
+  EXPECT_EQ(ToJson(*parsed), json);
 }
 
 TEST(ReportTest, JsonCarriesSchemaTag) {

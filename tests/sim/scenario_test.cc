@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -62,6 +64,27 @@ TEST(ResolveGroupCountsTest, RejectsZeroAllocations) {
   s.total_queries = 1;
   s.groups[0].queries = 1;
   EXPECT_FALSE(ResolveGroupCounts(s).ok());
+}
+
+TEST(ResolveGroupCountsTest, RejectsNonPositiveAndNonFiniteWeights) {
+  // Regression: a NaN weight compares false against <= 0, so the old
+  // guard waved it into the largest-remainder division where it poisoned
+  // every group's share (counts of 0 everywhere, then an infinite
+  // remainder loop on some libcs). All-zero weights divided 0/0 the same
+  // way. Both must be rejected with the offending group named.
+  Scenario nan_weight = SmallScenario();
+  nan_weight.groups[1].weight = std::nan("");
+  auto r = ResolveGroupCounts(nan_weight);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("sensors"), std::string::npos);
+
+  Scenario zero_weights = SmallScenario();
+  for (auto& g : zero_weights.groups) g.weight = 0.0;
+  EXPECT_FALSE(ResolveGroupCounts(zero_weights).ok());
+
+  Scenario inf_weight = SmallScenario();
+  inf_weight.groups[0].weight = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ResolveGroupCounts(inf_weight).ok());
 }
 
 class ScenarioRunnerTest : public ::testing::Test {
@@ -271,8 +294,81 @@ TEST(ScenarioSpecJsonTest, SpecSerializationRoundTrips) {
       EXPECT_EQ(parsed->groups[gi].profile, s.groups[gi].profile);
       EXPECT_EQ(parsed->groups[gi].loss.burst_len,
                 s.groups[gi].loss.burst_len);
+      EXPECT_EQ(parsed->groups[gi].loss.corrupt_bit,
+                s.groups[gi].loss.corrupt_bit);
+      EXPECT_EQ(parsed->groups[gi].fec.data_per_group,
+                s.groups[gi].fec.data_per_group);
+      EXPECT_EQ(parsed->groups[gi].fec.parity_per_group,
+                s.groups[gi].fec.parity_per_group);
     }
   }
+}
+
+TEST(ScenarioSpecJsonTest, RejectsBadWeightsAtParseTime) {
+  // The spec parser names the offending group instead of letting the
+  // runner trip over a poisoned allocation later. "weight": null is how a
+  // NaN reaches the parser (the JSON reader maps null to NaN).
+  auto nan_weight = ScenarioFromJson(R"({
+    "schema": "airindex.sim.scenario/v1", "name": "x",
+    "groups": [{"name": "broken", "weight": null}]
+  })");
+  ASSERT_FALSE(nan_weight.ok());
+  EXPECT_NE(nan_weight.status().ToString().find("broken"),
+            std::string::npos);
+  EXPECT_NE(nan_weight.status().ToString().find("non-finite"),
+            std::string::npos);
+
+  auto zero_weight = ScenarioFromJson(R"({
+    "schema": "airindex.sim.scenario/v1", "name": "x",
+    "groups": [{"name": "idle", "weight": 0}]
+  })");
+  ASSERT_FALSE(zero_weight.ok());
+  EXPECT_NE(zero_weight.status().ToString().find("idle"),
+            std::string::npos);
+
+  // An explicit query count makes the weight irrelevant.
+  EXPECT_TRUE(ScenarioFromJson(R"({
+    "schema": "airindex.sim.scenario/v1", "name": "x",
+    "groups": [{"name": "pinned", "queries": 4, "weight": 0}]
+  })")
+                  .ok());
+}
+
+TEST(ScenarioSpecJsonTest, ParsesFecAndCorruption) {
+  auto s = ScenarioFromJson(R"({
+    "schema": "airindex.sim.scenario/v1", "name": "coded",
+    "groups": [{
+      "name": "tunnel", "queries": 4,
+      "loss": {"rate": 0.02, "burst_len": 8, "corrupt_bit": 2e-5},
+      "fec": {"data_per_group": 16, "parity_per_group": 2}
+    }]
+  })");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  const ClientGroupSpec& g = s->groups[0];
+  EXPECT_EQ(g.loss.corrupt_bit, 2e-5);
+  EXPECT_EQ(g.fec.data_per_group, 16u);
+  EXPECT_EQ(g.fec.parity_per_group, 2u);
+  EXPECT_TRUE(g.fec.enabled());
+
+  // And they survive the writer.
+  auto back = ScenarioFromJson(ScenarioToJson(*s));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->groups[0].loss.corrupt_bit, 2e-5);
+  EXPECT_EQ(back->groups[0].fec.parity_per_group, 2u);
+
+  // Out-of-contract values are rejected, not clamped.
+  EXPECT_FALSE(ScenarioFromJson(R"({
+    "schema": "airindex.sim.scenario/v1", "name": "x",
+    "groups": [{"name": "g", "queries": 1,
+                "fec": {"data_per_group": 16, "parity_per_group": 17}}]
+  })")
+                   .ok());
+  EXPECT_FALSE(ScenarioFromJson(R"({
+    "schema": "airindex.sim.scenario/v1", "name": "x",
+    "groups": [{"name": "g", "queries": 1,
+                "loss": {"rate": 0.0, "corrupt_bit": 1.0}}]
+  })")
+                   .ok());
 }
 
 TEST(ScenarioSpecJsonTest, DecodesStandardStringEscapes) {

@@ -20,6 +20,7 @@
 //       groups (device profiles, loss models, workload mixes) against
 //       the systems under test, reported per group and fleet-wide.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,7 +57,8 @@ void PrintUsage(std::FILE* out) {
                "<target>\n"
                "  airindex_cli run <network> [--scale=F] [--queries=N] "
                "[--seed=N]\n"
-               "      [--loss=F] [--burst=N] [--threads=N] [--repeat=N]\n"
+               "      [--loss=F] [--burst=N] [--corrupt=F] [--fec-rate=F]\n"
+               "      [--threads=N] [--repeat=N]\n"
                "      [--systems=DJ,NR,...] [--regions=N]\n"
                "      [--landmarks=N] [--json[=FILE]] [--deterministic]\n"
                "      [--engine=batch|event] [--subchannels=N]\n"
@@ -65,7 +67,16 @@ void PrintUsage(std::FILE* out) {
                "engine\n"
                "      (--threads=0 uses all cores; --burst=N groups losses "
                "into\n"
-               "      N-packet fade bursts; --deterministic zeroes the\n"
+               "      N-packet fade bursts; --corrupt=F flips bits at rate "
+               "F\n"
+               "      per bit — CRC-detected corrupt packets count "
+               "separately\n"
+               "      from drops; --fec-rate=F appends "
+               "round(F*16) parity\n"
+               "      packets per 16-packet group, letting clients "
+               "reconstruct\n"
+               "      that many losses without waiting a cycle; "
+               "--deterministic zeroes the\n"
                "      wall-clock cpu_ms field so the aggregate metrics "
                "are\n"
                "      bit-reproducible; timing fields still vary by "
@@ -95,6 +106,46 @@ void PrintUsage(std::FILE* out) {
 int Usage() {
   PrintUsage(stderr);
   return 2;
+}
+
+/// Reports a flag whose value failed strict numeric parsing. `arg` is the
+/// whole "--name=value" argument, `prefix` the length of "--name=".
+bool BadFlagValue(const char* arg, size_t prefix) {
+  std::fprintf(stderr, "invalid value for %.*s: \"%s\"\n",
+               static_cast<int>(prefix - 1), arg, arg + prefix);
+  return false;
+}
+
+/// Strict double parse of a --flag=value argument: the value must consume
+/// entirely as a finite number (the atof it replaces read "abc" as 0.0
+/// without a word). Prints the offending flag on failure.
+bool ParseDoubleFlag(const char* arg, size_t prefix, double* out) {
+  const char* value = arg + prefix;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    return BadFlagValue(arg, prefix);
+  }
+  *out = v;
+  return true;
+}
+
+/// Strict unsigned parse of a --flag=value argument. Rejects a leading
+/// '-' explicitly: strtoull would happily wrap "-1" to 2^64-1.
+bool ParseUintFlag(const char* arg, size_t prefix, uint64_t* out) {
+  const char* value = arg + prefix;
+  if (*value == '\0' || *value == '-' || *value == '+') {
+    return BadFlagValue(arg, prefix);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    return BadFlagValue(arg, prefix);
+  }
+  *out = v;
+  return true;
 }
 
 Result<std::unique_ptr<core::AirSystem>> BuildMethod(
@@ -251,6 +302,8 @@ int Run(int argc, char** argv) {
   size_t queries = 100;
   uint64_t seed = 20100913;
   double loss = 0.0;
+  double corrupt = 0.0;
+  double fec_rate = 0.0;
   uint32_t burst = 1;
   unsigned threads = 0;  // all cores: the engine's reason to exist
   uint32_t regions = 32;
@@ -265,28 +318,46 @@ int Run(int argc, char** argv) {
   uint32_t subchannels = 1;
   std::vector<std::string> names = {"DJ", "NR", "EB", "LD", "AF"};
 
+  uint64_t u = 0;  // strict-parse staging for the narrow unsigned knobs
+
   for (int i = 3; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--scale=", 8) == 0) {
-      scale = std::atof(arg + 8);
+      if (!ParseDoubleFlag(arg, 8, &scale)) return Usage();
     } else if (std::strncmp(arg, "--queries=", 10) == 0) {
-      queries = static_cast<size_t>(std::atoll(arg + 10));
+      if (!ParseUintFlag(arg, 10, &u)) return Usage();
+      queries = static_cast<size_t>(u);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      seed = static_cast<uint64_t>(std::atoll(arg + 7));
+      if (!ParseUintFlag(arg, 7, &seed)) return Usage();
     } else if (std::strncmp(arg, "--loss=", 7) == 0) {
-      loss = std::atof(arg + 7);
+      if (!ParseDoubleFlag(arg, 7, &loss)) return Usage();
     } else if (std::strncmp(arg, "--burst=", 8) == 0) {
-      const int parsed = std::atoi(arg + 8);  // negatives must not wrap
-      burst = parsed > 1 ? static_cast<uint32_t>(parsed) : 1;
+      if (!ParseUintFlag(arg, 8, &u)) return Usage();
+      burst = u > 1 ? static_cast<uint32_t>(u) : 1;
+    } else if (std::strncmp(arg, "--corrupt=", 10) == 0) {
+      if (!ParseDoubleFlag(arg, 10, &corrupt)) return Usage();
+      if (!(corrupt >= 0.0) || corrupt >= 1.0) {
+        std::fprintf(stderr, "--corrupt must be in [0, 1)\n");
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--fec-rate=", 11) == 0) {
+      if (!ParseDoubleFlag(arg, 11, &fec_rate)) return Usage();
+      if (!(fec_rate >= 0.0) || fec_rate > 1.0) {
+        std::fprintf(stderr, "--fec-rate must be in [0, 1]\n");
+        return 2;
+      }
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      threads = static_cast<unsigned>(std::atoi(arg + 10));
+      if (!ParseUintFlag(arg, 10, &u)) return Usage();
+      threads = static_cast<unsigned>(u);
     } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
-      const int parsed = std::atoi(arg + 9);
-      repeat = parsed > 1 ? static_cast<unsigned>(parsed) : 1;
+      if (!ParseUintFlag(arg, 9, &u)) return Usage();
+      repeat = u > 1 ? static_cast<unsigned>(u) : 1;
     } else if (std::strncmp(arg, "--regions=", 10) == 0) {
-      regions = static_cast<uint32_t>(std::atoi(arg + 10));
+      if (!ParseUintFlag(arg, 10, &u)) return Usage();
+      regions = static_cast<uint32_t>(u);
     } else if (std::strncmp(arg, "--landmarks=", 12) == 0) {
-      landmarks = static_cast<uint32_t>(std::atoi(arg + 12));
+      if (!ParseUintFlag(arg, 12, &u)) return Usage();
+      landmarks = static_cast<uint32_t>(u);
     } else if (std::strncmp(arg, "--systems=", 10) == 0) {
       names = SplitNames(arg + 10);
     } else if (std::strncmp(arg, "--engine=", 9) == 0) {
@@ -294,14 +365,14 @@ int Run(int argc, char** argv) {
     } else if (std::strncmp(arg, "--arrival=", 10) == 0) {
       arrival = arg + 10;
     } else if (std::strncmp(arg, "--rate=", 7) == 0) {
-      rate = std::atof(arg + 7);
+      if (!ParseDoubleFlag(arg, 7, &rate)) return Usage();
     } else if (std::strncmp(arg, "--subchannels=", 14) == 0) {
-      const int parsed = std::atoi(arg + 14);
-      if (parsed < 1) {
+      if (!ParseUintFlag(arg, 14, &u)) return Usage();
+      if (u < 1) {
         std::fprintf(stderr, "--subchannels must be >= 1\n");
         return 2;
       }
-      subchannels = static_cast<uint32_t>(parsed);
+      subchannels = static_cast<uint32_t>(u);
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       emit_json = true;
       json_path = arg + 7;
@@ -374,12 +445,14 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
+  const broadcast::FecScheme fec = broadcast::FecScheme::OfRate(fec_rate);
   sim::BatchResult batch;
   if (engine == "event") {
     sim::EventOptions eo;
     eo.threads = threads;
     eo.repeat = repeat;
-    eo.loss = broadcast::LossModel::Of(loss, burst);
+    eo.loss = broadcast::LossModel::Of(loss, burst, corrupt);
+    eo.fec = fec;
     eo.station_seed = seed;
     eo.subchannels = subchannels;
     eo.deterministic = deterministic;
@@ -389,7 +462,8 @@ int Run(int argc, char** argv) {
     sim::SimOptions so;
     so.threads = threads;
     so.repeat = repeat;
-    so.loss = broadcast::LossModel::Of(loss, burst);
+    so.loss = broadcast::LossModel::Of(loss, burst, corrupt);
+    so.fec = fec;
     so.loss_seed = seed;
     so.deterministic = deterministic;
     sim::Simulator simulator(*g, so);
@@ -475,14 +549,19 @@ int RunScenario(int argc, char** argv) {
     } else if (std::strncmp(arg, "--file=", 7) == 0) {
       file = arg + 7;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      threads = static_cast<unsigned>(std::atoi(arg + 10));
+      uint64_t u = 0;
+      if (!ParseUintFlag(arg, 10, &u)) return Usage();
+      threads = static_cast<unsigned>(u);
     } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
-      const int parsed = std::atoi(arg + 9);
-      repeat = parsed > 1 ? static_cast<unsigned>(parsed) : 1;
+      uint64_t u = 0;
+      if (!ParseUintFlag(arg, 9, &u)) return Usage();
+      repeat = u > 1 ? static_cast<unsigned>(u) : 1;
     } else if (std::strncmp(arg, "--scale=", 8) == 0) {
-      scale_override = std::atof(arg + 8);
+      if (!ParseDoubleFlag(arg, 8, &scale_override)) return Usage();
     } else if (std::strncmp(arg, "--queries=", 10) == 0) {
-      queries_override = static_cast<size_t>(std::atoll(arg + 10));
+      uint64_t u = 0;
+      if (!ParseUintFlag(arg, 10, &u)) return Usage();
+      queries_override = static_cast<size_t>(u);
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       emit_json = true;
       json_path = arg + 7;
