@@ -1,0 +1,386 @@
+// Build-pipeline throughput sweep: how fast can the server side go from
+// nothing to a broadcast-ready cycle at continental scale?
+//
+// For each generated network size the sweep measures
+//   * the synthetic generator itself (nodes/s),
+//   * the border pre-computation, serial vs work-stealing (nodes/s and the
+//     parallel speedup — the CI artifact that pins the >=1.5x-at-4-threads
+//     claim, since dev containers may be single-core),
+//   * each requested method's full build (nodes/s, cycle bytes/node),
+//   * the network-data footprint under both cycle encodings (the compact
+//     varint/delta encoding's bytes/node next to the legacy fixed-width
+//     one).
+//
+// Results print as a table and, with --json=FILE, land in an
+// airindex.bench.build/v1 document for tools/perf_compare.py.
+//
+//   build_throughput [--sizes=10000,100000] [--methods=DJ,NR]
+//       [--regions=32] [--gen-threads=0] [--precompute-threads=4]
+//       [--repeat=1] [--json=FILE]
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "broadcast/serialization.h"
+#include "core/border_precompute.h"
+#include "core/systems.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "partition/kd_tree.h"
+
+using namespace airindex;  // NOLINT: experiment binary
+
+namespace {
+
+struct Options {
+  std::vector<uint32_t> sizes = {10000, 100000};
+  std::vector<std::string> methods = {"DJ", "NR"};
+  uint32_t regions = 32;
+  unsigned gen_threads = 0;
+  unsigned precompute_threads = 4;
+  unsigned repeat = 1;
+  /// Sizes above this skip the serial precompute baseline (and therefore
+  /// the speedup column): at 1e6 nodes the serial pass alone runs for the
+  /// better part of an hour, which only the work-stealing path needs to
+  /// prove it can cover.
+  uint32_t serial_max = 200000;
+  std::string json_path;
+};
+
+/// One measured row of the sweep; fields that do not apply stay negative
+/// and are omitted from the JSON.
+struct Entry {
+  std::string name;
+  uint64_t nodes = 0;
+  uint64_t arcs = 0;
+  double seconds = -1.0;
+  double nodes_per_second = -1.0;
+  double bytes_per_node = -1.0;
+  double speedup = -1.0;
+};
+
+[[noreturn]] void UsageExit(const char* why) {
+  std::fprintf(stderr,
+               "%s\n"
+               "usage: build_throughput [--sizes=N,N,...] "
+               "[--methods=DJ,NR,...]\n"
+               "  [--regions=N] [--gen-threads=N] [--precompute-threads=N]\n"
+               "  [--repeat=N] [--serial-max=N] [--json=FILE]\n",
+               why);
+  std::exit(2);
+}
+
+/// Strict unsigned parse of a --flag=value argument (same contract as the
+/// CLI: the whole value must consume, no sign characters).
+uint64_t ParseUint(const char* arg, size_t prefix) {
+  const char* value = arg + prefix;
+  if (*value == '\0' || *value == '-' || *value == '+') UsageExit(arg);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) UsageExit(arg);
+  return v;
+}
+
+std::vector<std::string> SplitCsv(const char* csv) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char* p = csv; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current += *p;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+Options Parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--sizes=", 8) == 0) {
+      opts.sizes.clear();
+      for (const std::string& s : SplitCsv(arg + 8)) {
+        const uint64_t v = ParseUint(s.c_str(), 0);
+        if (v < 2 || v > 0xFFFFFFFFull) UsageExit(arg);
+        opts.sizes.push_back(static_cast<uint32_t>(v));
+      }
+      if (opts.sizes.empty()) UsageExit(arg);
+    } else if (std::strncmp(arg, "--methods=", 10) == 0) {
+      opts.methods = SplitCsv(arg + 10);
+      if (opts.methods.empty()) UsageExit(arg);
+    } else if (std::strncmp(arg, "--regions=", 10) == 0) {
+      opts.regions = static_cast<uint32_t>(ParseUint(arg, 10));
+    } else if (std::strncmp(arg, "--gen-threads=", 14) == 0) {
+      opts.gen_threads = static_cast<unsigned>(ParseUint(arg, 14));
+    } else if (std::strncmp(arg, "--precompute-threads=", 21) == 0) {
+      opts.precompute_threads = static_cast<unsigned>(ParseUint(arg, 21));
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      const uint64_t v = ParseUint(arg, 9);
+      opts.repeat = v > 1 ? static_cast<unsigned>(v) : 1;
+    } else if (std::strncmp(arg, "--serial-max=", 13) == 0) {
+      opts.serial_max = static_cast<uint32_t>(ParseUint(arg, 13));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      opts.json_path = arg + 7;
+    } else {
+      UsageExit(arg);
+    }
+  }
+  return opts;
+}
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Peak resident set size in bytes (VmHWM), 0 where /proc is unavailable.
+/// The value is a process-lifetime high-water mark, so per-entry readings
+/// are cumulative — the interesting number is the final one (the sweep's
+/// peak), the per-entry ones bound which stage pushed it there.
+uint64_t PeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+    }
+  }
+  return 0;
+}
+
+/// Minimum wall time of `repeat` runs of `fn` (min-of-N: noise only ever
+/// slows a run down).
+template <typename Fn>
+double MinSeconds(unsigned repeat, Fn&& fn) {
+  double best = -1.0;
+  for (unsigned r = 0; r < repeat; ++r) {
+    const double t0 = Now();
+    fn();
+    const double dt = Now() - t0;
+    if (best < 0.0 || dt < best) best = dt;
+  }
+  return best;
+}
+
+void AppendJson(std::string* out, const Entry& e, uint64_t peak_rss) {
+  char buf[256];
+  *out += "    {\"name\": \"" + e.name + "\"";
+  std::snprintf(buf, sizeof(buf), ", \"nodes\": %llu, \"arcs\": %llu",
+                static_cast<unsigned long long>(e.nodes),
+                static_cast<unsigned long long>(e.arcs));
+  *out += buf;
+  if (e.seconds >= 0.0) {
+    std::snprintf(buf, sizeof(buf), ", \"seconds\": %.6f", e.seconds);
+    *out += buf;
+  }
+  if (e.nodes_per_second >= 0.0) {
+    std::snprintf(buf, sizeof(buf), ", \"nodes_per_second\": %.1f",
+                  e.nodes_per_second);
+    *out += buf;
+  }
+  if (e.bytes_per_node >= 0.0) {
+    std::snprintf(buf, sizeof(buf), ", \"bytes_per_node\": %.3f",
+                  e.bytes_per_node);
+    *out += buf;
+  }
+  if (e.speedup >= 0.0) {
+    std::snprintf(buf, sizeof(buf), ", \"speedup\": %.3f", e.speedup);
+    *out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), ", \"peak_rss_bytes\": %llu}",
+                static_cast<unsigned long long>(peak_rss));
+  *out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Parse(argc, argv);
+  std::vector<Entry> entries;
+  std::vector<uint64_t> rss_at_entry;
+  auto push = [&](Entry e) {
+    rss_at_entry.push_back(PeakRssBytes());
+    entries.push_back(std::move(e));
+  };
+
+  std::printf("# build-pipeline throughput (precompute-threads=%u, "
+              "repeat=%u)\n",
+              opts.precompute_threads, opts.repeat);
+  std::printf("%-28s %10s %10s %12s %12s\n", "stage", "nodes", "sec",
+              "nodes/s", "bytes/node");
+
+  for (uint32_t n : opts.sizes) {
+    graph::GenSpec spec;
+    spec.num_nodes = n;
+    spec.seed = 1;
+    spec.threads = opts.gen_threads;
+
+    graph::Graph g;
+    {
+      Entry e;
+      e.name = "gen/" + std::to_string(n);
+      e.seconds = MinSeconds(opts.repeat, [&] {
+        auto built = graph::GenerateRoadNetwork(spec);
+        if (!built.ok()) {
+          std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+          std::exit(1);
+        }
+        g = std::move(built).value();
+      });
+      e.nodes = g.num_nodes();
+      e.arcs = g.num_arcs();
+      e.nodes_per_second = e.nodes / e.seconds;
+      std::printf("%-28s %10llu %10.3f %12.0f %12s\n", e.name.c_str(),
+                  static_cast<unsigned long long>(e.nodes), e.seconds,
+                  e.nodes_per_second, "-");
+      push(std::move(e));
+    }
+
+    // Network-data footprint under both encodings (server-side sizing
+    // only; no cycle build needed).
+    {
+      const double legacy =
+          static_cast<double>(broadcast::NetworkDataBytes(
+              g, broadcast::CycleEncoding::kLegacy)) /
+          static_cast<double>(g.num_nodes());
+      const double compact =
+          static_cast<double>(broadcast::NetworkDataBytes(
+              g, broadcast::CycleEncoding::kCompact)) /
+          static_cast<double>(g.num_nodes());
+      Entry e;
+      e.name = "network_bytes_legacy/" + std::to_string(n);
+      e.nodes = g.num_nodes();
+      e.arcs = g.num_arcs();
+      e.bytes_per_node = legacy;
+      std::printf("%-28s %10llu %10s %12s %12.1f\n", e.name.c_str(),
+                  static_cast<unsigned long long>(e.nodes), "-", "-", legacy);
+      push(std::move(e));
+      Entry c;
+      c.name = "network_bytes_compact/" + std::to_string(n);
+      c.nodes = g.num_nodes();
+      c.arcs = g.num_arcs();
+      c.bytes_per_node = compact;
+      std::printf("%-28s %10llu %10s %12s %12.1f  (%.1f%% of legacy)\n",
+                  c.name.c_str(),
+                  static_cast<unsigned long long>(c.nodes), "-", "-", compact,
+                  100.0 * compact / legacy);
+      push(std::move(c));
+    }
+
+    // Border pre-computation: serial baseline vs the work-stealing pool.
+    // The outputs are byte-identical (pinned by test); only the wall time
+    // may differ.
+    {
+      auto kd = partition::KdTreePartitioner::Build(g, opts.regions).value();
+      const partition::Partitioning part = kd.Partition(g);
+      double serial_seconds = -1.0;
+      if (n <= opts.serial_max) {
+        Entry serial;
+        serial.name = "precompute_serial/" + std::to_string(n);
+        serial.nodes = g.num_nodes();
+        serial.arcs = g.num_arcs();
+        serial.seconds = MinSeconds(opts.repeat, [&] {
+          auto pre =
+              core::ComputeBorderPrecompute(g, part, /*num_threads=*/1);
+          if (!pre.ok()) std::exit(1);
+        });
+        serial.nodes_per_second = serial.nodes / serial.seconds;
+        serial_seconds = serial.seconds;
+        std::printf("%-28s %10llu %10.3f %12.0f %12s\n",
+                    serial.name.c_str(),
+                    static_cast<unsigned long long>(serial.nodes),
+                    serial.seconds, serial.nodes_per_second, "-");
+        push(std::move(serial));
+      }
+
+      Entry par;
+      par.name = "precompute_parallel/" + std::to_string(n);
+      par.nodes = g.num_nodes();
+      par.arcs = g.num_arcs();
+      par.seconds = MinSeconds(opts.repeat, [&] {
+        auto pre =
+            core::ComputeBorderPrecompute(g, part, opts.precompute_threads);
+        if (!pre.ok()) std::exit(1);
+      });
+      par.nodes_per_second = par.nodes / par.seconds;
+      if (serial_seconds >= 0.0) {
+        par.speedup = serial_seconds / par.seconds;
+        std::printf("%-28s %10llu %10.3f %12.0f %12s  (%.2fx serial)\n",
+                    par.name.c_str(),
+                    static_cast<unsigned long long>(par.nodes), par.seconds,
+                    par.nodes_per_second, "-", par.speedup);
+      } else {
+        std::printf("%-28s %10llu %10.3f %12.0f %12s\n", par.name.c_str(),
+                    static_cast<unsigned long long>(par.nodes), par.seconds,
+                    par.nodes_per_second, "-");
+      }
+      push(std::move(par));
+    }
+
+    // Full system builds (legacy encoding — the reproduction path).
+    core::SystemParams params;
+    params.nr_regions = opts.regions;
+    params.eb_regions = opts.regions;
+    params.arcflag_regions = opts.regions;
+    params.hiti_regions = opts.regions;
+    params.build.precompute_threads = opts.precompute_threads;
+    for (const std::string& method : opts.methods) {
+      Entry e;
+      e.name = method + "/" + std::to_string(n);
+      e.nodes = g.num_nodes();
+      e.arcs = g.num_arcs();
+      std::unique_ptr<core::AirSystem> sys;
+      e.seconds = MinSeconds(opts.repeat, [&] {
+        auto built = core::BuildSystem(g, method, params);
+        if (!built.ok()) {
+          std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+          std::exit(1);
+        }
+        sys = std::move(built).value();
+      });
+      e.nodes_per_second = e.nodes / e.seconds;
+      e.bytes_per_node =
+          static_cast<double>(sys->cycle().TotalPayloadBytes()) /
+          static_cast<double>(g.num_nodes());
+      std::printf("%-28s %10llu %10.3f %12.0f %12.1f\n", e.name.c_str(),
+                  static_cast<unsigned long long>(e.nodes), e.seconds,
+                  e.nodes_per_second, e.bytes_per_node);
+      push(std::move(e));
+    }
+  }
+
+  std::printf("# peak RSS: %.1f MB\n", PeakRssBytes() / (1024.0 * 1024.0));
+
+  if (!opts.json_path.empty()) {
+    std::string json = "{\n  \"schema\": \"airindex.bench.build/v1\",\n";
+    json += "  \"precompute_threads\": " +
+            std::to_string(opts.precompute_threads) + ",\n";
+    json += "  \"repeat\": " + std::to_string(opts.repeat) + ",\n";
+    json += "  \"entries\": [\n";
+    for (size_t i = 0; i < entries.size(); ++i) {
+      AppendJson(&json, entries[i], rss_at_entry[i]);
+      json += i + 1 < entries.size() ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+    std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opts.json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", opts.json_path.c_str());
+  }
+  return 0;
+}

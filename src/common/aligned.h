@@ -1,0 +1,51 @@
+#ifndef AIRINDEX_COMMON_ALIGNED_H_
+#define AIRINDEX_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace airindex {
+
+/// Minimal aligned allocator for cache-line-conscious containers. The CSR
+/// arrays of `graph::Graph` are the main consumers: starting each SoA array
+/// on its own 64-byte line keeps a sequential arc scan from sharing lines
+/// with unrelated allocations and makes the layout friendly to future
+/// SIMD/prefetch work.
+template <typename T, size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr size_t alignment =
+      Alignment > alignof(T) ? Alignment : alignof(T);
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{alignment}));
+  }
+
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t{alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// std::vector whose storage starts on a 64-byte (cache-line) boundary.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_COMMON_ALIGNED_H_

@@ -42,6 +42,36 @@ void ParallelForWorker(
   for (auto& w : workers) w.join();
 }
 
+void ParallelForChunked(
+    size_t count, size_t chunk,
+    const std::function<void(unsigned, size_t, size_t)>& fn,
+    unsigned num_threads) {
+  if (count == 0) return;
+  if (chunk == 0) chunk = 1;
+  const unsigned threads = ResolveWorkers(count, num_threads);
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < count; i += chunk) {
+      fn(0, i, std::min(i + chunk, count));
+    }
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (;;) {
+        size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= count) return;
+        fn(t, begin, std::min(begin + chunk, count));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
 void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
                  unsigned num_threads) {
   ParallelForWorker(

@@ -37,6 +37,21 @@ void ParallelForWorker(
     size_t count, const std::function<void(unsigned, size_t)>& fn,
     unsigned num_threads = 0);
 
+/// Chunked work-stealing loop: workers repeatedly claim ranges of up to
+/// `chunk` consecutive iterations from a shared atomic cursor and run
+/// `fn(worker, begin, end)` for each claimed range. Compared to the
+/// per-iteration ParallelForWorker this amortises the cursor contention
+/// over `chunk` iterations while still letting fast workers steal work from
+/// slow ones — the right shape when per-iteration cost is skewed (e.g. one
+/// Dijkstra per border node, where dense regions cost far more than sparse
+/// ones). A `chunk` of 0 is treated as 1. Like ParallelForWorker, which
+/// ranges land on which worker is scheduling-dependent; results must not
+/// depend on the partition.
+void ParallelForChunked(
+    size_t count, size_t chunk,
+    const std::function<void(unsigned, size_t, size_t)>& fn,
+    unsigned num_threads = 0);
+
 }  // namespace airindex
 
 #endif  // AIRINDEX_COMMON_THREAD_POOL_H_

@@ -19,8 +19,9 @@ constexpr uint32_t kFlagChunkArcs = 4096;
 }  // namespace
 
 Result<std::unique_ptr<ArcFlagOnAir>> ArcFlagOnAir::Build(
-    const graph::Graph& g, uint32_t num_regions) {
+    const graph::Graph& g, uint32_t num_regions, const BuildConfig& config) {
   auto sys = std::unique_ptr<ArcFlagOnAir>(new ArcFlagOnAir());
+  sys->encoding_ = config.encoding;
   sys->num_regions_ = num_regions;
   sys->num_nodes_ = static_cast<uint32_t>(g.num_nodes());
   sys->num_arcs_ = static_cast<uint32_t>(g.num_arcs());
@@ -39,7 +40,7 @@ Result<std::unique_ptr<ArcFlagOnAir>> ArcFlagOnAir::Build(
           .count();
 
   broadcast::CycleBuilder builder;
-  AppendNetworkSegments(g, &builder);
+  AppendNetworkSegments(g, &builder, kNetworkChunkNodes, config.encoding);
 
   // Header: region count + node/arc counts + kd split values (the client
   // re-derives every node's region from these plus the coordinates).
@@ -121,10 +122,10 @@ device::QueryMetrics ArcFlagOnAir::RunQuery(
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
-          if (broadcast::ValidateNodeRecords(seg.payload).ok()) {
+          if (broadcast::ValidateNodeRecords(seg.payload, encoding_).ok()) {
             size_t added = 0;
             size_t record_count = 0;
-            broadcast::NodeRecordCursor cursor(seg.payload);
+            broadcast::NodeRecordCursor cursor(seg.payload, encoding_);
             while (cursor.Next(&s.record)) {
               ++record_count;
               coords[s.record.id] = s.record.coord;

@@ -6,6 +6,7 @@
 #include "algo/arc_flags.h"
 #include "common/result.h"
 #include "core/air_system.h"
+#include "core/cycle_common.h"
 #include "graph/graph.h"
 #include "partition/kd_tree.h"
 
@@ -22,8 +23,9 @@ namespace airindex::core {
 /// repaired on later cycles.
 class ArcFlagOnAir : public AirSystem {
  public:
-  static Result<std::unique_ptr<ArcFlagOnAir>> Build(const graph::Graph& g,
-                                                     uint32_t num_regions);
+  static Result<std::unique_ptr<ArcFlagOnAir>> Build(
+      const graph::Graph& g, uint32_t num_regions,
+      const BuildConfig& config = {});
 
   std::string_view name() const override { return "AF"; }
   const broadcast::BroadcastCycle& cycle() const override { return cycle_; }
@@ -43,6 +45,7 @@ class ArcFlagOnAir : public AirSystem {
   broadcast::BroadcastCycle cycle_;
   algo::ArcFlagIndex index_;
   std::vector<double> splits_;
+  broadcast::CycleEncoding encoding_ = broadcast::CycleEncoding::kLegacy;
   uint32_t num_regions_ = 0;
   uint32_t num_nodes_ = 0;
   uint32_t num_arcs_ = 0;

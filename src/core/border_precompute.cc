@@ -1,6 +1,7 @@
 #include "core/border_precompute.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <mutex>
 
@@ -13,14 +14,44 @@ namespace airindex::core {
 std::vector<graph::RegionId> BorderPrecompute::NeededRegions(
     graph::RegionId i, graph::RegionId j) const {
   std::vector<graph::RegionId> out;
-  for (graph::RegionId k = 0; k < num_regions; ++k) {
-    if (k == i || k == j || TraversesRegion(i, j, k)) out.push_back(k);
-  }
+  NeededRegionsInto(i, j, &out);
   return out;
 }
 
+void BorderPrecompute::NeededRegionsInto(
+    graph::RegionId i, graph::RegionId j,
+    std::vector<graph::RegionId>* out) const {
+  out->clear();
+  const size_t words = words_per_pair();
+  const uint64_t* mask =
+      traversed.data() + (static_cast<size_t>(i) * num_regions + j) * words;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t bits = mask[w];
+    // Endpoint regions are always needed, whether or not a recorded path
+    // touches them.
+    if (i / 64 == w) bits |= uint64_t{1} << (i % 64);
+    if (j / 64 == w) bits |= uint64_t{1} << (j % 64);
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      out->push_back(static_cast<graph::RegionId>(w * 64 + bit));
+      bits &= bits - 1;
+    }
+  }
+}
+
+void BorderPrecompute::NeededRegionsMask(graph::RegionId i, graph::RegionId j,
+                                         uint64_t* words) const {
+  const size_t n = words_per_pair();
+  const uint64_t* mask =
+      traversed.data() + (static_cast<size_t>(i) * num_regions + j) * n;
+  std::copy(mask, mask + n, words);
+  words[i / 64] |= uint64_t{1} << (i % 64);
+  words[j / 64] |= uint64_t{1} << (j % 64);
+}
+
 Result<BorderPrecompute> ComputeBorderPrecompute(
-    const graph::Graph& g, partition::Partitioning part) {
+    const graph::Graph& g, partition::Partitioning part,
+    unsigned num_threads) {
   if (part.node_region.size() != g.num_nodes()) {
     return Status::InvalidArgument("partitioning does not match graph");
   }
@@ -42,11 +73,17 @@ Result<BorderPrecompute> ComputeBorderPrecompute(
   std::mutex merge_mu;
 
   // One search workspace + one set of row accumulators per worker thread,
-  // reused across the thread's whole border-node slice: the border-pair
-  // stage runs |B| single-source searches, so the per-search O(n)
-  // allocate/zero-fill it used to pay dominated server pre-computation.
-  // Merging is commutative (min/max/or), so results are independent of
-  // which worker ran which source.
+  // reused across every source the worker claims: the border-pair stage
+  // runs |B| single-source searches, so the per-search O(n) allocate/
+  // zero-fill it used to pay dominated server pre-computation. Sources are
+  // claimed as chunks of kSourceChunk from a shared atomic cursor (work
+  // stealing) rather than a static per-worker slice: per-source cost is
+  // heavily skewed (dense downtown regions cost far more than rural ones),
+  // and under a static split the unlucky worker serialized the tail of the
+  // build. Merging is commutative (min/max/or), so results are
+  // byte-identical regardless of which worker ran which source — pinned by
+  // core.precompute_parallel_test.
+  constexpr size_t kSourceChunk = 64;
   struct WorkerState {
     algo::SearchWorkspace ws;
     std::vector<graph::Dist> row_min;
@@ -54,56 +91,62 @@ Result<BorderPrecompute> ComputeBorderPrecompute(
     std::vector<uint64_t> row_masks;
     std::vector<graph::NodeId> marked;
   };
-  std::vector<WorkerState> workers(ResolveWorkers(B.size(), 0));
+  std::vector<WorkerState> workers(ResolveWorkers(B.size(), num_threads));
 
-  ParallelForWorker(B.size(), [&](unsigned worker, size_t bi) {
-    WorkerState& state = workers[worker];
-    const graph::NodeId b = B[bi];
-    const graph::RegionId rb = pre.part.node_region[b];
-    algo::DijkstraToTargets(g, b, B, state.ws);
+  ParallelForChunked(
+      B.size(), kSourceChunk,
+      [&](unsigned worker, size_t begin, size_t end) {
+        WorkerState& state = workers[worker];
+        for (size_t bi = begin; bi < end; ++bi) {
+          const graph::NodeId b = B[bi];
+          const graph::RegionId rb = pre.part.node_region[b];
+          algo::DijkstraToTargets(g, b, B, state.ws);
 
-    // Per-source accumulators for row rb.
-    std::vector<graph::Dist>& row_min = state.row_min;
-    std::vector<graph::Dist>& row_max = state.row_max;
-    std::vector<uint64_t>& row_masks = state.row_masks;
-    std::vector<graph::NodeId>& marked = state.marked;
-    row_min.assign(R, graph::kInfDist);
-    row_max.assign(R, 0);
-    row_masks.assign(static_cast<size_t>(R) * words, 0);
-    marked.clear();
+          // Per-source accumulators for row rb.
+          std::vector<graph::Dist>& row_min = state.row_min;
+          std::vector<graph::Dist>& row_max = state.row_max;
+          std::vector<uint64_t>& row_masks = state.row_masks;
+          std::vector<graph::NodeId>& marked = state.marked;
+          row_min.assign(R, graph::kInfDist);
+          row_max.assign(R, 0);
+          row_masks.assign(static_cast<size_t>(R) * words, 0);
+          marked.clear();
 
-    for (graph::NodeId b2 : B) {
-      const graph::Dist d = state.ws.DistTo(b2);
-      if (d == graph::kInfDist) continue;
-      const graph::RegionId r2 = pre.part.node_region[b2];
-      row_min[r2] = std::min(row_min[r2], d);
-      row_max[r2] = std::max(row_max[r2], d);
-      // Walk the recorded path b -> b2, collecting traversed regions and
-      // (for inter-region pairs per the paper; we include all pairs, a safe
-      // superset) marking nodes as cross-border.
-      uint64_t* mask = row_masks.data() + static_cast<size_t>(r2) * words;
-      for (graph::NodeId v = b2; v != graph::kInvalidNode;
-           v = state.ws.ParentOf(v)) {
-        const graph::RegionId rv = pre.part.node_region[v];
-        mask[rv / 64] |= uint64_t{1} << (rv % 64);
-        marked.push_back(v);
-        if (v == b) break;
-      }
-    }
+          for (graph::NodeId b2 : B) {
+            const graph::Dist d = state.ws.DistTo(b2);
+            if (d == graph::kInfDist) continue;
+            const graph::RegionId r2 = pre.part.node_region[b2];
+            row_min[r2] = std::min(row_min[r2], d);
+            row_max[r2] = std::max(row_max[r2], d);
+            // Walk the recorded path b -> b2, collecting traversed regions
+            // and (for inter-region pairs per the paper; we include all
+            // pairs, a safe superset) marking nodes as cross-border.
+            uint64_t* mask =
+                row_masks.data() + static_cast<size_t>(r2) * words;
+            for (graph::NodeId v = b2; v != graph::kInvalidNode;
+                 v = state.ws.ParentOf(v)) {
+              const graph::RegionId rv = pre.part.node_region[v];
+              mask[rv / 64] |= uint64_t{1} << (rv % 64);
+              marked.push_back(v);
+              if (v == b) break;
+            }
+          }
 
-    std::lock_guard<std::mutex> lock(merge_mu);
-    for (graph::RegionId r2 = 0; r2 < R; ++r2) {
-      const size_t cell = static_cast<size_t>(rb) * R + r2;
-      pre.min_rr[cell] = std::min(pre.min_rr[cell], row_min[r2]);
-      pre.max_rr[cell] = std::max(pre.max_rr[cell], row_max[r2]);
-      const size_t base = cell * words;
-      for (size_t w = 0; w < words; ++w) {
-        pre.traversed[base + w] |=
-            row_masks[static_cast<size_t>(r2) * words + w];
-      }
-    }
-    for (graph::NodeId v : marked) pre.cross_border[v] = 1;
-  });
+          std::lock_guard<std::mutex> lock(merge_mu);
+          for (graph::RegionId r2 = 0; r2 < R; ++r2) {
+            const size_t cell = static_cast<size_t>(rb) * R + r2;
+            pre.min_rr[cell] = std::min(pre.min_rr[cell], row_min[r2]);
+            pre.max_rr[cell] = std::max(pre.max_rr[cell], row_max[r2]);
+            const size_t base = cell * words;
+            for (size_t w = 0; w < words; ++w) {
+              pre.traversed[base + w] |=
+                  row_masks[static_cast<size_t>(r2) * words + w];
+            }
+          }
+          for (graph::NodeId v : marked) pre.cross_border[v] = 1;
+        }
+      },
+      num_threads);
 
   pre.seconds = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)

@@ -66,11 +66,28 @@ struct BorderPrecompute {
   /// plus both endpoint regions, ascending.
   std::vector<graph::RegionId> NeededRegions(graph::RegionId i,
                                              graph::RegionId j) const;
+
+  /// Allocation-free variant: clears `*out` and fills it with the needed
+  /// regions for (i, j), reusing the vector's capacity. Cycle construction
+  /// calls this once per ordered region pair (R^2 times), so the fresh
+  /// vector the value-returning overload allocates is measurable there.
+  void NeededRegionsInto(graph::RegionId i, graph::RegionId j,
+                         std::vector<graph::RegionId>* out) const;
+
+  /// Bitset variant: writes words_per_pair() little-endian words into
+  /// `words` — the traversal mask with bits i and j forced on. `words`
+  /// must hold at least words_per_pair() entries.
+  void NeededRegionsMask(graph::RegionId i, graph::RegionId j,
+                         uint64_t* words) const;
 };
 
-/// Runs the pre-computation (parallelized across border nodes).
+/// Runs the pre-computation, work-stealing chunks of border-node sources
+/// across up to `num_threads` workers (0 = hardware concurrency). All merge
+/// steps are commutative (min/max/bitwise-or), so the result is
+/// byte-identical for every thread count, including serial.
 Result<BorderPrecompute> ComputeBorderPrecompute(
-    const graph::Graph& g, partition::Partitioning part);
+    const graph::Graph& g, partition::Partitioning part,
+    unsigned num_threads = 0);
 
 }  // namespace airindex::core
 

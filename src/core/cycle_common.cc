@@ -4,7 +4,8 @@ namespace airindex::core {
 
 uint32_t AppendNetworkSegments(const graph::Graph& g,
                                broadcast::CycleBuilder* builder,
-                               uint32_t chunk_nodes) {
+                               uint32_t chunk_nodes,
+                               broadcast::CycleEncoding encoding) {
   uint32_t segments = 0;
   std::vector<graph::NodeId> chunk;
   chunk.reserve(chunk_nodes);
@@ -14,7 +15,7 @@ uint32_t AppendNetworkSegments(const graph::Graph& g,
       broadcast::Segment seg;
       seg.type = broadcast::SegmentType::kNetworkData;
       seg.id = segments;
-      seg.payload = broadcast::EncodeNodeRecords(g, chunk);
+      seg.payload = broadcast::EncodeNodeRecords(g, chunk, encoding);
       builder->Add(std::move(seg));
       ++segments;
       chunk.clear();

@@ -16,11 +16,33 @@ namespace airindex::core {
 /// trailing padding packet per segment is the only overhead.
 inline constexpr uint32_t kNetworkChunkNodes = 512;
 
+/// Build-time configuration shared by every air system's Build().
+///
+/// `encoding` selects the cycle payload wire format; kLegacy is the format
+/// every reproduction number was measured with and stays the default —
+/// kCompact is the continental-scale option (see broadcast/serialization.h).
+/// The encoding is baked into the built cycle, remembered by the system,
+/// and applied to all its client-side decoding; it is part of the
+/// SystemRegistry cache key.
+///
+/// `precompute_threads` caps the server-side pre-computation workers
+/// (0 = hardware concurrency). It never affects the built bytes — the
+/// precompute merge is commutative, pinned by test — so it is deliberately
+/// NOT part of the registry key.
+struct BuildConfig {
+  broadcast::CycleEncoding encoding = broadcast::CycleEncoding::kLegacy;
+  unsigned precompute_threads = 0;
+
+  bool operator==(const BuildConfig&) const = default;
+};
+
 /// Appends the whole network as chunked kNetworkData segments (node-id
-/// order). Returns the number of segments added.
-uint32_t AppendNetworkSegments(const graph::Graph& g,
-                               broadcast::CycleBuilder* builder,
-                               uint32_t chunk_nodes = kNetworkChunkNodes);
+/// order), each chunk encoded with `encoding`. Returns the number of
+/// segments added.
+uint32_t AppendNetworkSegments(
+    const graph::Graph& g, broadcast::CycleBuilder* builder,
+    uint32_t chunk_nodes = kNetworkChunkNodes,
+    broadcast::CycleEncoding encoding = broadcast::CycleEncoding::kLegacy);
 
 }  // namespace airindex::core
 

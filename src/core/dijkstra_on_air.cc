@@ -12,10 +12,11 @@
 namespace airindex::core {
 
 Result<std::unique_ptr<DijkstraOnAir>> DijkstraOnAir::Build(
-    const graph::Graph& g) {
+    const graph::Graph& g, const BuildConfig& config) {
   auto sys = std::unique_ptr<DijkstraOnAir>(new DijkstraOnAir());
+  sys->encoding_ = config.encoding;
   broadcast::CycleBuilder builder;
-  AppendNetworkSegments(g, &builder);
+  AppendNetworkSegments(g, &builder, kNetworkChunkNodes, config.encoding);
   AIRINDEX_ASSIGN_OR_RETURN(sys->cycle_, std::move(builder).Finalize(
                                              /*require_index=*/false));
   return sys;
@@ -42,8 +43,8 @@ device::QueryMetrics DijkstraOnAir::RunQuery(
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         const size_t before = pg.MemoryBytes();
-        if (broadcast::ValidateNodeRecords(seg.payload).ok()) {
-          broadcast::NodeRecordCursor cursor(seg.payload);
+        if (broadcast::ValidateNodeRecords(seg.payload, encoding_).ok()) {
+          broadcast::NodeRecordCursor cursor(seg.payload, encoding_);
           while (cursor.Next(&s.record)) pg.AddRecord(s.record);
         }
         memory.Charge(pg.MemoryBytes() - before);

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "core/air_system.h"
+#include "core/cycle_common.h"
 #include "graph/graph.h"
 
 namespace airindex::core {
@@ -16,7 +17,8 @@ namespace airindex::core {
 /// packets are re-listened to on later cycles (§6.2).
 class DijkstraOnAir : public AirSystem {
  public:
-  static Result<std::unique_ptr<DijkstraOnAir>> Build(const graph::Graph& g);
+  static Result<std::unique_ptr<DijkstraOnAir>> Build(
+      const graph::Graph& g, const BuildConfig& config = {});
 
   std::string_view name() const override { return "DJ"; }
   const broadcast::BroadcastCycle& cycle() const override { return cycle_; }
@@ -30,6 +32,7 @@ class DijkstraOnAir : public AirSystem {
   DijkstraOnAir() = default;
 
   broadcast::BroadcastCycle cycle_;
+  broadcast::CycleEncoding encoding_ = broadcast::CycleEncoding::kLegacy;
 };
 
 }  // namespace airindex::core

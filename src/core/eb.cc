@@ -70,18 +70,22 @@ std::vector<uint32_t> MissingNeededPackets(
 }  // namespace
 
 Result<std::unique_ptr<EbSystem>> EbSystem::Build(const graph::Graph& g,
-                                                  uint32_t num_regions) {
+                                                  uint32_t num_regions,
+                                                  const BuildConfig& config) {
   AIRINDEX_ASSIGN_OR_RETURN(
       auto kd, partition::KdTreePartitioner::Build(g, num_regions));
-  AIRINDEX_ASSIGN_OR_RETURN(auto pre,
-                            ComputeBorderPrecompute(g, kd.Partition(g)));
-  return BuildFromPrecompute(g, pre);
+  AIRINDEX_ASSIGN_OR_RETURN(
+      auto pre, ComputeBorderPrecompute(g, kd.Partition(g),
+                                        config.precompute_threads));
+  return BuildFromPrecompute(g, pre, config);
 }
 
 Result<std::unique_ptr<EbSystem>> EbSystem::BuildFromPrecompute(
-    const graph::Graph& g, const BorderPrecompute& pre) {
+    const graph::Graph& g, const BorderPrecompute& pre,
+    const BuildConfig& config) {
   const uint32_t R = pre.num_regions;
   auto sys = std::unique_ptr<EbSystem>(new EbSystem());
+  sys->encoding_ = config.encoding;
   sys->precompute_seconds_ = pre.seconds;
 
   // Recover the split sequence from the partitioning's kd tree: the
@@ -102,10 +106,11 @@ Result<std::unique_ptr<EbSystem>> EbSystem::BuildFromPrecompute(
     for (graph::NodeId v : pre.part.region_nodes[r]) {
       (pre.cross_border[v] ? cross_nodes : local_nodes).push_back(v);
     }
-    payloads[r].cross =
-        EncodeRegionData(g, pre.borders.region_border[r], cross_nodes);
+    payloads[r].cross = EncodeRegionData(g, pre.borders.region_border[r],
+                                         cross_nodes, config.encoding);
     if (!local_nodes.empty()) {
-      payloads[r].local = EncodeRegionData(g, {}, local_nodes);
+      payloads[r].local = EncodeRegionData(g, {}, local_nodes,
+                                           config.encoding);
     }
   }
 
@@ -356,11 +361,11 @@ device::QueryMetrics EbSystem::RunQuery(
     device::Stopwatch sw;
     if (options.memory_bound) {
       // §6.1: collapse into super-edges, drop the region data.
-      auto cross_data = DecodeRegionData(cross.payload);
+      auto cross_data = DecodeRegionData(cross.payload, encoding_);
       if (!cross_data.ok()) return;
       RegionData region = std::move(cross_data).value();
       if (has_local) {
-        auto local_data = DecodeRegionData(local->payload);
+        auto local_data = DecodeRegionData(local->payload, encoding_);
         if (local_data.ok()) {
           for (auto& rec : local_data->records) {
             region.records.push_back(std::move(rec));
@@ -378,13 +383,13 @@ device::QueryMetrics EbSystem::RunQuery(
     } else {
       // Allocation-free path: validate (all-or-nothing, like the old
       // wholesale decode) and stream records straight into the pool.
-      if (!ValidateRegionData(cross.payload).ok()) return;
+      if (!ValidateRegionData(cross.payload, encoding_).ok()) return;
       const size_t before = pg.MemoryBytes();
-      RegionDataView view(cross.payload);
+      RegionDataView view(cross.payload, encoding_);
       auto cursor = view.records();
       while (cursor.Next(&s.record)) pg.AddRecord(s.record);
-      if (has_local && ValidateRegionData(local->payload).ok()) {
-        RegionDataView local_view(local->payload);
+      if (has_local && ValidateRegionData(local->payload, encoding_).ok()) {
+        RegionDataView local_view(local->payload, encoding_);
         auto local_cursor = local_view.records();
         while (local_cursor.Next(&s.record)) pg.AddRecord(s.record);
       }

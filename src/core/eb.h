@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "core/air_system.h"
 #include "core/border_precompute.h"
+#include "core/cycle_common.h"
 #include "core/eb_index.h"
 #include "graph/graph.h"
 
@@ -30,12 +31,14 @@ class EbSystem : public AirSystem {
  public:
   /// `num_regions` must be a power of two (paper default for Germany: 32).
   static Result<std::unique_ptr<EbSystem>> Build(const graph::Graph& g,
-                                                 uint32_t num_regions);
+                                                 uint32_t num_regions,
+                                                 const BuildConfig& config = {});
 
   /// Builds from an existing pre-computation (lets NR/EB share one, as the
   /// paper notes their pre-computation is identical).
   static Result<std::unique_ptr<EbSystem>> BuildFromPrecompute(
-      const graph::Graph& g, const BorderPrecompute& pre);
+      const graph::Graph& g, const BorderPrecompute& pre,
+      const BuildConfig& config = {});
 
   std::string_view name() const override { return "EB"; }
   const broadcast::BroadcastCycle& cycle() const override { return cycle_; }
@@ -55,6 +58,7 @@ class EbSystem : public AirSystem {
 
   broadcast::BroadcastCycle cycle_;
   EbIndex index_;
+  broadcast::CycleEncoding encoding_ = broadcast::CycleEncoding::kLegacy;
   uint32_t interleaving_m_ = 1;
   double precompute_seconds_ = 0.0;
 };

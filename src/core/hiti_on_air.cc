@@ -25,8 +25,10 @@ uint32_t SaturateDist(graph::Dist d) {
 }  // namespace
 
 Result<std::unique_ptr<HiTiOnAir>> HiTiOnAir::Build(const graph::Graph& g,
-                                                    uint32_t num_regions) {
+                                                    uint32_t num_regions,
+                                                    const BuildConfig& config) {
   auto sys = std::unique_ptr<HiTiOnAir>(new HiTiOnAir());
+  sys->encoding_ = config.encoding;
   sys->num_regions_ = num_regions;
 
   AIRINDEX_ASSIGN_OR_RETURN(
@@ -40,7 +42,7 @@ Result<std::unique_ptr<HiTiOnAir>> HiTiOnAir::Build(const graph::Graph& g,
           .count();
 
   broadcast::CycleBuilder builder;
-  AppendNetworkSegments(g, &builder);
+  AppendNetworkSegments(g, &builder, kNetworkChunkNodes, config.encoding);
 
   // Header: region count + node count + kd splits.
   {
@@ -101,10 +103,10 @@ device::QueryMetrics HiTiOnAir::RunQuery(
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
-          if (broadcast::ValidateNodeRecords(seg.payload).ok()) {
+          if (broadcast::ValidateNodeRecords(seg.payload, encoding_).ok()) {
             size_t added = 0;
             size_t record_count = 0;
-            broadcast::NodeRecordCursor cursor(seg.payload);
+            broadcast::NodeRecordCursor cursor(seg.payload, encoding_);
             while (cursor.Next(&s.record)) {
               ++record_count;
               if (s.record.id >= coords.size()) {

@@ -6,6 +6,7 @@
 #include "algo/hiti.h"
 #include "common/result.h"
 #include "core/air_system.h"
+#include "core/cycle_common.h"
 #include "graph/graph.h"
 
 namespace airindex::core {
@@ -19,8 +20,9 @@ namespace airindex::core {
 /// network, so the paper only reports its cycle length).
 class HiTiOnAir : public AirSystem {
  public:
-  static Result<std::unique_ptr<HiTiOnAir>> Build(const graph::Graph& g,
-                                                  uint32_t num_regions);
+  static Result<std::unique_ptr<HiTiOnAir>> Build(
+      const graph::Graph& g, uint32_t num_regions,
+      const BuildConfig& config = {});
 
   std::string_view name() const override { return "HiTi"; }
   const broadcast::BroadcastCycle& cycle() const override { return cycle_; }
@@ -39,6 +41,7 @@ class HiTiOnAir : public AirSystem {
   broadcast::BroadcastCycle cycle_;
   algo::HiTiIndex index_;
   std::vector<double> splits_;
+  broadcast::CycleEncoding encoding_ = broadcast::CycleEncoding::kLegacy;
   uint32_t num_regions_ = 0;
   double precompute_seconds_ = 0.0;
 };

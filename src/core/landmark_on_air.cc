@@ -32,8 +32,10 @@ graph::Dist Unsaturate(uint32_t v) {
 }  // namespace
 
 Result<std::unique_ptr<LandmarkOnAir>> LandmarkOnAir::Build(
-    const graph::Graph& g, uint32_t num_landmarks, uint64_t seed) {
+    const graph::Graph& g, uint32_t num_landmarks, uint64_t seed,
+    const BuildConfig& config) {
   auto sys = std::unique_ptr<LandmarkOnAir>(new LandmarkOnAir());
+  sys->encoding_ = config.encoding;
   sys->num_nodes_ = static_cast<uint32_t>(g.num_nodes());
 
   const auto start = std::chrono::steady_clock::now();
@@ -46,7 +48,7 @@ Result<std::unique_ptr<LandmarkOnAir>> LandmarkOnAir::Build(
   const algo::LandmarkIndex& idx = sys->index_;
   const uint32_t k = idx.num_landmarks();
   broadcast::CycleBuilder builder;
-  AppendNetworkSegments(g, &builder);
+  AppendNetworkSegments(g, &builder, kNetworkChunkNodes, config.encoding);
 
   // Header: landmark count + node count + landmark ids.
   {
@@ -146,8 +148,8 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
           const size_t before = pg.MemoryBytes();
-          if (broadcast::ValidateNodeRecords(seg.payload).ok()) {
-            broadcast::NodeRecordCursor cursor(seg.payload);
+          if (broadcast::ValidateNodeRecords(seg.payload, encoding_).ok()) {
+            broadcast::NodeRecordCursor cursor(seg.payload, encoding_);
             while (cursor.Next(&s.record)) pg.AddRecord(s.record);
           }
           memory.Charge(pg.MemoryBytes() - before);

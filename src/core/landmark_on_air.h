@@ -6,6 +6,7 @@
 #include "algo/landmark.h"
 #include "common/result.h"
 #include "core/air_system.h"
+#include "core/cycle_common.h"
 #include "graph/graph.h"
 
 namespace airindex::core {
@@ -21,9 +22,9 @@ namespace airindex::core {
 /// remaining correct.
 class LandmarkOnAir : public AirSystem {
  public:
-  static Result<std::unique_ptr<LandmarkOnAir>> Build(const graph::Graph& g,
-                                                      uint32_t num_landmarks,
-                                                      uint64_t seed = 17);
+  static Result<std::unique_ptr<LandmarkOnAir>> Build(
+      const graph::Graph& g, uint32_t num_landmarks, uint64_t seed = 17,
+      const BuildConfig& config = {});
 
   std::string_view name() const override { return "LD"; }
   const broadcast::BroadcastCycle& cycle() const override { return cycle_; }
@@ -41,6 +42,7 @@ class LandmarkOnAir : public AirSystem {
 
   broadcast::BroadcastCycle cycle_;
   algo::LandmarkIndex index_;
+  broadcast::CycleEncoding encoding_ = broadcast::CycleEncoding::kLegacy;
   uint32_t num_nodes_ = 0;
   double precompute_seconds_ = 0.0;
 };

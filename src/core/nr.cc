@@ -48,24 +48,28 @@ NrIndex::RegionGeometry ReadGeometry(const ReceivedSegment& seg, uint32_t R,
 }  // namespace
 
 Result<std::unique_ptr<NrSystem>> NrSystem::Build(const graph::Graph& g,
-                                                  uint32_t num_regions) {
+                                                  uint32_t num_regions,
+                                                  const BuildConfig& config) {
   if (num_regions > 256) {
     return Status::InvalidArgument("NR supports at most 256 regions");
   }
   AIRINDEX_ASSIGN_OR_RETURN(
       auto kd, partition::KdTreePartitioner::Build(g, num_regions));
-  AIRINDEX_ASSIGN_OR_RETURN(auto pre,
-                            ComputeBorderPrecompute(g, kd.Partition(g)));
-  return BuildFromPrecompute(g, pre);
+  AIRINDEX_ASSIGN_OR_RETURN(
+      auto pre, ComputeBorderPrecompute(g, kd.Partition(g),
+                                        config.precompute_threads));
+  return BuildFromPrecompute(g, pre, config);
 }
 
 Result<std::unique_ptr<NrSystem>> NrSystem::BuildFromPrecompute(
-    const graph::Graph& g, const BorderPrecompute& pre) {
+    const graph::Graph& g, const BorderPrecompute& pre,
+    const BuildConfig& config) {
   const uint32_t R = pre.num_regions;
   if (R > 256) {
     return Status::InvalidArgument("NR supports at most 256 regions");
   }
   auto sys = std::unique_ptr<NrSystem>(new NrSystem());
+  sys->encoding_ = config.encoding;
   sys->precompute_seconds_ = pre.seconds;
   AIRINDEX_ASSIGN_OR_RETURN(auto kd,
                             partition::KdTreePartitioner::Build(g, R));
@@ -83,10 +87,11 @@ Result<std::unique_ptr<NrSystem>> NrSystem::BuildFromPrecompute(
     for (graph::NodeId v : pre.part.region_nodes[r]) {
       (pre.cross_border[v] ? cross_nodes : local_nodes).push_back(v);
     }
-    payloads[r].cross =
-        EncodeRegionData(g, pre.borders.region_border[r], cross_nodes);
+    payloads[r].cross = EncodeRegionData(g, pre.borders.region_border[r],
+                                         cross_nodes, config.encoding);
     if (!local_nodes.empty()) {
-      payloads[r].local = EncodeRegionData(g, {}, local_nodes);
+      payloads[r].local = EncodeRegionData(g, {}, local_nodes,
+                                           config.encoding);
     }
   }
 
@@ -126,10 +131,14 @@ Result<std::unique_ptr<NrSystem>> NrSystem::BuildFromPrecompute(
     idx.next_region.assign(static_cast<size_t>(R) * R, 0);
   }
   std::vector<uint8_t> next_at(2 * R);
+  // One reused bitset per pair instead of a fresh NeededRegions vector:
+  // this loop runs R^2 times and sits on the cycle-construction hot path.
+  std::vector<uint64_t> needed(pre.words_per_pair());
   for (graph::RegionId i = 0; i < R; ++i) {
     for (graph::RegionId j = 0; j < R; ++j) {
+      pre.NeededRegionsMask(i, j, needed.data());
       auto is_needed = [&](graph::RegionId k) {
-        return k == i || k == j || pre.TraversesRegion(i, j, k);
+        return (needed[k / 64] >> (k % 64)) & 1;
       };
       uint8_t next = 0;
       for (uint32_t step = 0; step < 2 * R; ++step) {
@@ -227,11 +236,11 @@ device::QueryMetrics NrSystem::RunQuery(
     if (options.memory_bound) {
       // §6.1 path: the region is materialized, collapsed into super-edges,
       // and dropped; decode allocations are part of the modeled charge.
-      auto cross_or = DecodeRegionData(cross.payload);
+      auto cross_or = DecodeRegionData(cross.payload, encoding_);
       if (cross_or.ok()) {
         RegionData region = std::move(cross_or).value();
         if (has_local) {
-          auto local_or = DecodeRegionData(local->payload);
+          auto local_or = DecodeRegionData(local->payload, encoding_);
           if (local_or.ok()) {
             for (auto& rec : local_or->records) {
               region.records.push_back(std::move(rec));
@@ -251,13 +260,13 @@ device::QueryMetrics NrSystem::RunQuery(
     } else {
       // Allocation-free path: validate (all-or-nothing, like the old
       // wholesale decode) and stream records straight into the pool.
-      if (ValidateRegionData(cross.payload).ok()) {
+      if (ValidateRegionData(cross.payload, encoding_).ok()) {
         const size_t before = pg.MemoryBytes();
-        RegionDataView view(cross.payload);
+        RegionDataView view(cross.payload, encoding_);
         auto cursor = view.records();
         while (cursor.Next(&s.record)) pg.AddRecord(s.record);
-        if (has_local && ValidateRegionData(local->payload).ok()) {
-          RegionDataView local_view(local->payload);
+        if (has_local && ValidateRegionData(local->payload, encoding_).ok()) {
+          RegionDataView local_view(local->payload, encoding_);
           auto local_cursor = local_view.records();
           while (local_cursor.Next(&s.record)) pg.AddRecord(s.record);
         }

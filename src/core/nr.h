@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "core/air_system.h"
 #include "core/border_precompute.h"
+#include "core/cycle_common.h"
 #include "core/nr_index.h"
 #include "graph/graph.h"
 
@@ -31,10 +32,12 @@ class NrSystem : public AirSystem {
  public:
   /// `num_regions`: power of two, at most 256 (paper default 32).
   static Result<std::unique_ptr<NrSystem>> Build(const graph::Graph& g,
-                                                 uint32_t num_regions);
+                                                 uint32_t num_regions,
+                                                 const BuildConfig& config = {});
 
   static Result<std::unique_ptr<NrSystem>> BuildFromPrecompute(
-      const graph::Graph& g, const BorderPrecompute& pre);
+      const graph::Graph& g, const BorderPrecompute& pre,
+      const BuildConfig& config = {});
 
   std::string_view name() const override { return "NR"; }
   const broadcast::BroadcastCycle& cycle() const override { return cycle_; }
@@ -53,6 +56,7 @@ class NrSystem : public AirSystem {
 
   broadcast::BroadcastCycle cycle_;
   std::vector<NrIndex> indexes_;
+  broadcast::CycleEncoding encoding_ = broadcast::CycleEncoding::kLegacy;
   double precompute_seconds_ = 0.0;
 };
 

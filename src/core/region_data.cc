@@ -6,18 +6,28 @@ namespace airindex::core {
 
 std::vector<uint8_t> EncodeRegionData(
     const graph::Graph& g, const std::vector<graph::NodeId>& border,
-    const std::vector<graph::NodeId>& nodes) {
+    const std::vector<graph::NodeId>& nodes,
+    broadcast::CycleEncoding encoding) {
   std::vector<uint8_t> out;
-  size_t bytes = 2 + border.size() * 4;
-  for (graph::NodeId v : nodes) bytes += broadcast::NodeRecordBytes(g, v);
+  size_t bytes = 2 + border.size() * 4 +
+                 (encoding == broadcast::CycleEncoding::kCompact ? 1 : 0);
+  for (graph::NodeId v : nodes) {
+    bytes += broadcast::NodeRecordBytes(g, v, encoding);
+  }
   out.reserve(bytes);
   PutU16(&out, static_cast<uint16_t>(border.size()));
   for (graph::NodeId v : border) PutU32(&out, v);
-  for (graph::NodeId v : nodes) broadcast::EncodeNodeRecord(g, v, &out);
+  if (encoding == broadcast::CycleEncoding::kCompact) {
+    out.push_back(broadcast::kCompactBlobVersion);
+  }
+  for (graph::NodeId v : nodes) {
+    broadcast::EncodeNodeRecord(g, v, &out, encoding);
+  }
   return out;
 }
 
-Result<RegionData> DecodeRegionData(const std::vector<uint8_t>& payload) {
+Result<RegionData> DecodeRegionData(const std::vector<uint8_t>& payload,
+                                    broadcast::CycleEncoding encoding) {
   if (payload.size() < 2) return Status::DataLoss("truncated region header");
   ByteReader reader(payload);
   RegionData data;
@@ -30,14 +40,16 @@ Result<RegionData> DecodeRegionData(const std::vector<uint8_t>& payload) {
     data.border.push_back(reader.ReadU32());
   }
   broadcast::NodeRecordCursor cursor(payload.data() + reader.position(),
-                                     payload.size() - reader.position());
+                                     payload.size() - reader.position(),
+                                     encoding);
   broadcast::NodeRecord rec;
   while (cursor.Next(&rec)) data.records.push_back(rec);
   if (!cursor.status().ok()) return cursor.status();
   return data;
 }
 
-Status ValidateRegionData(const std::vector<uint8_t>& payload) {
+Status ValidateRegionData(const std::vector<uint8_t>& payload,
+                          broadcast::CycleEncoding encoding) {
   if (payload.size() < 2) return Status::DataLoss("truncated region header");
   const size_t border_count = GetU16(payload.data());
   if (payload.size() - 2 < border_count * 4) {
@@ -45,12 +57,15 @@ Status ValidateRegionData(const std::vector<uint8_t>& payload) {
   }
   const size_t records_at = 2 + border_count * 4;
   return broadcast::ValidateNodeRecords(payload.data() + records_at,
-                                        payload.size() - records_at);
+                                        payload.size() - records_at,
+                                        encoding);
 }
 
-RegionDataView::RegionDataView(const std::vector<uint8_t>& payload)
+RegionDataView::RegionDataView(const std::vector<uint8_t>& payload,
+                               broadcast::CycleEncoding encoding)
     : data_(payload.data()),
       size_(payload.size()),
+      encoding_(encoding),
       border_count_(payload.size() >= 2 ? GetU16(payload.data()) : 0) {}
 
 graph::NodeId RegionDataView::BorderAt(size_t i) const {
@@ -59,8 +74,8 @@ graph::NodeId RegionDataView::BorderAt(size_t i) const {
 
 broadcast::NodeRecordCursor RegionDataView::records() const {
   const size_t records_at = 2 + border_count_ * 4;
-  return broadcast::NodeRecordCursor(data_ + records_at,
-                                     size_ - records_at);
+  return broadcast::NodeRecordCursor(data_ + records_at, size_ - records_at,
+                                     encoding_);
 }
 
 

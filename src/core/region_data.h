@@ -26,17 +26,23 @@ struct RegionData {
 };
 
 /// Encodes `nodes`' records (ascending as given) preceded by the border
-/// list.
+/// list. The border header is always fixed-width; `encoding` selects the
+/// record-area format (a kCompact record area carries its version byte).
 std::vector<uint8_t> EncodeRegionData(
     const graph::Graph& g, const std::vector<graph::NodeId>& border,
-    const std::vector<graph::NodeId>& nodes);
+    const std::vector<graph::NodeId>& nodes,
+    broadcast::CycleEncoding encoding = broadcast::CycleEncoding::kLegacy);
 
 /// Decodes a region payload. Fails on truncation.
-Result<RegionData> DecodeRegionData(const std::vector<uint8_t>& payload);
+Result<RegionData> DecodeRegionData(
+    const std::vector<uint8_t>& payload,
+    broadcast::CycleEncoding encoding = broadcast::CycleEncoding::kLegacy);
 
 /// Checks a region payload is well-formed (the exact checks
 /// DecodeRegionData applies) without materializing it.
-Status ValidateRegionData(const std::vector<uint8_t>& payload);
+Status ValidateRegionData(
+    const std::vector<uint8_t>& payload,
+    broadcast::CycleEncoding encoding = broadcast::CycleEncoding::kLegacy);
 
 /// Zero-copy view over a *validated* region payload: the border list read
 /// in place and a streaming cursor over the node records. The allocation-
@@ -44,8 +50,11 @@ Status ValidateRegionData(const std::vector<uint8_t>& payload);
 /// records straight into the pooled PartialGraph.
 class RegionDataView {
  public:
-  /// `payload` must outlive the view and have passed ValidateRegionData.
-  explicit RegionDataView(const std::vector<uint8_t>& payload);
+  /// `payload` must outlive the view and have passed ValidateRegionData
+  /// with the same `encoding`.
+  explicit RegionDataView(
+      const std::vector<uint8_t>& payload,
+      broadcast::CycleEncoding encoding = broadcast::CycleEncoding::kLegacy);
 
   size_t border_count() const { return border_count_; }
   graph::NodeId BorderAt(size_t i) const;
@@ -56,6 +65,7 @@ class RegionDataView {
  private:
   const uint8_t* data_;
   size_t size_;
+  broadcast::CycleEncoding encoding_;
   size_t border_count_;
 };
 

@@ -64,8 +64,10 @@ int32_t DecodeCellImpl(const std::vector<uint8_t>& buf, size_t* pos,
 
 }  // namespace
 
-Result<std::unique_ptr<SpqOnAir>> SpqOnAir::Build(const graph::Graph& g) {
+Result<std::unique_ptr<SpqOnAir>> SpqOnAir::Build(const graph::Graph& g,
+                                                  const BuildConfig& config) {
   auto sys = std::unique_ptr<SpqOnAir>(new SpqOnAir());
+  sys->encoding_ = config.encoding;
   sys->num_nodes_ = static_cast<uint32_t>(g.num_nodes());
 
   const auto start = std::chrono::steady_clock::now();
@@ -76,7 +78,7 @@ Result<std::unique_ptr<SpqOnAir>> SpqOnAir::Build(const graph::Graph& g) {
           .count();
 
   broadcast::CycleBuilder builder;
-  AppendNetworkSegments(g, &builder);
+  AppendNetworkSegments(g, &builder, kNetworkChunkNodes, config.encoding);
 
   {
     broadcast::Segment seg;
@@ -132,10 +134,10 @@ device::QueryMetrics SpqOnAir::RunQuery(
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
-          if (broadcast::ValidateNodeRecords(seg.payload).ok()) {
+          if (broadcast::ValidateNodeRecords(seg.payload, encoding_).ok()) {
             size_t added = 0;
             size_t record_count = 0;
-            broadcast::NodeRecordCursor cursor(seg.payload);
+            broadcast::NodeRecordCursor cursor(seg.payload, encoding_);
             while (cursor.Next(&s.record)) {
               ++record_count;
               coords[s.record.id] = s.record.coord;

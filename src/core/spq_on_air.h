@@ -6,6 +6,7 @@
 #include "algo/spq.h"
 #include "common/result.h"
 #include "core/air_system.h"
+#include "core/cycle_common.h"
 #include "graph/graph.h"
 
 namespace airindex::core {
@@ -18,7 +19,8 @@ namespace airindex::core {
 /// implementation used at test scales.
 class SpqOnAir : public AirSystem {
  public:
-  static Result<std::unique_ptr<SpqOnAir>> Build(const graph::Graph& g);
+  static Result<std::unique_ptr<SpqOnAir>> Build(
+      const graph::Graph& g, const BuildConfig& config = {});
 
   std::string_view name() const override { return "SPQ"; }
   const broadcast::BroadcastCycle& cycle() const override { return cycle_; }
@@ -36,6 +38,7 @@ class SpqOnAir : public AirSystem {
 
   broadcast::BroadcastCycle cycle_;
   std::unique_ptr<algo::SpqIndex> index_;
+  broadcast::CycleEncoding encoding_ = broadcast::CycleEncoding::kLegacy;
   uint32_t num_nodes_ = 0;
   double precompute_seconds_ = 0.0;
 };

@@ -36,34 +36,38 @@ Result<std::unique_ptr<AirSystem>> BuildSystem(const graph::Graph& g,
                                                std::string_view method,
                                                const SystemParams& params) {
   if (method == "DJ") {
-    AIRINDEX_ASSIGN_OR_RETURN(auto sys, DijkstraOnAir::Build(g));
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys, DijkstraOnAir::Build(g, params.build));
     return std::unique_ptr<AirSystem>(std::move(sys));
   }
   if (method == "NR") {
-    AIRINDEX_ASSIGN_OR_RETURN(auto sys, NrSystem::Build(g, params.nr_regions));
+    AIRINDEX_ASSIGN_OR_RETURN(
+        auto sys, NrSystem::Build(g, params.nr_regions, params.build));
     return std::unique_ptr<AirSystem>(std::move(sys));
   }
   if (method == "EB") {
-    AIRINDEX_ASSIGN_OR_RETURN(auto sys, EbSystem::Build(g, params.eb_regions));
+    AIRINDEX_ASSIGN_OR_RETURN(
+        auto sys, EbSystem::Build(g, params.eb_regions, params.build));
     return std::unique_ptr<AirSystem>(std::move(sys));
   }
   if (method == "LD") {
-    AIRINDEX_ASSIGN_OR_RETURN(auto sys,
-                              LandmarkOnAir::Build(g, params.landmarks));
+    AIRINDEX_ASSIGN_OR_RETURN(
+        auto sys, LandmarkOnAir::Build(g, params.landmarks, /*seed=*/17,
+                                       params.build));
     return std::unique_ptr<AirSystem>(std::move(sys));
   }
   if (method == "AF") {
     AIRINDEX_ASSIGN_OR_RETURN(
-        auto sys, ArcFlagOnAir::Build(g, params.arcflag_regions));
+        auto sys,
+        ArcFlagOnAir::Build(g, params.arcflag_regions, params.build));
     return std::unique_ptr<AirSystem>(std::move(sys));
   }
   if (method == "SPQ") {
-    AIRINDEX_ASSIGN_OR_RETURN(auto sys, SpqOnAir::Build(g));
+    AIRINDEX_ASSIGN_OR_RETURN(auto sys, SpqOnAir::Build(g, params.build));
     return std::unique_ptr<AirSystem>(std::move(sys));
   }
   if (method == "HiTi") {
-    AIRINDEX_ASSIGN_OR_RETURN(auto sys,
-                              HiTiOnAir::Build(g, params.hiti_regions));
+    AIRINDEX_ASSIGN_OR_RETURN(
+        auto sys, HiTiOnAir::Build(g, params.hiti_regions, params.build));
     return std::unique_ptr<AirSystem>(std::move(sys));
   }
   return Status::InvalidArgument("unknown method " + std::string(method));
@@ -89,6 +93,7 @@ size_t SystemRegistry::KeyHash::operator()(const Key& k) const {
   mix(std::hash<size_t>{}(k.arcs));
   mix(std::hash<std::string>{}(k.method));
   mix(std::hash<uint32_t>{}(k.knob));
+  mix(std::hash<uint8_t>{}(static_cast<uint8_t>(k.encoding)));
   return h;
 }
 
@@ -101,7 +106,7 @@ Result<std::shared_ptr<const AirSystem>> SystemRegistry::Get(
     const graph::Graph& g, std::string_view method,
     const SystemParams& params) {
   Key key{&g, g.num_nodes(), g.num_arcs(), std::string(method),
-          MethodKnob(method, params)};
+          MethodKnob(method, params), params.build.encoding};
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);

@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "core/air_system.h"
+#include "core/cycle_common.h"
 #include "graph/graph.h"
 
 namespace airindex::core {
@@ -26,6 +27,13 @@ struct SystemParams {
   /// unless the experiment needs their cycle sizes (Table 1).
   bool include_spq = false;
   bool include_hiti = false;
+
+  /// Cycle encoding and build-time parallelism knobs shared by every
+  /// method (see BuildConfig). `build.encoding` changes the broadcast
+  /// cycle and therefore joins the registry cache key;
+  /// `build.precompute_threads` does not (precompute output is
+  /// byte-identical for any thread count).
+  BuildConfig build;
 
   bool operator==(const SystemParams&) const = default;
 };
@@ -92,6 +100,7 @@ class SystemRegistry {
     size_t arcs = 0;
     std::string method;
     uint32_t knob = 0;
+    broadcast::CycleEncoding encoding = broadcast::CycleEncoding::kLegacy;
 
     bool operator==(const Key&) const = default;
   };

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace airindex::graph {
 namespace {
@@ -137,6 +138,35 @@ uint64_t UndirectedKey(uint32_t a, uint32_t b) {
   return (static_cast<uint64_t>(a) << 32) | b;
 }
 
+/// SplitMix64 finalizer: the stateless hash behind the GenSpec generator.
+/// Every random quantity is HashMix of a (seed, id) key, so any subset of
+/// the graph can be generated independently, in any order, on any thread.
+uint64_t HashMix(uint64_t x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a hash value.
+double HashUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Stream tags keeping node-coordinate and edge-weight hash streams
+// disjoint even for overlapping keys.
+constexpr uint64_t kCoordStream = 0x636F6F7264ULL;   // "coord"
+constexpr uint64_t kWeightStream = 0x7765696768ULL;  // "weigh"
+
+/// Per-edge jittered weight: Euclidean length times `scale`, times a
+/// seeded factor in [1 - jitter, 1 + jitter], floored at 1.
+Weight JitteredWeight(const Point& a, const Point& b, double scale,
+                      double jitter, uint64_t stream_seed, uint64_t key) {
+  const double u = HashUnit(HashMix(stream_seed ^ key));
+  const double factor = 1.0 + jitter * (2.0 * u - 1.0);
+  return ToWeight(EuclidDist(a, b) * scale * factor);
+}
+
 }  // namespace
 
 Result<Graph> GenerateRoadNetwork(const GeneratorOptions& options) {
@@ -240,6 +270,103 @@ Result<Graph> GenerateRoadNetwork(const GeneratorOptions& options) {
         "edge density");
   }
 
+  return Graph::Build(std::move(pts), arcs);
+}
+
+Result<Graph> GenerateRoadNetwork(const GenSpec& spec) {
+  const uint32_t n = spec.num_nodes;
+  if (n < 2) return Status::InvalidArgument("num_nodes must be > 1");
+  if (!(spec.weight_jitter >= 0.0) || spec.weight_jitter >= 1.0) {
+    return Status::InvalidArgument("weight_jitter must be in [0, 1)");
+  }
+  if (!(spec.extent > 0.0)) {
+    return Status::InvalidArgument("extent must be positive");
+  }
+  // Strides are 4^level; cap so the stride fits in 32 bits with room.
+  if (spec.highway_levels > 12) {
+    return Status::InvalidArgument("highway_levels must be <= 12");
+  }
+
+  const uint32_t cols = static_cast<uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  const uint32_t rows = (n + cols - 1) / cols;
+  const double cell = spec.extent / cols;
+  const uint64_t coord_seed = HashMix(spec.seed ^ kCoordStream);
+  const uint64_t weight_seed = HashMix(spec.seed ^ kWeightStream);
+
+  // Coordinates: cell centres plus seeded jitter of up to ±0.3 cells, so
+  // the layout stays planar-ish (no two nodes swap cells) but weights and
+  // kd-tree splits are not degenerate. Pure per-node hash => any thread
+  // count yields the same bytes.
+  std::vector<Point> pts(n);
+  ParallelFor(
+      rows,
+      [&](size_t r) {
+        for (uint32_t c = 0; c < cols; ++c) {
+          const uint64_t v = r * cols + c;
+          if (v >= n) break;
+          const uint64_t h1 = HashMix(coord_seed ^ v);
+          const uint64_t h2 = HashMix(h1);
+          pts[v] = {(c + 0.5 + 0.6 * (HashUnit(h1) - 0.5)) * cell,
+                    (r + 0.5 + 0.6 * (HashUnit(h2) - 0.5)) * cell};
+        }
+      },
+      spec.threads);
+
+  // Edges are generated into per-row buckets (each row's edges are a pure
+  // function of the spec) and concatenated in row order, so the arc list —
+  // and hence the built CSR — is independent of the thread count.
+  std::vector<std::vector<EdgeTriplet>> row_edges(rows);
+  ParallelFor(
+      rows,
+      [&](size_t r) {
+        auto& out = row_edges[r];
+        auto add_undirected = [&](uint32_t a, uint32_t b, double scale) {
+          const Weight w = JitteredWeight(pts[a], pts[b], scale,
+                                          spec.weight_jitter, weight_seed,
+                                          UndirectedKey(a, b));
+          out.push_back({a, b, w});
+          out.push_back({b, a, w});
+        };
+        // Grid base layer: right + down neighbours. The partial last row
+        // stays connected through its up-links (row above is full).
+        for (uint32_t c = 0; c < cols; ++c) {
+          const uint64_t v64 = r * cols + c;
+          if (v64 >= n) break;
+          const auto v = static_cast<uint32_t>(v64);
+          if (c + 1 < cols && v64 + 1 < n) add_undirected(v, v + 1, 1.0);
+          if (v64 + cols < n) add_undirected(v, v + cols, 1.0);
+        }
+        // Highway overlays: level l links every stride-th grid point along
+        // rows and columns at stride 4^l, at 0.6x surface weight. Strides
+        // differ per level and are always >= 4, so no overlay duplicates a
+        // base edge or another overlay.
+        for (uint32_t level = 1; level <= spec.highway_levels; ++level) {
+          const uint64_t stride = 1ULL << (2 * level);
+          if (r % stride != 0) continue;
+          for (uint64_t c = 0; c < cols; c += stride) {
+            const uint64_t v64 = r * cols + c;
+            if (v64 >= n) break;
+            const auto v = static_cast<uint32_t>(v64);
+            if (c + stride < cols && v64 + stride < n) {
+              add_undirected(v, static_cast<uint32_t>(v64 + stride), 0.6);
+            }
+            const uint64_t down = v64 + stride * cols;
+            if (r + stride < rows && down < n) {
+              add_undirected(v, static_cast<uint32_t>(down), 0.6);
+            }
+          }
+        }
+      },
+      spec.threads);
+
+  size_t total = 0;
+  for (const auto& re : row_edges) total += re.size();
+  std::vector<EdgeTriplet> arcs;
+  arcs.reserve(total);
+  for (const auto& re : row_edges) {
+    arcs.insert(arcs.end(), re.begin(), re.end());
+  }
   return Graph::Build(std::move(pts), arcs);
 }
 

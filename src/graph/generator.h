@@ -41,6 +41,44 @@ struct GeneratorOptions {
 ///  * every weight >= 1.
 Result<Graph> GenerateRoadNetwork(const GeneratorOptions& options);
 
+/// Parameters for the continental-scale generator (the million-node path).
+///
+/// Unlike GeneratorOptions (kNN candidates + Kruskal, with hashing and
+/// sorting constants that bite at 1e6 nodes), this builds a road-like
+/// network directly: a rectangular grid base layer (surface streets) plus
+/// `highway_levels` shortcut overlays (level l adds row/column shortcuts of
+/// stride 4^l at ~0.6x Euclidean weight — long-haul edges that Dijkstra
+/// prefers, like motorways over surface streets). Node coordinates are cell
+/// centres with seeded jitter; edge weights are Euclidean lengths scaled by
+/// a seeded per-edge factor in [1 - weight_jitter, 1 + weight_jitter].
+///
+/// Every coordinate and weight is a pure hash of (seed, node/edge id) —
+/// never a sequential PRNG draw — so generation parallelises over rows and
+/// the result is byte-identical for any thread count.
+struct GenSpec {
+  /// Number of nodes (> 1). The grid is ceil(sqrt(n)) columns wide; a
+  /// partial last row keeps the node count exact.
+  uint32_t num_nodes = 1000000;
+  /// Hash seed; identical (spec, seed) => byte-identical graph.
+  uint64_t seed = 1;
+  /// Highway shortcut levels stacked on the grid (0 = pure grid).
+  uint32_t highway_levels = 2;
+  /// Multiplicative weight jitter amplitude in [0, 1).
+  double weight_jitter = 0.25;
+  /// Side length of the square covered by the grid.
+  double extent = 100000.0;
+  /// Generator worker threads (0 = hardware concurrency). Output does not
+  /// depend on this.
+  unsigned threads = 0;
+};
+
+/// Generates a deterministic grid + highway-hierarchy road network.
+/// Guarantees the same structural invariants as the GeneratorOptions
+/// overload (exact node count, strong connectivity, no self-loops or
+/// duplicate undirected edges, weights >= 1) and additionally that the
+/// built graph is byte-identical across `threads` values.
+Result<Graph> GenerateRoadNetwork(const GenSpec& spec);
+
 }  // namespace airindex::graph
 
 #endif  // AIRINDEX_GRAPH_GENERATOR_H_

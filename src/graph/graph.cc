@@ -19,21 +19,30 @@ Result<Graph> Graph::Build(std::vector<Point> coords,
 
   Graph g;
   g.coords_ = std::move(coords);
+  const size_t m = edges.size();
+
+  // Adjacency spans must end up sorted by target id (deterministic
+  // iteration, binary-searchable adjacency). Instead of placing arcs per
+  // source and sorting each span (O(m log d)), run a two-pass stable
+  // counting sort over the whole arc list — first by `to`, then by `from` —
+  // which is O(n + m) and leaves every span sorted by `to`, with parallel
+  // arcs in input order (equivalent to a per-span stable sort by `to`).
+  std::vector<EdgeTriplet> by_to(m);
+  {
+    std::vector<uint32_t> cursor(n + 1, 0);
+    for (const auto& e : edges) cursor[e.to + 1]++;
+    std::partial_sum(cursor.begin(), cursor.end(), cursor.begin());
+    for (const auto& e : edges) by_to[cursor[e.to]++] = e;
+  }
+
   g.offsets_.assign(n + 1, 0);
   for (const auto& e : edges) g.offsets_[e.from + 1]++;
   std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
 
-  g.arcs_.resize(edges.size());
+  g.arcs_.resize(m);
   std::vector<uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const auto& e : edges) {
+  for (const auto& e : by_to) {
     g.arcs_[cursor[e.from]++] = {e.to, e.weight};
-  }
-  // Sort each adjacency span by target id for deterministic iteration and
-  // binary-searchable adjacency.
-  for (size_t v = 0; v < n; ++v) {
-    std::sort(g.arcs_.begin() + g.offsets_[v],
-              g.arcs_.begin() + g.offsets_[v + 1],
-              [](const Arc& a, const Arc& b) { return a.to < b.to; });
   }
   return g;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "graph/types.h"
@@ -66,8 +67,12 @@ class Graph {
   bool IsStronglyConnected() const;
 
  private:
-  std::vector<uint32_t> offsets_;  // size num_nodes()+1
-  std::vector<Arc> arcs_;
+  // CSR arrays are 64-byte aligned (SoA, one cache line per array start) so
+  // sequential arc scans at million-node scale never straddle lines shared
+  // with other allocations. Coordinates stay a plain vector: Build moves the
+  // caller's vector in without a copy, and coords() exposes it as-is.
+  AlignedVector<uint32_t> offsets_;  // size num_nodes()+1
+  AlignedVector<Arc> arcs_;
   std::vector<Point> coords_;
 };
 

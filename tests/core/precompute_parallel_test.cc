@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/border_precompute.h"
+#include "core/systems.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "partition/kd_tree.h"
+
+namespace airindex::core {
+namespace {
+
+graph::Graph MakeGraph(uint32_t nodes, uint64_t seed) {
+  graph::GenSpec spec;
+  spec.num_nodes = nodes;
+  spec.seed = seed;
+  return graph::GenerateRoadNetwork(spec).value();
+}
+
+TEST(PrecomputeParallelTest, ByteIdenticalToSerial) {
+  const graph::Graph g = MakeGraph(2000, 21);
+  auto kd = partition::KdTreePartitioner::Build(g, 8).value();
+  const partition::Partitioning part = kd.Partition(g);
+
+  auto serial = ComputeBorderPrecompute(g, part, /*num_threads=*/1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (unsigned threads : {2u, 3u, 8u}) {
+    auto par = ComputeBorderPrecompute(g, part, threads);
+    ASSERT_TRUE(par.ok());
+    EXPECT_EQ(serial->num_regions, par->num_regions);
+    // Every derived array must match bit-for-bit: the work-stealing merge
+    // is commutative, so scheduling cannot leak into the result.
+    EXPECT_EQ(serial->min_rr, par->min_rr) << threads << " threads";
+    EXPECT_EQ(serial->max_rr, par->max_rr) << threads << " threads";
+    EXPECT_EQ(serial->traversed, par->traversed) << threads << " threads";
+    EXPECT_EQ(serial->cross_border, par->cross_border)
+        << threads << " threads";
+  }
+}
+
+TEST(PrecomputeParallelTest, NeededRegionsVariantsAgree) {
+  const graph::Graph g = MakeGraph(1500, 4);
+  auto kd = partition::KdTreePartitioner::Build(g, 8).value();
+  auto pre = ComputeBorderPrecompute(g, kd.Partition(g)).value();
+
+  std::vector<graph::RegionId> into;
+  std::vector<uint64_t> mask(pre.words_per_pair());
+  for (graph::RegionId i = 0; i < pre.num_regions; ++i) {
+    for (graph::RegionId j = 0; j < pre.num_regions; ++j) {
+      const std::vector<graph::RegionId> value = pre.NeededRegions(i, j);
+      pre.NeededRegionsInto(i, j, &into);
+      EXPECT_EQ(value, into);
+      pre.NeededRegionsMask(i, j, mask.data());
+      std::vector<graph::RegionId> from_mask;
+      for (graph::RegionId k = 0; k < pre.num_regions; ++k) {
+        if ((mask[k / 64] >> (k % 64)) & 1) from_mask.push_back(k);
+      }
+      EXPECT_EQ(value, from_mask);
+    }
+  }
+}
+
+/// The broadcast cycle of every method must be byte-identical regardless of
+/// how many threads built the pre-computation (the cycle is the published
+/// artifact — reproduction numbers depend on it).
+TEST(PrecomputeParallelTest, AllSystemsCyclesUnaffectedByThreads) {
+  const graph::Graph g = MakeGraph(500, 33);
+  SystemParams base;
+  base.nr_regions = 8;
+  base.eb_regions = 8;
+  base.arcflag_regions = 8;
+  base.hiti_regions = 8;
+  base.landmarks = 2;
+
+  SystemParams threaded = base;
+  threaded.build.precompute_threads = 4;
+
+  for (const char* method : {"DJ", "NR", "EB", "LD", "AF", "SPQ", "HiTi"}) {
+    auto a = BuildSystem(g, method, base);
+    ASSERT_TRUE(a.ok()) << method << ": " << a.status().ToString();
+    auto b = BuildSystem(g, method, threaded);
+    ASSERT_TRUE(b.ok()) << method;
+    const broadcast::BroadcastCycle& ca = (*a)->cycle();
+    const broadcast::BroadcastCycle& cb = (*b)->cycle();
+    ASSERT_EQ(ca.num_segments(), cb.num_segments()) << method;
+    EXPECT_EQ(ca.total_packets(), cb.total_packets()) << method;
+    for (size_t i = 0; i < ca.num_segments(); ++i) {
+      const broadcast::Segment& sa = ca.segment(i);
+      const broadcast::Segment& sb = cb.segment(i);
+      EXPECT_EQ(sa.type, sb.type) << method << " segment " << i;
+      EXPECT_EQ(sa.id, sb.id) << method << " segment " << i;
+      EXPECT_EQ(sa.payload, sb.payload) << method << " segment " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace airindex::core

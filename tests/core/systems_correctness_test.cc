@@ -52,6 +52,31 @@ TEST_P(SystemsCorrectnessTest, AllMethodsExactOnLosslessChannel) {
   }
 }
 
+/// The compact cycle encoding must be invisible to correctness: every
+/// method built with CycleEncoding::kCompact returns the exact distance
+/// for every query, decoded through the real client paths.
+TEST_P(SystemsCorrectnessTest, AllMethodsExactWithCompactEncoding) {
+  SystemParams params;
+  params.arcflag_regions = 8;
+  params.eb_regions = 8;
+  params.nr_regions = 8;
+  params.landmarks = 3;
+  params.hiti_regions = 8;
+  params.include_spq = true;
+  params.include_hiti = true;
+  params.build.encoding = broadcast::CycleEncoding::kCompact;
+  auto compact_systems = BuildSystems(g_, params).value();
+  for (const auto& sys : compact_systems) {
+    broadcast::BroadcastChannel channel(&sys->cycle(), 0.0);
+    for (const auto& q : workload_.queries) {
+      device::QueryMetrics m = sys->RunQuery(channel, MakeAirQuery(g_, q));
+      EXPECT_TRUE(m.ok) << sys->name() << " " << q.source << "->" << q.target;
+      EXPECT_EQ(m.distance, q.true_dist)
+          << sys->name() << " " << q.source << "->" << q.target;
+    }
+  }
+}
+
 TEST_P(SystemsCorrectnessTest, EbAndNrExactWithMemoryBoundProcessing) {
   ClientOptions opts;
   opts.memory_bound = true;

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace airindex::graph {
+namespace {
+
+/// Reference CSR layout: stable sort by `to`, then stable sort by `from` —
+/// the ordering contract of Graph::Build's two-pass counting sort (per-node
+/// spans ascending by `to`, parallel arcs in input order).
+std::vector<EdgeTriplet> ReferenceOrder(std::vector<EdgeTriplet> edges) {
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const EdgeTriplet& a, const EdgeTriplet& b) {
+                     return a.to < b.to;
+                   });
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const EdgeTriplet& a, const EdgeTriplet& b) {
+                     return a.from < b.from;
+                   });
+  return edges;
+}
+
+void ExpectMatchesReference(const Graph& g,
+                            const std::vector<EdgeTriplet>& edges) {
+  const std::vector<EdgeTriplet> ref = ReferenceOrder(edges);
+  ASSERT_EQ(g.num_arcs(), ref.size());
+  size_t k = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.OutArcs(v)) {
+      ASSERT_LT(k, ref.size());
+      EXPECT_EQ(v, ref[k].from) << "arc " << k;
+      EXPECT_EQ(arc.to, ref[k].to) << "arc " << k;
+      EXPECT_EQ(arc.weight, ref[k].weight) << "arc " << k;
+      ++k;
+    }
+  }
+  EXPECT_EQ(k, ref.size());
+}
+
+TEST(CsrCountingSortTest, RandomMultigraphsMatchReference) {
+  Rng rng(0xC0DE);
+  for (int round = 0; round < 20; ++round) {
+    const uint32_t n = 2 + static_cast<uint32_t>(rng.NextBounded(60));
+    const uint32_t m = static_cast<uint32_t>(rng.NextBounded(400));
+    std::vector<Point> coords(n);
+    for (uint32_t v = 0; v < n; ++v) {
+      coords[v] = {static_cast<double>(rng.NextBounded(1000)),
+                   static_cast<double>(rng.NextBounded(1000))};
+    }
+    std::vector<EdgeTriplet> edges;
+    edges.reserve(m);
+    for (uint32_t e = 0; e < m; ++e) {
+      const NodeId from = static_cast<NodeId>(rng.NextBounded(n));
+      NodeId to = static_cast<NodeId>(rng.NextBounded(n));
+      if (to == from) to = (to + 1) % n;  // no self-loops
+      // Duplicate (from, to) pairs with distinct weights are deliberate:
+      // the stable order of parallel arcs is part of the contract.
+      edges.push_back(
+          {from, to, 1 + static_cast<graph::Weight>(rng.NextBounded(10))});
+    }
+    auto g = Graph::Build(coords, edges);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    ExpectMatchesReference(*g, edges);
+  }
+}
+
+TEST(CsrCountingSortTest, EmptyAndSingleEdge) {
+  auto empty = Graph::Build({{0, 0}, {1, 1}}, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_arcs(), 0u);
+  EXPECT_EQ(empty->OutDegree(0), 0u);
+
+  auto one = Graph::Build({{0, 0}, {1, 1}}, {{1, 0, 7}});
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one->OutDegree(1), 1u);
+  EXPECT_EQ(one->OutArcs(1)[0].to, 0u);
+  EXPECT_EQ(one->OutArcs(1)[0].weight, 7u);
+}
+
+TEST(CsrCountingSortTest, StillRejectsBadEdges) {
+  EXPECT_FALSE(Graph::Build({{0, 0}, {1, 1}}, {{0, 2, 1}}).ok());  // range
+  EXPECT_FALSE(Graph::Build({{0, 0}, {1, 1}}, {{1, 1, 1}}).ok());  // loop
+}
+
+}  // namespace
+}  // namespace airindex::graph

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "graph/graph.h"
+
+namespace airindex::graph {
+namespace {
+
+/// Full structural equality: coordinates bit-exact, CSR spans identical.
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.Coord(v).x, b.Coord(v).x);
+    EXPECT_EQ(a.Coord(v).y, b.Coord(v).y);
+    auto sa = a.OutArcs(v);
+    auto sb = b.OutArcs(v);
+    ASSERT_EQ(sa.size(), sb.size()) << "node " << v;
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].to, sb[i].to) << "node " << v;
+      EXPECT_EQ(sa[i].weight, sb[i].weight) << "node " << v;
+    }
+  }
+}
+
+TEST(GenSpecTest, DeterministicAcrossThreadCounts) {
+  GenSpec spec;
+  spec.num_nodes = 5000;
+  spec.seed = 11;
+  spec.threads = 1;
+  auto serial = GenerateRoadNetwork(spec);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (unsigned threads : {2u, 3u, 8u}) {
+    spec.threads = threads;
+    auto parallel = GenerateRoadNetwork(spec);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameGraph(*serial, *parallel);
+  }
+}
+
+TEST(GenSpecTest, DeterministicForSeedDistinctAcrossSeeds) {
+  GenSpec spec;
+  spec.num_nodes = 1000;
+  spec.seed = 3;
+  auto a = GenerateRoadNetwork(spec);
+  auto b = GenerateRoadNetwork(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameGraph(*a, *b);
+
+  spec.seed = 4;
+  auto c = GenerateRoadNetwork(spec);
+  ASSERT_TRUE(c.ok());
+  // Same topology (grid + highways), different jitter: at least one
+  // coordinate must move.
+  bool any_diff = false;
+  for (NodeId v = 0; v < a->num_nodes() && !any_diff; ++v) {
+    any_diff = a->Coord(v).x != c->Coord(v).x;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GenSpecTest, StronglyConnectedIncludingPartialLastRow) {
+  // 10 nodes on a 4-wide grid leaves a 2-node last row; 300 nodes leaves
+  // a partial 18-wide row. Both must stay strongly connected.
+  for (uint32_t n : {2u, 3u, 10u, 300u, 1000u}) {
+    GenSpec spec;
+    spec.num_nodes = n;
+    spec.seed = 5;
+    auto g = GenerateRoadNetwork(spec);
+    ASSERT_TRUE(g.ok()) << "n=" << n << ": " << g.status().ToString();
+    EXPECT_EQ(g->num_nodes(), n);
+    EXPECT_TRUE(g->IsStronglyConnected()) << "n=" << n;
+  }
+}
+
+TEST(GenSpecTest, HighwayLevelsAddShortcuts) {
+  GenSpec spec;
+  spec.num_nodes = 4096;
+  spec.seed = 1;
+  spec.highway_levels = 0;
+  auto base = GenerateRoadNetwork(spec);
+  ASSERT_TRUE(base.ok());
+  spec.highway_levels = 2;
+  auto with_highways = GenerateRoadNetwork(spec);
+  ASSERT_TRUE(with_highways.ok());
+  EXPECT_GT(with_highways->num_arcs(), base->num_arcs());
+  EXPECT_TRUE(with_highways->IsStronglyConnected());
+}
+
+TEST(GenSpecTest, WeightsArePositive) {
+  GenSpec spec;
+  spec.num_nodes = 2000;
+  spec.seed = 9;
+  spec.weight_jitter = 0.9;  // worst case for the >= 1 floor
+  auto g = GenerateRoadNetwork(spec);
+  ASSERT_TRUE(g.ok());
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    for (const auto& arc : g->OutArcs(v)) {
+      EXPECT_GE(arc.weight, 1u);
+    }
+  }
+}
+
+TEST(GenSpecTest, RejectsInvalidSpec) {
+  GenSpec spec;
+  spec.num_nodes = 1;
+  EXPECT_FALSE(GenerateRoadNetwork(spec).ok());
+
+  spec = GenSpec{};
+  spec.num_nodes = 100;
+  spec.weight_jitter = 1.0;
+  EXPECT_FALSE(GenerateRoadNetwork(spec).ok());
+
+  spec = GenSpec{};
+  spec.num_nodes = 100;
+  spec.extent = 0.0;
+  EXPECT_FALSE(GenerateRoadNetwork(spec).ok());
+
+  spec = GenSpec{};
+  spec.num_nodes = 100;
+  spec.highway_levels = 13;
+  EXPECT_FALSE(GenerateRoadNetwork(spec).ok());
+}
+
+}  // namespace
+}  // namespace airindex::graph

@@ -3,6 +3,11 @@
 //   airindex_cli generate <nodes> <edges> <seed> <out.gr> <out.co>
 //       Generate a synthetic road network and save it in DIMACS format.
 //
+//   airindex_cli gen --nodes=N --seed=N --out=PREFIX [--levels=N]
+//       [--jitter=F] [--threads=N]
+//       Generate a continental-scale grid+highway network (GenSpec
+//       pipeline) and save it as PREFIX.gr + PREFIX.co.
+//
 //   airindex_cli inspect <network> [scale] [method] [regions]
 //       Build a catalog network's broadcast cycle and print its layout
 //       (method: DJ|NR|EB|LD|AF, default NR; regions default 32).
@@ -51,8 +56,14 @@ void PrintUsage(std::FILE* out) {
                "usage:\n"
                "  airindex_cli generate <nodes> <edges> <seed> <out.gr> "
                "<out.co>\n"
+               "  airindex_cli gen --nodes=N --seed=N --out=PREFIX "
+               "[--levels=N]\n"
+               "      [--jitter=F] [--threads=N]\n"
+               "      Generate a grid+highway network, written as "
+               "PREFIX.gr + PREFIX.co\n"
                "  airindex_cli inspect <network> [scale] [method] "
-               "[regions]\n"
+               "[regions] [encoding]\n"
+               "      (encoding: legacy|compact; default legacy)\n"
                "  airindex_cli query <network> <scale> <method> <source> "
                "<target>\n"
                "  airindex_cli run <network> [--scale=F] [--queries=N] "
@@ -149,13 +160,68 @@ bool ParseUintFlag(const char* arg, size_t prefix, uint64_t* out) {
 }
 
 Result<std::unique_ptr<core::AirSystem>> BuildMethod(
-    const graph::Graph& g, const std::string& method, uint32_t regions) {
+    const graph::Graph& g, const std::string& method, uint32_t regions,
+    broadcast::CycleEncoding encoding = broadcast::CycleEncoding::kLegacy) {
   core::SystemParams params;
   params.nr_regions = regions;
   params.eb_regions = regions;
   params.arcflag_regions = regions;
   params.hiti_regions = regions;
+  params.build.encoding = encoding;
   return core::BuildSystem(g, method, params);
+}
+
+int Gen(int argc, char** argv) {
+  graph::GenSpec spec;
+  spec.num_nodes = 0;
+  std::string out_prefix;
+  uint64_t u = 0;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--nodes=", 8) == 0) {
+      if (!ParseUintFlag(arg, 8, &u)) return 2;
+      if (u < 2 || u > 0xFFFFFFFFull) {
+        std::fprintf(stderr, "--nodes must be in [2, 2^32)\n");
+        return 2;
+      }
+      spec.num_nodes = static_cast<uint32_t>(u);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      if (!ParseUintFlag(arg, 7, &u)) return 2;
+      spec.seed = u;
+    } else if (std::strncmp(arg, "--levels=", 9) == 0) {
+      if (!ParseUintFlag(arg, 9, &u)) return 2;
+      spec.highway_levels = static_cast<uint32_t>(u);
+    } else if (std::strncmp(arg, "--jitter=", 9) == 0) {
+      if (!ParseDoubleFlag(arg, 9, &spec.weight_jitter)) return 2;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      if (!ParseUintFlag(arg, 10, &u)) return 2;
+      spec.threads = static_cast<unsigned>(u);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_prefix = arg + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag \"%s\"\n", arg);
+      return 2;
+    }
+  }
+  if (spec.num_nodes == 0 || out_prefix.empty()) {
+    std::fprintf(stderr, "gen requires --nodes= and --out=\n");
+    return 2;
+  }
+  auto g = graph::GenerateRoadNetwork(spec);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const std::string gr = out_prefix + ".gr";
+  const std::string co = out_prefix + ".co";
+  Status st = graph::SaveDimacs(*g, gr.c_str(), co.c_str());
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu nodes / %zu arcs to %s + %s\n", g->num_nodes(),
+              g->num_arcs(), gr.c_str(), co.c_str());
+  return 0;
 }
 
 int Generate(int argc, char** argv) {
@@ -185,6 +251,16 @@ int Inspect(int argc, char** argv) {
   const std::string method = argc > 4 ? argv[4] : "NR";
   const uint32_t regions =
       argc > 5 ? static_cast<uint32_t>(std::atoi(argv[5])) : 32;
+  broadcast::CycleEncoding encoding = broadcast::CycleEncoding::kLegacy;
+  if (argc > 6) {
+    if (std::strcmp(argv[6], "compact") == 0) {
+      encoding = broadcast::CycleEncoding::kCompact;
+    } else if (std::strcmp(argv[6], "legacy") != 0) {
+      std::fprintf(stderr, "unknown encoding \"%s\" (legacy|compact)\n",
+                   argv[6]);
+      return 2;
+    }
+  }
 
   auto spec = graph::FindNetwork(argv[2]);
   if (!spec.ok()) {
@@ -196,7 +272,7 @@ int Inspect(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
     return 1;
   }
-  auto sys = BuildMethod(*g, method, regions);
+  auto sys = BuildMethod(*g, method, regions, encoding);
   if (!sys.ok()) {
     std::fprintf(stderr, "%s\n", sys.status().ToString().c_str());
     return 1;
@@ -204,9 +280,14 @@ int Inspect(int argc, char** argv) {
   const broadcast::BroadcastCycle& cycle = (*sys)->cycle();
   std::printf("%s on %s (scale %.2f): %zu nodes, %zu arcs\n", method.c_str(),
               argv[2], scale, g->num_nodes(), g->num_arcs());
-  std::printf("cycle: %u packets (%zu segments, %zu payload bytes)\n",
+  std::printf("cycle: %u packets (%zu segments, %zu payload bytes, "
+              "%.1f bytes/node, %s encoding)\n",
               cycle.total_packets(), cycle.num_segments(),
-              cycle.TotalPayloadBytes());
+              cycle.TotalPayloadBytes(),
+              static_cast<double>(cycle.TotalPayloadBytes()) /
+                  static_cast<double>(g->num_nodes()),
+              encoding == broadcast::CycleEncoding::kCompact ? "compact"
+                                                             : "legacy");
   std::printf("duration: %.3f s at 2 Mbps, %.3f s at 384 Kbps\n",
               device::CycleSeconds(cycle.total_packets(),
                                    device::kBitrateStatic3G),
@@ -662,6 +743,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
+  if (std::strcmp(argv[1], "gen") == 0) return Gen(argc, argv);
   if (std::strcmp(argv[1], "inspect") == 0) return Inspect(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return Query(argc, argv);
   if (std::strcmp(argv[1], "run") == 0) return Run(argc, argv);

@@ -10,6 +10,9 @@ Understands two artifact flavours:
   * airindex.sim.batch/v1 and airindex.sim.scenario/v1 JSON
     (BENCH_sim_*.json, BENCH_scenario_*.json): one measurement per system,
     compared on queries_per_second (higher is better).
+  * airindex.bench.build/v1 JSON (BENCH_build*.json): one entry per build
+    stage, compared on nodes_per_second (higher is better) and
+    bytes_per_node (lower is better).
 
 Usage:
   tools/perf_compare.py --old prev_dir_or_file --new new_dir_or_file \
@@ -76,12 +79,31 @@ def sim_metrics(doc):
     return out
 
 
+def build_metrics(doc):
+    """{stage/metric: (value, unit, lower_is_better)} for a build-throughput
+    sweep document."""
+    out = {}
+    for e in doc.get("entries", []):
+        name = e.get("name")
+        if not name:
+            continue
+        nps = e.get("nodes_per_second")
+        if nps:
+            out[name + "/nodes_per_second"] = (float(nps), "n/s", False)
+        bpn = e.get("bytes_per_node")
+        if bpn:
+            out[name + "/bytes_per_node"] = (float(bpn), "B/n", True)
+    return out
+
+
 def metrics_of(path):
     doc = load_json(path)
     if doc is None:
         return {}
     if "benchmarks" in doc:
         return google_benchmark_metrics(doc)
+    if doc.get("schema") == "airindex.bench.build/v1":
+        return build_metrics(doc)
     return sim_metrics(doc)
 
 
