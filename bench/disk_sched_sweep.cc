@@ -1,0 +1,117 @@
+// Broadcast-disk scheduling sweep: flat vs static square-root-rule disks
+// vs the online re-planner, across destination skew, on every system.
+//
+// Each grid point runs the shared-channel event engine (the online mode
+// re-plans from observed arrivals, which only exists on a shared
+// timeline) over a Poisson-arrival workload whose destinations follow a
+// zipf law of exponent z. Expected shape: at z=0 every planner collapses
+// to the flat cycle (the skew gate and the wait-profile audit both refuse
+// plans that cannot pay for their cycle stretch), and the p95 wait_ms win
+// of the disk schedules grows monotonically with z on the systems whose
+// index layout leaves room to win (EB's sparse global index; NR's dense
+// (1,m) layout is already wait-optimal and stays flat by audit). Emits
+// one airindex.sim.batch/v1 document to stdout (system names suffixed
+// "@MODE@zZ" so tools/perf_compare.py tracks each grid point as its own
+// series) and the improvement table to stderr.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "core/systems.h"
+#include "graph/catalog.h"
+#include "sim/event_engine.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+using namespace airindex;  // NOLINT: experiment binary
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseBenchOptions(argc, argv);
+  std::fprintf(
+      stderr,
+      "# disk schedule sweep on Milan: scale=%.2f queries=%zu seed=%llu\n",
+      opts.scale, opts.queries, static_cast<unsigned long long>(opts.seed));
+  graph::Graph g =
+      graph::MakeNetwork(graph::FindNetwork("Milan").value(), opts.scale)
+          .value();
+  std::fprintf(stderr, "# %zu nodes, %zu arcs\n", g.num_nodes(),
+               g.num_arcs());
+
+  core::SystemParams params;
+  params.include_spq = !opts.no_heavy;
+  params.include_hiti = !opts.no_heavy;
+  auto systems = core::SystemRegistry::Global().GetAll(g, params).value();
+
+  const double skews[4] = {0.0, 0.6, 0.9, 1.2};
+  const char* modes[3] = {"flat", "static", "online"};
+
+  sim::BatchResult batch;
+  batch.engine = "event";
+  batch.num_queries = opts.queries;
+  batch.loss_seed = opts.seed;
+
+  for (double z : skews) {
+    workload::WorkloadSpec wspec;
+    wspec.count = opts.queries;
+    wspec.seed = opts.seed;
+    if (z > 0.0) {
+      wspec.dest = workload::WorkloadSpec::Dest::kZipf;
+      wspec.zipf_s = z;
+    }
+    wspec.arrival.kind = workload::ArrivalSpec::Kind::kPoisson;
+    wspec.arrival.rate_per_second = 20.0;
+    auto w = workload::GenerateWorkload(g, wspec).value();
+    const std::vector<double> demand =
+        workload::DestinationWeights(g.num_nodes(), wspec);
+
+    std::fprintf(stderr, "\nz=%.1f\n%-6s %12s %12s %12s %12s %12s\n", z,
+                 "method", "flat p95", "static p95", "online p95",
+                 "static[%]", "online[%]");
+    for (const auto& sys : systems) {
+      double p95[3] = {0.0, 0.0, 0.0};
+      for (int mi = 0; mi < 3; ++mi) {
+        sim::EventOptions eo;
+        eo.threads = opts.threads;
+        eo.repeat = opts.repeat;
+        eo.loss = opts.Loss();
+        eo.station_seed = opts.seed;
+        eo.deterministic = true;
+        if (mi == 1) {
+          eo.schedule.mode = sim::SchedulePolicy::Mode::kStatic;
+          eo.schedule_demand = demand;
+        } else if (mi == 2) {
+          eo.schedule.mode = sim::SchedulePolicy::Mode::kOnline;
+        }
+        sim::EventEngine engine(g, eo);
+        batch.threads = engine.effective_threads();
+
+        sim::SystemResult r = engine.RunSystem(*sys, w);
+        p95[mi] = r.aggregate.wait_ms.p95;
+        char name[64];
+        std::snprintf(name, sizeof(name), "%s@%s@z%.1f", r.system.c_str(),
+                      modes[mi], z);
+        r.system = name;
+        r.aggregate.system = name;
+        r.per_query.clear();  // the batch doc carries aggregates only
+        batch.wall_seconds += r.wall_seconds;
+        batch.systems.push_back(std::move(r));
+      }
+      auto imp = [&](double v) {
+        return p95[0] > 0.0 ? 100.0 * (v - p95[0]) / p95[0] : 0.0;
+      };
+      std::fprintf(stderr, "%-6s %12.1f %12.1f %12.1f %+12.1f %+12.1f\n",
+                   std::string(sys->name()).c_str(), p95[0], p95[1], p95[2],
+                   imp(p95[1]), imp(p95[2]));
+    }
+  }
+
+  std::fputs(sim::ToJson(batch).c_str(), stdout);
+  std::fprintf(stderr,
+               "\n# win grows with z: the square-root rule repeats hot "
+               "groups and index copies,\n# cutting the doze-to-index "
+               "tail; near-uniform demand stays flat by the skew gate.\n");
+  return 0;
+}

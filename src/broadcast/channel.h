@@ -7,6 +7,7 @@
 #include "broadcast/cycle.h"
 #include "broadcast/fec.h"
 #include "broadcast/packet.h"
+#include "broadcast/schedule.h"
 
 namespace airindex::broadcast {
 
@@ -61,9 +62,10 @@ class BroadcastChannel {
       : BroadcastChannel(cycle, LossModel::Independent(loss_rate), seed) {}
 
   BroadcastChannel(const BroadcastCycle* cycle, LossModel loss,
-                   uint64_t seed, FecScheme fec = {})
+                   uint64_t seed, FecScheme fec = {},
+                   const BroadcastSchedule* schedule = nullptr)
       : BroadcastChannel(cycle, loss, seed, /*slot_stride=*/1,
-                         /*slot_offset=*/0, fec) {}
+                         /*slot_offset=*/0, fec, schedule) {}
 
   /// Sub-channel view of a time-multiplexed station (broadcast::Station):
   /// the client's logical position `p` occupies physical transmission slot
@@ -75,9 +77,18 @@ class BroadcastChannel {
   /// constructor for every position. An enabled FecScheme interposes the
   /// FecLayout between logical positions and slots (parity packets occupy
   /// slots of their own), before the stride/offset multiplexing.
+  /// `schedule`, when non-null, interposes a compiled broadcast-disk
+  /// timeline between positions and cycle content: position `p` carries
+  /// the flat cycle packet `schedule->CyclePosAt(p)`, the on-air cycle is
+  /// the macro cycle (FEC groups are laid over macro slots), and
+  /// occurrence-aware sleeps catch a hot group's next repetition. Null is
+  /// the flat broadcast — every decision identical to the historical
+  /// channel, bit for bit. The schedule must be compiled against `cycle`
+  /// and outlive the channel.
   BroadcastChannel(const BroadcastCycle* cycle, LossModel loss,
                    uint64_t seed, uint64_t slot_stride, uint64_t slot_offset,
-                   FecScheme fec = {})
+                   FecScheme fec = {},
+                   const BroadcastSchedule* schedule = nullptr)
       : cycle_(cycle),
         loss_(loss),
         seed_(seed),
@@ -85,7 +96,10 @@ class BroadcastChannel {
         corrupt_threshold_(LossThreshold(loss.PacketCorruptProbability())),
         slot_stride_(slot_stride == 0 ? 1 : slot_stride),
         slot_offset_(slot_offset),
-        fec_(cycle->total_packets(), fec) {}
+        schedule_(schedule),
+        fec_(schedule != nullptr ? schedule->macro_packets()
+                                 : cycle->total_packets(),
+             fec) {}
 
   const BroadcastCycle& cycle() const { return *cycle_; }
   double loss_rate() const { return loss_.rate; }
@@ -94,6 +108,16 @@ class BroadcastChannel {
   uint64_t slot_offset() const { return slot_offset_; }
   const FecLayout& fec() const { return fec_; }
   bool corruption_enabled() const { return corrupt_threshold_ != 0; }
+  bool scheduled() const { return schedule_ != nullptr; }
+  const BroadcastSchedule* schedule() const { return schedule_; }
+
+  /// Length of the session timeline's repeating unit: the macro cycle on a
+  /// scheduled channel, the flat cycle otherwise. The denominator of every
+  /// phase -> position mapping.
+  uint64_t session_cycle_packets() const {
+    return schedule_ != nullptr ? schedule_->macro_packets()
+                                : cycle_->total_packets();
+  }
 
   /// Physical transmission slot of logical position `pos` on this channel.
   uint64_t PhysicalSlot(uint64_t pos) const {
@@ -146,6 +170,7 @@ class BroadcastChannel {
   }
 
   uint32_t CyclePos(uint64_t abs_pos) const {
+    if (schedule_ != nullptr) return schedule_->CyclePosAt(abs_pos);
     return static_cast<uint32_t>(abs_pos % cycle_->total_packets());
   }
 
@@ -168,6 +193,7 @@ class BroadcastChannel {
   uint64_t corrupt_threshold_;
   uint64_t slot_stride_ = 1;
   uint64_t slot_offset_ = 0;
+  const BroadcastSchedule* schedule_ = nullptr;
   FecLayout fec_;
 };
 
@@ -222,8 +248,15 @@ class ClientSession {
   uint32_t ListenGroupParity(uint64_t group_member_pos);
 
   /// Sleeps until cycle position `cpos` is about to be transmitted (the
-  /// next occurrence at or after the current position).
+  /// next occurrence at or after the current position). On a scheduled
+  /// channel this is the occurrence index's soonest repetition — a hot
+  /// group's packet may be minutes of flat-cycle time away yet one chunk
+  /// ahead on the disks.
   void SleepUntilCyclePos(uint32_t cpos) {
+    if (channel_->scheduled()) {
+      pos_ = channel_->schedule()->NextSlotOf(pos_, cpos);
+      return;
+    }
     const uint32_t total = cycle().total_packets();
     const uint32_t cur = cycle_pos();
     const uint32_t ahead = cpos >= cur ? cpos - cur : cpos + total - cur;
@@ -344,8 +377,10 @@ class FecGroupRun {
     if (missing_count_ == 0) return;  // intact: parity slept over, free
     const FecLayout& fec = session.channel().fec();
     const uint32_t parity_heard = session.ListenGroupParity(member_);
-    const uint32_t group_size = fec.GroupDataSize(
-        fec.GroupOf(member_ % session.cycle().total_packets()));
+    // The layout's own cycle length, not the flat cycle's: a scheduled
+    // channel lays FEC groups over macro slots.
+    const uint32_t group_size =
+        fec.GroupDataSize(fec.GroupOf(member_ % fec.cycle_packets()));
     // MDS erasure condition: any `group_size` intact symbols of the
     // group's `group_size + parity` reconstruct the rest. `heard_` only
     // counts this run's packets, so a run that entered the group mid-way
@@ -409,6 +444,23 @@ ReceivedSegment CompleteSegmentFrom(ClientSession& session,
 /// once complete.
 bool RepairSegment(ClientSession& session, uint32_t segment_start,
                    ReceivedSegment* seg, int max_extra_cycles = 8);
+
+/// Cycle position of the first index-segment start the session should doze
+/// to after probing `view` (the (1,m) "next index" hop). On a flat channel
+/// this is the packet header's arithmetic verbatim — `(cycle_pos +
+/// next_index_offset) % total`, bit-identical to the historical clients.
+/// On a scheduled channel the header's flat-cycle offset undersells the
+/// disks (a hot group's index copy may repeat sooner), so the slot map
+/// answers instead: the soonest index start airing at or after the cursor.
+inline uint32_t NextIndexTarget(const ClientSession& session,
+                                const PacketView& view) {
+  if (session.channel().scheduled()) {
+    return session.channel().schedule()->NextIndexCyclePos(
+        session.position());
+  }
+  return (view.cycle_pos + view.next_index_offset) %
+         session.cycle().total_packets();
+}
 
 }  // namespace airindex::broadcast
 

@@ -56,6 +56,9 @@ class FecLayout {
   bool enabled() const { return scheme_.enabled(); }
   uint32_t parity_per_group() const { return scheme_.parity_per_group; }
   uint64_t groups_per_cycle() const { return groups_; }
+  /// Data packets per cycle the layout was built over (the macro cycle on
+  /// a scheduled channel).
+  uint64_t cycle_packets() const { return cycle_packets_; }
   /// On-air packets per cycle (data + parity).
   uint64_t phys_cycle_packets() const { return phys_cycle_; }
 

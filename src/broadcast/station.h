@@ -30,6 +30,10 @@ struct StationOptions {
   /// parity packets interleave with the data (lengthening the on-air
   /// cycle) and clients reconstruct lost packets within the current pass.
   FecScheme fec = {};
+  /// Broadcast-disk timeline the station transmits instead of the flat
+  /// cycle (null = flat). Must be compiled against the station's cycle and
+  /// outlive it; shared by every sub-channel.
+  const BroadcastSchedule* schedule = nullptr;
 };
 
 /// The broadcast station: one transmitter that starts its cycle at time
@@ -58,7 +62,8 @@ class Station {
     for (uint32_t c = 0; c < options_.subchannels; ++c) {
       channels_.emplace_back(cycle, options_.loss, options_.seed,
                              /*slot_stride=*/options_.subchannels,
-                             /*slot_offset=*/c, options_.fec);
+                             /*slot_offset=*/c, options_.fec,
+                             options_.schedule);
     }
   }
 

@@ -131,6 +131,21 @@ inline uint64_t StartPosition(const broadcast::BroadcastCycle& cycle,
              : TuneInPosition(cycle, query.tune_phase);
 }
 
+/// Channel-aware StartPosition: phase-relative tune-ins map onto the
+/// channel's *session* timeline — the macro cycle when a broadcast-disk
+/// schedule is on, the flat cycle otherwise (where it reduces to the cycle
+/// overload exactly). RunQuery implementations use this form so a private
+/// replay spreads its phases over the whole transmitted pattern.
+inline uint64_t StartPosition(const broadcast::BroadcastChannel& channel,
+                              const AirQuery& query) {
+  if (query.arrival_pos != kNoArrivalPos) return query.arrival_pos;
+  const uint64_t total = channel.session_cycle_packets();
+  if (total == 0) return 0;
+  const auto pos =
+      static_cast<uint64_t>(query.tune_phase * static_cast<double>(total));
+  return pos >= total ? total - 1 : pos;
+}
+
 }  // namespace airindex::core
 
 #endif  // AIRINDEX_CORE_AIR_SYSTEM_H_

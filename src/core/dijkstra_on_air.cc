@@ -27,7 +27,7 @@ device::QueryMetrics DijkstraOnAir::RunQuery(
     const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
-  broadcast::ClientSession session(&channel, StartPosition(cycle_, query));
+  broadcast::ClientSession session(&channel, StartPosition(channel, query));
 
   std::optional<QueryScratch> local;
   QueryScratch& s = scratch != nullptr ? *scratch : local.emplace();

@@ -223,7 +223,7 @@ device::QueryMetrics EbSystem::RunQuery(
     const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
-  broadcast::ClientSession session(&channel, StartPosition(cycle_, query));
+  broadcast::ClientSession session(&channel, StartPosition(channel, query));
   const uint32_t total = cycle_.total_packets();
   double cpu_ms = 0.0;
 
@@ -246,8 +246,7 @@ device::QueryMetrics EbSystem::RunQuery(
         index_start = view->cycle_pos;
         broadcast::CompleteSegmentFrom(session, *view, index_seg);
       } else {
-        index_start = static_cast<uint32_t>(
-            (view->cycle_pos + view->next_index_offset) % total);
+        index_start = broadcast::NextIndexTarget(session, *view);
         broadcast::ReceiveSegmentAt(session, index_start, index_seg);
       }
     }

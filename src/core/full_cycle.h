@@ -89,6 +89,7 @@ Status ReceiveFullCycle(broadcast::ClientSession& session,
                 view.chunk.data(), view.chunk.size());
   };
 
+  size_t delivered_count = 0;
   auto try_deliver = [&](uint32_t si, bool force) {
     if (s.delivered[si]) return;
     ensure_buffer(si);
@@ -96,6 +97,7 @@ Status ReceiveFullCycle(broadcast::ClientSession& session,
     seg.complete = s.received_packets[si] == seg.packet_ok.size();
     if (!seg.complete && !force) return;
     s.delivered[si] = 1;
+    ++delivered_count;
     on_segment(seg);
   };
 
@@ -108,6 +110,13 @@ Status ReceiveFullCycle(broadcast::ClientSession& session,
   // land in the scratch's segment buffers — no allocation either way.
   session.MarkContentStart();
   const uint32_t total = cycle.total_packets();
+  // On a scheduled channel one pass over "the whole cycle" means one macro
+  // cycle — hot groups repeat, so distinct content is spread over more
+  // slots — but the sweep stops the moment every segment has been heard
+  // (the flat sweep keeps its historical fixed length: with no duplicates,
+  // the last packet of the pass is the last packet of content anyway).
+  const bool scheduled = session.channel().scheduled();
+  const uint64_t sweep = session.channel().session_cycle_packets();
   const bool fec_on = session.channel().fec().enabled();
   broadcast::FecGroupRun fec_run;
   auto fec_fill = [&](uint64_t abs) {
@@ -116,7 +125,8 @@ Status ReceiveFullCycle(broadcast::ClientSession& session,
     ingest(v);
     try_deliver(v.segment_index, /*force=*/false);
   };
-  for (uint32_t i = 0; i < total; ++i) {
+  for (uint64_t i = 0; i < sweep; ++i) {
+    if (scheduled && delivered_count == num_segments) break;
     const uint64_t abs = session.position();
     auto view = session.ReceiveNext();
     if (fec_on) fec_run.Observe(session, abs, view.has_value(), fec_fill);

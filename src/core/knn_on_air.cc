@@ -26,7 +26,6 @@ KnnResult RunKnnQuery(const EbSystem& system,
   const broadcast::BroadcastCycle& cycle = system.cycle();
   broadcast::ClientSession session(&channel,
                                    TuneInPosition(cycle, query.tune_phase));
-  const uint32_t total = cycle.total_packets();
   double cpu_ms = 0.0;
 
   // Receive the next index copy.
@@ -42,8 +41,7 @@ KnnResult RunKnnQuery(const EbSystem& system,
         index_start = view->cycle_pos;
         index_seg = broadcast::CompleteSegmentFrom(session, *view);
       } else {
-        index_start = static_cast<uint32_t>(
-            (view->cycle_pos + view->next_index_offset) % total);
+        index_start = broadcast::NextIndexTarget(session, *view);
         index_seg = ReceiveSegmentAt(session, index_start);
       }
     }

@@ -89,7 +89,7 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
     const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
-  broadcast::ClientSession session(&channel, StartPosition(cycle_, query));
+  broadcast::ClientSession session(&channel, StartPosition(channel, query));
 
   std::optional<QueryScratch> local_scratch;
   QueryScratch& s =

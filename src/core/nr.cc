@@ -185,7 +185,7 @@ device::QueryMetrics NrSystem::RunQuery(
     const ClientOptions& options, QueryScratch* scratch) const {
   device::QueryMetrics metrics;
   device::MemoryTracker memory(options.heap_bytes);
-  broadcast::ClientSession session(&channel, StartPosition(cycle_, query));
+  broadcast::ClientSession session(&channel, StartPosition(channel, query));
   const uint32_t total = cycle_.total_packets();
   double cpu_ms = 0.0;
 
@@ -207,8 +207,7 @@ device::QueryMetrics NrSystem::RunQuery(
         broadcast::CompleteSegmentFrom(session, *view, out);
         return;
       }
-      idx_start = static_cast<uint32_t>(
-          (view->cycle_pos + view->next_index_offset) % total);
+      idx_start = broadcast::NextIndexTarget(session, *view);
       broadcast::ReceiveSegmentAt(session, idx_start, out);
       return;
     }

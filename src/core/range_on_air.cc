@@ -39,8 +39,7 @@ RangeResult RunRangeQuery(const EbSystem& system,
         index_start = view->cycle_pos;
         index_seg = broadcast::CompleteSegmentFrom(session, *view);
       } else {
-        index_start = static_cast<uint32_t>(
-            (view->cycle_pos + view->next_index_offset) % total);
+        index_start = broadcast::NextIndexTarget(session, *view);
         index_seg = ReceiveSegmentAt(session, index_start);
       }
     }

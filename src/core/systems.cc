@@ -1,5 +1,7 @@
 #include "core/systems.h"
 
+#include <algorithm>
+
 #include "core/arcflag_on_air.h"
 #include "core/dijkstra_on_air.h"
 #include "core/eb.h"
@@ -110,7 +112,10 @@ Result<std::shared_ptr<const AirSystem>> SystemRegistry::Get(
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      it->second.tick = ++use_tick_;
+      return it->second.system;
+    }
   }
   // Build outside the lock: pre-computation can take seconds and other
   // methods' lookups shouldn't serialize behind it. A racing builder of the
@@ -118,8 +123,12 @@ Result<std::shared_ptr<const AirSystem>> SystemRegistry::Get(
   AIRINDEX_ASSIGN_OR_RETURN(auto built, BuildSystem(g, method, params));
   std::shared_ptr<const AirSystem> sys(std::move(built));
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = cache_.emplace(std::move(key), std::move(sys));
-  return it->second;
+  auto [it, inserted] =
+      cache_.emplace(std::move(key), Entry{std::move(sys), ++use_tick_});
+  if (!inserted) it->second.tick = use_tick_;
+  std::shared_ptr<const AirSystem> result = it->second.system;
+  EvictOverCapacityLocked();
+  return result;
 }
 
 Result<SharedSystems> SystemRegistry::GetAll(const graph::Graph& g,
@@ -135,6 +144,28 @@ Result<SharedSystems> SystemRegistry::GetAll(const graph::Graph& g,
 size_t SystemRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();
+}
+
+size_t SystemRegistry::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void SystemRegistry::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A zero cap would make every Get rebuild; keep at least one slot.
+  capacity_ = std::max<size_t>(1, capacity);
+  EvictOverCapacityLocked();
+}
+
+void SystemRegistry::EvictOverCapacityLocked() {
+  while (cache_.size() > capacity_) {
+    auto lru = cache_.begin();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second.tick < lru->second.tick) lru = it;
+    }
+    cache_.erase(lru);
+  }
 }
 
 void SystemRegistry::Clear() {

@@ -84,6 +84,19 @@ class SystemRegistry {
   /// Number of cached systems.
   size_t size() const;
 
+  /// Most cached systems kept at once (default kDefaultCapacity). When an
+  /// insert pushes the cache past the cap, the least-recently-used entries
+  /// are dropped — parameter sweeps that vary knobs/encodings/schedules
+  /// across many graphs stop accumulating dead pre-computations. Shrinking
+  /// the cap evicts immediately. Outstanding shared_ptrs keep evicted
+  /// systems alive; a later Get simply rebuilds.
+  size_t capacity() const;
+  void set_capacity(size_t capacity);
+
+  /// Generous default: a full seven-system fleet on a handful of graphs
+  /// and knob settings fits without any eviction.
+  static constexpr size_t kDefaultCapacity = 256;
+
   /// Drops every cached system.
   void Clear();
 
@@ -108,8 +121,20 @@ class SystemRegistry {
     size_t operator()(const Key& k) const;
   };
 
+  struct Entry {
+    std::shared_ptr<const AirSystem> system;
+    /// Last-touch stamp from use_tick_ (monotonic, under mu_).
+    uint64_t tick = 0;
+  };
+
+  /// Drops least-recently-used entries until size() <= capacity_.
+  /// Caller holds mu_.
+  void EvictOverCapacityLocked();
+
   mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<const AirSystem>, KeyHash> cache_;
+  std::unordered_map<Key, Entry, KeyHash> cache_;
+  size_t capacity_ = kDefaultCapacity;
+  uint64_t use_tick_ = 0;
 };
 
 }  // namespace airindex::core

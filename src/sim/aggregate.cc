@@ -38,6 +38,7 @@ Stat StatOf(std::span<const double> values) {
   s.mean = sum / static_cast<double>(sorted.size());
   s.p50 = NearestRank(sorted, 0.50);
   s.p95 = NearestRank(sorted, 0.95);
+  s.p99 = NearestRank(sorted, 0.99);
   s.max = sorted.back();
   return s;
 }

@@ -18,6 +18,7 @@ struct Stat {
   double mean = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
   double max = 0.0;
 
   bool operator==(const Stat&) const = default;

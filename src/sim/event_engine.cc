@@ -2,11 +2,38 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
+#include <numeric>
+#include <optional>
 
 #include "common/thread_pool.h"
 #include "core/query_scratch.h"
 
 namespace airindex::sim {
+
+namespace {
+
+/// Wait/listen pricing shared by every event-engine path. With FEC on, the
+/// on-air timeline is longer than the logical packet count (parity slots),
+/// so the session's physical-slot window is priced; the FEC-off branch
+/// keeps the historical packet-count formula verbatim — bit-identical when
+/// the code is off.
+void PriceLatency(device::QueryMetrics& m, double boundary_ms, double pkt_ms,
+                  double slot_ms, bool fec_on) {
+  if (fec_on) {
+    m.wait_ms = (boundary_ms > 0.0 ? boundary_ms : 0.0) +
+                static_cast<double>(m.wait_slots) * slot_ms;
+    m.listen_ms =
+        static_cast<double>(m.latency_slots - m.wait_slots) * slot_ms;
+  } else {
+    m.wait_ms = (boundary_ms > 0.0 ? boundary_ms : 0.0) +
+                static_cast<double>(m.wait_packets) * pkt_ms;
+    m.listen_ms =
+        static_cast<double>(m.latency_packets - m.wait_packets) * pkt_ms;
+  }
+}
+
+}  // namespace
 
 unsigned EventEngine::effective_threads() const {
   return ResolveThreads(options_.threads);
@@ -25,11 +52,39 @@ broadcast::Station EventEngine::MakeStation(
 
 SystemResult EventEngine::RunSystem(const core::AirSystem& sys,
                                     const workload::Workload& w) const {
+  if (options_.schedule.mode == SchedulePolicy::Mode::kOnline) {
+    return RunSystemOnline(sys, w);
+  }
+
   SystemResult result;
   result.system = std::string(sys.name());
   result.per_query.resize(w.queries.size());
 
-  const broadcast::Station station = MakeStation(sys);
+  // Static broadcast-disk schedule: planned once from the analytic demand
+  // profile and transmitted for the whole run. A flat policy (or a planner
+  // that collapses to the flat spec) leaves the station schedule-free —
+  // the historical timeline, bit for bit.
+  std::optional<broadcast::BroadcastSchedule> sched;
+  broadcast::StationOptions so;
+  so.bits_per_second = options_.bits_per_second;
+  so.loss = options_.loss;
+  so.seed = options_.station_seed;
+  so.subchannels = options_.subchannels;
+  so.fec = options_.fec;
+  if (options_.schedule.mode == SchedulePolicy::Mode::kStatic) {
+    broadcast::ScheduleSpec spec =
+        PlanStaticSpec(sys.cycle(), options_.schedule_demand,
+                       options_.schedule, options_.encoding);
+    if (!spec.flat()) {
+      auto compiled =
+          broadcast::BroadcastSchedule::Compile(&sys.cycle(), std::move(spec));
+      if (compiled.ok()) {
+        sched = std::move(compiled).value();
+        so.schedule = &*sched;
+      }
+    }
+  }
+  const broadcast::Station station(&sys.cycle(), so);
   const double pkt_ms = station.PacketMs();
   const double slot_ms = station.SlotMs();
   const double cycle_ms = station.CycleMs();
@@ -62,23 +117,7 @@ SystemResult EventEngine::RunSystem(const core::AirSystem& sys,
           // joined packet starts transmitting is dozing too.
           const double boundary_ms =
               station.TimeAtMs(q.arrival_pos, sub) - arrival_ms;
-          if (fec_on) {
-            // Parity slots stretch the on-air timeline past the logical
-            // packet count, so price the session's physical-slot window
-            // (the FEC-off branch keeps the historical formula verbatim —
-            // bit-identical when the code is off).
-            m.wait_ms = (boundary_ms > 0.0 ? boundary_ms : 0.0) +
-                        static_cast<double>(m.wait_slots) * slot_ms;
-            m.listen_ms = static_cast<double>(m.latency_slots -
-                                              m.wait_slots) *
-                          slot_ms;
-          } else {
-            m.wait_ms = (boundary_ms > 0.0 ? boundary_ms : 0.0) +
-                        static_cast<double>(m.wait_packets) * pkt_ms;
-            m.listen_ms = static_cast<double>(m.latency_packets -
-                                              m.wait_packets) *
-                          pkt_ms;
-          }
+          PriceLatency(m, boundary_ms, pkt_ms, slot_ms, fec_on);
           if (options_.deterministic) m.cpu_ms = 0.0;
           result.per_query[i] = m;
         },
@@ -100,6 +139,128 @@ SystemResult EventEngine::RunSystem(const core::AirSystem& sys,
   return result;
 }
 
+SystemResult EventEngine::RunSystemOnline(const core::AirSystem& sys,
+                                          const workload::Workload& w) const {
+  SystemResult result;
+  result.system = std::string(sys.name());
+  result.per_query.resize(w.queries.size());
+
+  const broadcast::BroadcastCycle& cycle = sys.cycle();
+  const size_t n = w.queries.size();
+  const bool fec_on = options_.fec.enabled();
+
+  // Epoch plan (serial, deterministic): walk arrivals in time order; at
+  // each epoch boundary the re-planner may adopt a new spec, which stands
+  // up a new station whose clock restarts at the boundary. Every query is
+  // assigned the station of its arrival epoch with an epoch-relative
+  // arrival instant, so the parallel phase below is a pure per-query map —
+  // byte-identical for any thread count.
+  OnlineReplanner planner(
+      &cycle, NodeGroups(cycle, graph_->num_nodes(), options_.encoding),
+      options_.schedule);
+  std::deque<broadcast::BroadcastSchedule> schedules;
+  std::deque<broadcast::Station> stations;
+  auto push_station = [&](const broadcast::ScheduleSpec& spec) {
+    broadcast::StationOptions so;
+    so.bits_per_second = options_.bits_per_second;
+    so.loss = options_.loss;
+    so.seed = options_.station_seed;
+    so.subchannels = options_.subchannels;
+    so.fec = options_.fec;
+    if (!spec.flat()) {
+      auto compiled = broadcast::BroadcastSchedule::Compile(&cycle, spec);
+      if (compiled.ok()) {
+        schedules.push_back(std::move(compiled).value());
+        so.schedule = &schedules.back();
+      }
+    }
+    stations.emplace_back(&cycle, so);
+    return &stations.back();
+  };
+  const broadcast::Station* station = push_station(planner.spec());
+  const double flat_cycle_ms = station->CycleMs();
+
+  std::vector<double> arrival(n);
+  for (size_t i = 0; i < n; ++i) {
+    const workload::Query& wq = w.queries[i];
+    arrival[i] =
+        wq.arrival_ms >= 0.0 ? wq.arrival_ms : wq.tune_phase * flat_cycle_ms;
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return arrival[a] < arrival[b];
+  });
+
+  std::vector<const broadcast::Station*> station_of(n, station);
+  std::vector<double> epoch_start_of(n, 0.0);
+  const auto replan_cycles =
+      static_cast<double>(std::max(1u, options_.schedule.replan_cycles));
+  double epoch_start = 0.0;
+  size_t k = 0;
+  while (k < n) {
+    const double epoch_ms = replan_cycles * station->CycleMs();
+    if (!(epoch_ms > 0.0)) {
+      for (; k < n; ++k) {
+        station_of[order[k]] = station;
+        epoch_start_of[order[k]] = epoch_start;
+      }
+      break;
+    }
+    const double epoch_end = epoch_start + epoch_ms;
+    while (k < n && arrival[order[k]] < epoch_end) {
+      const size_t i = order[k];
+      station_of[i] = station;
+      epoch_start_of[i] = epoch_start;
+      planner.ObserveDestination(w.queries[i].target);
+      ++k;
+    }
+    if (k == n) break;
+    if (planner.Replan()) station = push_station(planner.spec());
+    epoch_start = epoch_end;
+  }
+
+  std::vector<core::QueryScratch> scratch(
+      ResolveWorkers(n, options_.threads));
+
+  const unsigned repeat = std::max(1u, options_.repeat);
+  double best_wall = 0.0;
+  for (unsigned rep = 0; rep < repeat; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    ParallelForWorker(
+        n,
+        [&](unsigned worker, size_t i) {
+          const broadcast::Station& st = *station_of[i];
+          const double local_ms = arrival[i] - epoch_start_of[i];
+          const uint32_t sub = st.SubchannelOf(i);
+          core::AirQuery q = core::MakeAirQuery(*graph_, w.queries[i]);
+          q.arrival_pos = st.PositionAt(local_ms, sub);
+          device::QueryMetrics m = sys.RunQuery(
+              st.channel(sub), q, options_.client, &scratch[worker]);
+          const double boundary_ms =
+              st.TimeAtMs(q.arrival_pos, sub) - local_ms;
+          PriceLatency(m, boundary_ms, st.PacketMs(), st.SlotMs(), fec_on);
+          if (options_.deterministic) m.cpu_ms = 0.0;
+          result.per_query[i] = m;
+        },
+        options_.threads);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    best_wall = rep == 0 ? wall : std::min(best_wall, wall);
+  }
+  result.wall_seconds = best_wall;
+  result.queries_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(n) / result.wall_seconds
+          : 0.0;
+
+  result.aggregate =
+      Aggregate::Of(result.system, result.per_query, energy_model());
+  return result;
+}
+
 BatchResult EventEngine::Run(
     std::span<const core::AirSystem* const> systems,
     const workload::Workload& w) const {
@@ -113,6 +274,7 @@ BatchResult EventEngine::Run(
   batch.loss_seed = options_.station_seed;
   batch.subchannels = options_.subchannels;
   batch.fec = options_.fec;
+  batch.schedule_mode = std::string(ScheduleModeName(options_.schedule.mode));
   const auto start = std::chrono::steady_clock::now();
   for (const core::AirSystem* sys : systems) {
     batch.systems.push_back(RunSystem(*sys, w));

@@ -38,6 +38,16 @@ struct EventOptions {
   bool deterministic = false;
   /// Min-of-N wall-time repetitions (see SimOptions::repeat).
   unsigned repeat = 1;
+  /// Broadcast-disk scheduling of the station (see SchedulePolicy). kStatic
+  /// plans one spec per system from `schedule_demand`; kOnline re-plans
+  /// every `replan_cycles` cycles from the destinations of the queries that
+  /// have arrived so far — the adopted spec sequence is a pure function of
+  /// the arrival order, so runs stay bit-identical across thread counts.
+  SchedulePolicy schedule;
+  /// Per-node destination demand for the static planner (empty = uniform).
+  std::vector<double> schedule_demand;
+  /// Wire encoding of the cycles' payloads (node-to-group decoding).
+  broadcast::CycleEncoding encoding = broadcast::CycleEncoding::kLegacy;
 };
 
 /// The discrete-event shared-channel engine. Where sim::Simulator replays a
@@ -77,8 +87,11 @@ class EventEngine {
   }
   unsigned effective_threads() const;
 
-  /// The station this engine would stand up for `sys` (exposed for tests
-  /// and for callers that want the clock mapping).
+  /// The *flat* station this engine would stand up for `sys` (exposed for
+  /// tests and for callers that want the clock mapping). Scheduled
+  /// stations are built internally — their timeline (and therefore the
+  /// clock mapping) depends on the planned spec, whose compiled form must
+  /// outlive the station.
   broadcast::Station MakeStation(const core::AirSystem& sys) const;
 
   /// Runs every workload query as one client arriving on the shared
@@ -92,6 +105,12 @@ class EventEngine {
                   const workload::Workload& w) const;
 
  private:
+  /// The kOnline path: epoch-partitions the fleet by arrival instant,
+  /// re-planning the station timeline at each epoch boundary from the
+  /// demand observed so far.
+  SystemResult RunSystemOnline(const core::AirSystem& sys,
+                               const workload::Workload& w) const;
+
   const graph::Graph* graph_;
   EventOptions options_;
 };

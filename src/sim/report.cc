@@ -21,6 +21,7 @@ void WriteStat(JsonWriter& w, std::string_view key, const Stat& s) {
   w.Field("mean", s.mean);
   w.Field("p50", s.p50);
   w.Field("p95", s.p95);
+  w.Field("p99", s.p99);
   w.Field("max", s.max);
   w.EndObject();
 }
@@ -35,6 +36,9 @@ Result<Stat> StatFromJson(const JsonValue& obj, std::string_view key) {
   AIRINDEX_ASSIGN_OR_RETURN(s.mean, GetNumber(it->second, "mean"));
   AIRINDEX_ASSIGN_OR_RETURN(s.p50, GetNumber(it->second, "p50"));
   AIRINDEX_ASSIGN_OR_RETURN(s.p95, GetNumber(it->second, "p95"));
+  // Additive in-schema field: older v1 writers stop at p95; their tails
+  // read back as 0 rather than failing the document.
+  AIRINDEX_ASSIGN_OR_RETURN(s.p99, GetNumberOr(it->second, "p99", 0.0));
   AIRINDEX_ASSIGN_OR_RETURN(s.max, GetNumber(it->second, "max"));
   return s;
 }
@@ -54,19 +58,20 @@ void AppendSystemTable(std::string& out,
                        std::span<const SystemResult> systems) {
   char line[320];
   std::snprintf(line, sizeof(line),
-                "%-6s %12s %12s %12s %10s %10s %10s %10s %8s %10s %6s\n",
+                "%-6s %12s %12s %12s %10s %10s %10s %10s %10s %8s %10s "
+                "%6s\n",
                 "method", "tuning[pkt]", "p95[pkt]", "latency[pkt]",
-                "wait[ms]", "listen[ms]", "mem[MB]", "energy[J]", "cpu[ms]",
-                "qps", "fail");
+                "wait[ms]", "w99[ms]", "listen[ms]", "mem[MB]", "energy[J]",
+                "cpu[ms]", "qps", "fail");
   out += line;
   for (const SystemResult& r : systems) {
     const Aggregate& a = r.aggregate;
     std::snprintf(line, sizeof(line),
-                  "%-6s %12.0f %12.0f %12.0f %10.1f %10.1f %10.2f %10.3f "
-                  "%8.2f %10.0f %6zu\n",
+                  "%-6s %12.0f %12.0f %12.0f %10.1f %10.1f %10.1f %10.2f "
+                  "%10.3f %8.2f %10.0f %6zu\n",
                   a.system.c_str(), a.tuning_packets.mean,
                   a.tuning_packets.p95, a.latency_packets.mean,
-                  a.wait_ms.mean, a.listen_ms.mean,
+                  a.wait_ms.mean, a.wait_ms.p99, a.listen_ms.mean,
                   a.peak_memory_bytes.mean / (1024.0 * 1024.0),
                   a.energy_joules.mean, a.cpu_ms.mean, r.queries_per_second,
                   a.failures);
@@ -185,6 +190,11 @@ std::string ToJson(const BatchResult& batch) {
   w.BeginObject();
   w.Field("schema", kReportSchema);
   w.Field("engine", batch.engine);
+  // Additive in-schema field: emitted only for scheduled runs, so flat
+  // documents keep the historical key set.
+  if (batch.schedule_mode != "flat") {
+    w.Field("schedule", batch.schedule_mode);
+  }
   w.Field("num_queries", static_cast<uint64_t>(batch.num_queries));
   w.Field("threads", static_cast<uint64_t>(batch.threads));
   w.Field("loss_rate", batch.loss_rate);
@@ -223,6 +233,8 @@ Result<BatchResult> FromJson(std::string_view json) {
   // Additive in-schema field: older v1 writers only knew the batch engine.
   AIRINDEX_ASSIGN_OR_RETURN(batch.engine,
                             GetStringOr(root, "engine", "batch"));
+  AIRINDEX_ASSIGN_OR_RETURN(batch.schedule_mode,
+                            GetStringOr(root, "schedule", "flat"));
   AIRINDEX_ASSIGN_OR_RETURN(uint64_t nq, GetUint64(root, "num_queries"));
   batch.num_queries = static_cast<size_t>(nq);
   AIRINDEX_ASSIGN_OR_RETURN(uint64_t threads, GetUint64(root, "threads"));

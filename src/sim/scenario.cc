@@ -167,6 +167,38 @@ Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
     return Status::InvalidArgument("unknown engine \"" + engine +
                                    "\" (batch|event)");
   }
+  if (s.schedule.mode == SchedulePolicy::Mode::kOnline &&
+      engine != "event") {
+    return Status::InvalidArgument(
+        "online schedule re-planning needs --engine=event (the batch "
+        "engine's private per-query replays have no shared timeline to "
+        "observe demand on)");
+  }
+
+  // Static broadcast-disk planning weights groups by the fleet's merged
+  // destination distribution: each group's analytic per-node demand,
+  // count-weighted. Resolved here (not per group) because every group
+  // listens to the *same* station timeline.
+  std::vector<double> schedule_demand;
+  if (s.schedule.mode == SchedulePolicy::Mode::kStatic) {
+    schedule_demand.assign(g.num_nodes(), 0.0);
+    size_t total_count = 0;
+    for (size_t gi = 0; gi < s.groups.size(); ++gi) {
+      workload::WorkloadSpec wspec = s.groups[gi].workload;
+      if (wspec.seed == 0) wspec.seed = DeriveSeed(s.seed, kWorkloadSalt, gi);
+      const std::vector<double> dw =
+          workload::DestinationWeights(g.num_nodes(), wspec);
+      for (size_t v = 0; v < dw.size(); ++v) {
+        schedule_demand[v] += static_cast<double>(counts[gi]) * dw[v];
+      }
+      total_count += counts[gi];
+    }
+    if (total_count > 0) {
+      for (double& d : schedule_demand) {
+        d /= static_cast<double>(total_count);
+      }
+    }
+  }
 
   // One build per (method, knob) across all groups, via the registry.
   core::SharedSystems shared;
@@ -181,6 +213,7 @@ Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
   result.network = s.network;
   result.engine = engine;
   result.subchannels = engine == "event" ? std::max(1u, s.subchannels) : 1;
+  result.schedule_mode = std::string(ScheduleModeName(s.schedule.mode));
   result.scale = s.scale;
 
   const auto start = std::chrono::steady_clock::now();
@@ -226,6 +259,9 @@ Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
       eo.profile = profile;
       eo.bits_per_second = gr.spec.bits_per_second;
       eo.deterministic = options_.deterministic;
+      eo.schedule = s.schedule;
+      eo.schedule_demand = schedule_demand;
+      eo.encoding = s.params.build.encoding;
       EventEngine event_engine(g, eo);
       result.threads = event_engine.effective_threads();
       for (const auto& sys : shared) {
@@ -242,6 +278,9 @@ Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
       so.profile = profile;
       so.bits_per_second = gr.spec.bits_per_second;
       so.deterministic = options_.deterministic;
+      so.schedule = s.schedule;
+      so.schedule_demand = schedule_demand;
+      so.encoding = s.params.build.encoding;
       Simulator simulator(g, so);
       result.threads = simulator.effective_threads();
       for (const auto& sys : shared) {
@@ -450,6 +489,64 @@ Result<ClientGroupSpec> GroupFromJson(const JsonValue& obj) {
   return g;
 }
 
+Result<SchedulePolicy> ScheduleFromJson(const JsonValue& obj) {
+  SchedulePolicy p;
+  AIRINDEX_ASSIGN_OR_RETURN(std::string mode, GetStringOr(obj, "mode", "flat"));
+  if (mode == "flat") {
+    p.mode = SchedulePolicy::Mode::kFlat;
+  } else if (mode == "disks" || mode == "static") {
+    p.mode = SchedulePolicy::Mode::kStatic;
+  } else if (mode == "online") {
+    p.mode = SchedulePolicy::Mode::kOnline;
+  } else {
+    return Status::InvalidArgument("unknown schedule mode \"" + mode +
+                                   "\" (flat|disks|online)");
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t disks,
+                            GetUint64Or(obj, "disks", p.disks));
+  if (disks == 0 || disks > 16) {
+    return Status::InvalidArgument("schedule disks must be in [1, 16]");
+  }
+  p.disks = static_cast<uint32_t>(disks);
+  if (auto it = obj.object.find("rates"); it != obj.object.end()) {
+    if (it->second.type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("schedule rates must be an array");
+    }
+    for (const JsonValue& v : it->second.array) {
+      if (v.type != JsonValue::Type::kNumber || !(v.number >= 1.0)) {
+        return Status::InvalidArgument(
+            "schedule rates must hold numbers >= 1");
+      }
+      p.rates.push_back(static_cast<uint32_t>(v.number));
+    }
+    if (p.rates.size() != p.disks) {
+      return Status::InvalidArgument(
+          "schedule rates must list one spin per disk");
+    }
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(
+      uint64_t replan, GetUint64Or(obj, "replan_cycles", p.replan_cycles));
+  if (replan == 0) {
+    return Status::InvalidArgument("schedule replan_cycles must be >= 1");
+  }
+  p.replan_cycles = static_cast<uint32_t>(replan);
+  AIRINDEX_ASSIGN_OR_RETURN(p.decay, GetNumberOr(obj, "decay", p.decay));
+  if (!(p.decay >= 0.0) || p.decay > 1.0) {
+    return Status::InvalidArgument("schedule decay must be in [0, 1]");
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(p.hysteresis,
+                            GetNumberOr(obj, "hysteresis", p.hysteresis));
+  if (!(p.hysteresis >= 0.0) || p.hysteresis >= 1.0) {
+    return Status::InvalidArgument("schedule hysteresis must be in [0, 1)");
+  }
+  AIRINDEX_ASSIGN_OR_RETURN(p.min_skew,
+                            GetNumberOr(obj, "min_skew", p.min_skew));
+  if (!(p.min_skew >= 0.0)) {
+    return Status::InvalidArgument("schedule min_skew must be >= 0");
+  }
+  return p;
+}
+
 Result<core::SystemParams> ParamsFromJson(const JsonValue& obj) {
   core::SystemParams p;
   AIRINDEX_ASSIGN_OR_RETURN(
@@ -503,6 +600,15 @@ Result<Scenario> ScenarioFromJson(std::string_view json) {
     return Status::InvalidArgument("subchannels must be >= 1");
   }
   s.subchannels = static_cast<uint32_t>(subs);
+
+  // Additive airindex.sim.scenario/v1 field: broadcast-disk scheduling.
+  // Absent = flat (the historical timeline).
+  if (auto it = root.object.find("schedule"); it != root.object.end()) {
+    if (it->second.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("schedule must be an object");
+    }
+    AIRINDEX_ASSIGN_OR_RETURN(s.schedule, ScheduleFromJson(it->second));
+  }
 
   if (auto it = root.object.find("systems"); it != root.object.end()) {
     if (it->second.type != JsonValue::Type::kArray) {
@@ -602,6 +708,31 @@ std::string ScenarioToJson(const Scenario& s) {
   w.Field("total_queries", static_cast<uint64_t>(s.total_queries));
   w.Field("engine", s.engine);
   w.Field("subchannels", static_cast<uint64_t>(s.subchannels));
+  if (!s.schedule.flat()) {
+    w.Key("schedule");
+    w.BeginObject();
+    w.Field("mode", s.schedule.mode == SchedulePolicy::Mode::kOnline
+                        ? "online"
+                        : "disks");
+    w.Field("disks", static_cast<uint64_t>(s.schedule.disks));
+    if (!s.schedule.rates.empty()) {
+      w.BeginArray("rates");
+      for (uint32_t r : s.schedule.rates) {
+        w.Element(static_cast<uint64_t>(r));
+      }
+      w.EndArray();
+    }
+    if (s.schedule.mode == SchedulePolicy::Mode::kOnline) {
+      w.Field("replan_cycles",
+              static_cast<uint64_t>(s.schedule.replan_cycles));
+      w.Field("decay", s.schedule.decay);
+      w.Field("hysteresis", s.schedule.hysteresis);
+    }
+    if (s.schedule.min_skew != SchedulePolicy{}.min_skew) {
+      w.Field("min_skew", s.schedule.min_skew);
+    }
+    w.EndObject();
+  }
   w.BeginArray("systems");
   for (const std::string& name : s.EffectiveSystems()) w.Element(name);
   w.EndArray();
@@ -682,6 +813,11 @@ std::string ScenarioToText(const ScenarioResult& r) {
     }
     out += line;
   }
+  if (r.schedule_mode != "flat") {
+    std::snprintf(line, sizeof(line), "# schedule %s\n",
+                  r.schedule_mode.c_str());
+    out += line;
+  }
   for (const GroupResult& gr : r.groups) {
     if (gr.spec.loss.burst_len > 1) {
       std::snprintf(line, sizeof(line),
@@ -732,6 +868,9 @@ std::string ScenarioReportToJson(const ScenarioResult& r) {
   w.Field("network", r.network);
   w.Field("engine", r.engine);
   w.Field("subchannels", static_cast<uint64_t>(r.subchannels));
+  // Additive field, written only for scheduled runs — flat reports stay
+  // byte-identical to pre-scheduler builds.
+  if (r.schedule_mode != "flat") w.Field("schedule", r.schedule_mode);
   w.Field("scale", r.scale);
   w.Field("num_queries", static_cast<uint64_t>(r.num_queries));
   w.Field("threads", static_cast<uint64_t>(r.threads));
@@ -799,6 +938,8 @@ Result<ScenarioResult> ScenarioReportFromJson(std::string_view json) {
   AIRINDEX_ASSIGN_OR_RETURN(uint64_t subs,
                             GetUint64Or(root, "subchannels", 1));
   r.subchannels = static_cast<uint32_t>(subs);
+  AIRINDEX_ASSIGN_OR_RETURN(r.schedule_mode,
+                            GetStringOr(root, "schedule", "flat"));
   AIRINDEX_ASSIGN_OR_RETURN(r.scale, GetNumber(root, "scale"));
   AIRINDEX_ASSIGN_OR_RETURN(uint64_t nq, GetUint64(root, "num_queries"));
   r.num_queries = static_cast<size_t>(nq);

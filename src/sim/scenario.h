@@ -84,6 +84,11 @@ struct Scenario {
   /// Logical sub-channels of the event engine's station (ignored by the
   /// batch engine).
   uint32_t subchannels = 1;
+  /// Broadcast-disk scheduling of every station (additive schema field:
+  /// `schedule` object with mode "flat" | "disks" | "online"). Static
+  /// demand is derived from the fleet's merged destination distribution;
+  /// online mode requires the event engine.
+  SchedulePolicy schedule;
   /// Systems under test, paper names. Empty = all seven.
   std::vector<std::string> systems;
   core::SystemParams params;
@@ -112,6 +117,8 @@ struct ScenarioResult {
   /// station's sub-channel count.
   std::string engine = "batch";
   uint32_t subchannels = 1;
+  /// Broadcast-disk scheduling mode of the run ("flat"/"static"/"online").
+  std::string schedule_mode = "flat";
   double scale = 0.0;
   size_t num_queries = 0;
   unsigned threads = 1;

@@ -77,6 +77,41 @@ Scenario HotspotCity() {
   return s;
 }
 
+/// HotspotCity moved onto the shared-station event engine with the online
+/// broadcast-disk re-planner: Poisson arrivals span several re-plan epochs,
+/// so the demand estimator warms up on the flat timeline, observes the
+/// zipf hotspots, and adopts a square-root-rule disk schedule mid-run.
+Scenario HotspotCityDisks() {
+  Scenario s;
+  s.name = "hotspot-city-disks";
+  s.description =
+      "event engine: the hotspot-city zipf skew on a shared station whose "
+      "online re-planner adopts a broadcast-disk schedule from observed "
+      "demand";
+  s.network = "Milan";
+  s.scale = 0.15;
+  s.engine = "event";
+  s.total_queries = 60;
+  s.schedule.mode = SchedulePolicy::Mode::kOnline;
+
+  ClientGroupSpec locals = Group("locals", 2.0);
+  locals.workload.dest = workload::WorkloadSpec::Dest::kZipf;
+  locals.workload.zipf_s = 1.2;
+  locals.workload.arrival.kind = workload::ArrivalSpec::Kind::kPoisson;
+  locals.workload.arrival.rate_per_second = 3.0;
+  s.groups.push_back(std::move(locals));
+
+  ClientGroupSpec tourists = Group("tourists", 1.0);
+  tourists.profile = "smartphone";
+  tourists.bits_per_second = device::kBitrateMoving3G;
+  tourists.workload.dest = workload::WorkloadSpec::Dest::kZipf;
+  tourists.workload.zipf_s = 0.8;
+  tourists.workload.arrival.kind = workload::ArrivalSpec::Kind::kPoisson;
+  tourists.workload.arrival.rate_per_second = 1.5;
+  s.groups.push_back(std::move(tourists));
+  return s;
+}
+
 Scenario IotFleet() {
   Scenario s;
   s.name = "iot-fleet";
@@ -286,9 +321,9 @@ Scenario FlashCrowdFec() {
 const std::vector<Scenario>& Catalog() {
   static const std::vector<Scenario>* catalog = new std::vector<Scenario>{
       PaperBaseline(),    CommuterRush(),  HotspotCity(),
-      IotFleet(),         LossyTunnel(),   LossyTunnelFec(),
-      MixedFleet(),       MemboundPrecompute(), FlashCrowd(),
-      FlashCrowdFec()};
+      HotspotCityDisks(), IotFleet(),      LossyTunnel(),
+      LossyTunnelFec(),   MixedFleet(),    MemboundPrecompute(),
+      FlashCrowd(),       FlashCrowdFec()};
   return *catalog;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "common/thread_pool.h"
 #include "core/query_scratch.h"
@@ -31,6 +32,26 @@ SystemResult Simulator::RunSystem(const core::AirSystem& sys,
   std::vector<core::QueryScratch> scratch(
       ResolveWorkers(w.queries.size(), options_.threads));
 
+  // Static broadcast-disk schedule: planned once per system, shared
+  // read-only by every per-query channel replay. Flat mode (and a planner
+  // that collapses to the flat spec) keeps the channels schedule-free —
+  // the historical construction, bit for bit. Online mode has no meaning
+  // here (no shared timeline); callers reject it before reaching the
+  // engine, and a policy that slips through degrades to flat.
+  std::optional<broadcast::BroadcastSchedule> sched;
+  if (options_.schedule.mode == SchedulePolicy::Mode::kStatic) {
+    broadcast::ScheduleSpec spec = PlanStaticSpec(
+        sys.cycle(), options_.schedule_demand, options_.schedule,
+        options_.encoding);
+    if (!spec.flat()) {
+      auto compiled =
+          broadcast::BroadcastSchedule::Compile(&sys.cycle(), std::move(spec));
+      if (compiled.ok()) sched = std::move(compiled).value();
+    }
+  }
+  const broadcast::BroadcastSchedule* schedule =
+      sched.has_value() ? &*sched : nullptr;
+
   // Packet duration on this engine's (single, full-rate) channel — prices
   // the wait/listen split of the latency window in milliseconds. With FEC
   // on, the on-air timeline is longer than the logical packet count
@@ -50,7 +71,7 @@ SystemResult Simulator::RunSystem(const core::AirSystem& sys,
         [&](unsigned worker, size_t i) {
           broadcast::BroadcastChannel channel(
               &sys.cycle(), options_.loss,
-              QueryLossSeed(options_.loss_seed, i), options_.fec);
+              QueryLossSeed(options_.loss_seed, i), options_.fec, schedule);
           device::QueryMetrics m = sys.RunQuery(
               channel, core::MakeAirQuery(*graph_, w.queries[i]),
               options_.client, &scratch[worker]);
@@ -96,6 +117,7 @@ BatchResult Simulator::Run(std::span<const core::AirSystem* const> systems,
   batch.corrupt_bit = options_.loss.corrupt_bit;
   batch.loss_seed = options_.loss_seed;
   batch.fec = options_.fec;
+  batch.schedule_mode = std::string(ScheduleModeName(options_.schedule.mode));
   const auto start = std::chrono::steady_clock::now();
   for (const core::AirSystem* sys : systems) {
     batch.systems.push_back(RunSystem(*sys, w));

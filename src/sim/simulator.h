@@ -13,6 +13,7 @@
 #include "device/metrics.h"
 #include "graph/graph.h"
 #include "sim/aggregate.h"
+#include "sim/schedule_plan.h"
 #include "workload/workload.h"
 
 namespace airindex::sim {
@@ -47,6 +48,21 @@ struct SimOptions {
   /// by construction — except cpu_ms, which is wall-clock-measured and
   /// reported from the last repetition (zeroed under `deterministic`).
   unsigned repeat = 1;
+  /// Broadcast-disk scheduling of every station/channel. kFlat (default)
+  /// keeps the historical timeline bit-identically; kStatic plans one
+  /// square-root-rule spec per system from `schedule_demand`; kOnline is
+  /// the event engine's re-planning mode (rejected by the batch engine —
+  /// per-query private replays have no shared timeline to observe demand
+  /// on).
+  SchedulePolicy schedule;
+  /// Per-node destination demand the static planner weights groups by
+  /// (workload::DestinationWeights of the run's spec; scenario runs merge
+  /// their groups' distributions count-weighted). Empty = uniform, which
+  /// plans the flat spec.
+  std::vector<double> schedule_demand;
+  /// Wire encoding of the cycles' payloads (the planner decodes data
+  /// segments to map nodes to interleave groups).
+  broadcast::CycleEncoding encoding = broadcast::CycleEncoding::kLegacy;
 };
 
 /// One system's outcome over a workload.
@@ -87,9 +103,22 @@ struct BatchResult {
   uint32_t subchannels = 1;
   /// Station FEC code of the run (parity 0 = off).
   broadcast::FecScheme fec = {};
+  /// Broadcast-disk scheduling mode of the run ("flat", "static",
+  /// "online"). Additive JSON field; legacy readers ignore it.
+  std::string schedule_mode = "flat";
   double wall_seconds = 0.0;
   std::vector<SystemResult> systems;
 };
+
+/// Wire name of a SchedulePolicy mode ("flat" / "static" / "online").
+inline std::string_view ScheduleModeName(SchedulePolicy::Mode mode) {
+  switch (mode) {
+    case SchedulePolicy::Mode::kStatic: return "static";
+    case SchedulePolicy::Mode::kOnline: return "online";
+    case SchedulePolicy::Mode::kFlat: break;
+  }
+  return "flat";
+}
 
 /// The loss-RNG seed of query `index`. Every query gets its own stream,
 /// derived by SplitMix64 from the batch seed, so a query's channel replay

@@ -152,6 +152,33 @@ Result<Workload> GenerateWorkload(const graph::Graph& g, size_t count,
   return GenerateWorkload(g, spec);
 }
 
+std::vector<double> DestinationWeights(size_t num_nodes,
+                                       const WorkloadSpec& spec) {
+  std::vector<double> w(num_nodes, 0.0);
+  if (num_nodes == 0) return w;
+  if (spec.dest == WorkloadSpec::Dest::kUniform || spec.zipf_s <= 0.0) {
+    const double u = 1.0 / static_cast<double>(num_nodes);
+    std::fill(w.begin(), w.end(), u);
+    return w;
+  }
+  // Mirror ZipfSampler exactly: same permutation stream, same pmf.
+  std::vector<graph::NodeId> perm(num_nodes);
+  std::iota(perm.begin(), perm.end(), graph::NodeId{0});
+  Rng rng(spec.seed ^ 0x5a1fD15Cull);
+  for (size_t i = num_nodes - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.NextBounded(i + 1)]);
+  }
+  double total = 0.0;
+  for (size_t r = 0; r < num_nodes; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), spec.zipf_s);
+  }
+  for (size_t r = 0; r < num_nodes; ++r) {
+    w[perm[r]] =
+        1.0 / std::pow(static_cast<double>(r + 1), spec.zipf_s) / total;
+  }
+  return w;
+}
+
 std::vector<std::vector<size_t>> BucketizeByLength(const Workload& w,
                                                    int buckets) {
   std::vector<std::vector<size_t>> out(buckets);

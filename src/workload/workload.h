@@ -83,6 +83,14 @@ Result<Workload> GenerateWorkload(const graph::Graph& g,
 Result<Workload> GenerateWorkload(const graph::Graph& g, size_t count,
                                   uint64_t seed);
 
+/// Per-node destination probability mass of `spec` over `num_nodes` nodes —
+/// the analytic form of the distribution GenerateWorkload samples from
+/// (uniform: 1/n everywhere; zipf: the seed-derived rank permutation with
+/// p(rank r) ∝ 1/(r+1)^zipf_s). Lets a broadcast planner weight content by
+/// expected demand without sampling a workload first.
+std::vector<double> DestinationWeights(size_t num_nodes,
+                                       const WorkloadSpec& spec);
+
 /// Buckets query indexes by true shortest-path length into `buckets`
 /// equal-width ranges over [0, max_dist] (Fig. 10's "SP Range" axis). The
 /// paper uses 4 buckets over the observed path lengths.

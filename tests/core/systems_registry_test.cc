@@ -92,6 +92,46 @@ TEST(SystemRegistryTest, SharedInstancesSurviveClear) {
   EXPECT_GT(sys->cycle().total_packets(), 0u);
 }
 
+TEST(SystemRegistryTest, LruCapEvictsTheLeastRecentlyUsedEntry) {
+  SystemRegistry registry;
+  EXPECT_EQ(registry.capacity(), SystemRegistry::kDefaultCapacity);
+  registry.set_capacity(2);
+  graph::Graph g = SmallNetwork(300, 480, 21);
+
+  auto dj = registry.Get(g, "DJ").value();
+  auto nr = registry.Get(g, "NR").value();
+  EXPECT_EQ(registry.size(), 2u);
+
+  // Touch DJ so NR becomes the least recently used, then overflow.
+  EXPECT_EQ(registry.Get(g, "DJ").value().get(), dj.get());
+  auto eb = registry.Get(g, "EB").value();
+  EXPECT_EQ(registry.size(), 2u);
+
+  // DJ and EB survived; NR was evicted and rebuilds as a fresh instance
+  // that answers like the original (the caller's shared_ptr kept the old
+  // one alive through the eviction).
+  EXPECT_EQ(registry.Get(g, "DJ").value().get(), dj.get());
+  auto nr2 = registry.Get(g, "NR").value();
+  EXPECT_NE(nr2.get(), nr.get());
+  EXPECT_EQ(nr2->name(), nr->name());
+  EXPECT_EQ(nr2->cycle().total_packets(), nr->cycle().total_packets());
+}
+
+TEST(SystemRegistryTest, ShrinkingCapacityEvictsImmediately) {
+  SystemRegistry registry;
+  graph::Graph g = SmallNetwork(300, 480, 21);
+  registry.Get(g, "DJ").value();
+  registry.Get(g, "NR").value();
+  auto eb = registry.Get(g, "EB").value();
+  EXPECT_EQ(registry.size(), 3u);
+
+  registry.set_capacity(1);
+  EXPECT_EQ(registry.size(), 1u);
+  // The survivor is the most recently used entry.
+  EXPECT_EQ(registry.Get(g, "EB").value().get(), eb.get());
+  EXPECT_EQ(registry.size(), 1u);
+}
+
 TEST(SystemRegistryTest, UnknownMethodIsAnError) {
   SystemRegistry registry;
   graph::Graph g = SmallNetwork(300, 480, 21);

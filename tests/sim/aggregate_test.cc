@@ -18,6 +18,7 @@ TEST(StatOfTest, EmptyInputYieldsZeros) {
   EXPECT_EQ(s.mean, 0.0);
   EXPECT_EQ(s.p50, 0.0);
   EXPECT_EQ(s.p95, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
   EXPECT_EQ(s.max, 0.0);
 }
 
@@ -27,6 +28,7 @@ TEST(StatOfTest, SingleValueIsEveryStatistic) {
   EXPECT_EQ(s.mean, 42.0);
   EXPECT_EQ(s.p50, 42.0);
   EXPECT_EQ(s.p95, 42.0);
+  EXPECT_EQ(s.p99, 42.0);
   EXPECT_EQ(s.max, 42.0);
 }
 
@@ -38,6 +40,7 @@ TEST(StatOfTest, NearestRankPercentilesOnOneToHundred) {
   EXPECT_DOUBLE_EQ(s.mean, 50.5);
   EXPECT_EQ(s.p50, 50.0);
   EXPECT_EQ(s.p95, 95.0);
+  EXPECT_EQ(s.p99, 99.0);
   EXPECT_EQ(s.max, 100.0);
 }
 
@@ -47,6 +50,7 @@ TEST(StatOfTest, NearestRankRoundsUpOnSmallInputs) {
   Stat s = StatOf(v);
   EXPECT_EQ(s.p50, 20.0);
   EXPECT_EQ(s.p95, 30.0);
+  EXPECT_EQ(s.p99, 30.0);
   EXPECT_DOUBLE_EQ(s.mean, 20.0);
 }
 

@@ -14,6 +14,7 @@ Stat MakeStat(double base) {
   s.mean = base + 0.123456789012345;  // exercise shortest-round-trip output
   s.p50 = base;
   s.p95 = base * 1.9;
+  s.p99 = base * 2.2;
   s.max = base * 2.5e3;
   return s;
 }
@@ -90,6 +91,48 @@ TEST(ReportTest, SecondRoundTripIsIdentityOnTheText) {
   auto parsed = FromJson(json);
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(ToJson(*parsed), json);
+}
+
+TEST(ReportTest, AcceptsLegacyReportsWithoutP99) {
+  // p99 is additive within airindex.sim.batch/v1: documents from writers
+  // that stopped at p95 must keep parsing, with zero tails.
+  BatchResult batch = MakeBatch();
+  std::string json = ToJson(batch);
+  size_t pos;
+  size_t stripped = 0;
+  while ((pos = json.find("\"p99\":")) != std::string::npos) {
+    const size_t line_start = json.rfind('\n', pos) + 1;
+    const size_t line_end = json.find('\n', pos) + 1;
+    json.erase(line_start, line_end - line_start);
+    ++stripped;
+  }
+  ASSERT_GT(stripped, 0u);
+
+  auto parsed = FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Aggregate& a = parsed->systems[0].aggregate;
+  EXPECT_EQ(a.tuning_packets.p99, 0.0);
+  EXPECT_EQ(a.tuning_packets.p95, batch.systems[0].aggregate.tuning_packets.p95);
+  EXPECT_EQ(a.wait_ms.max, batch.systems[0].aggregate.wait_ms.max);
+}
+
+TEST(ReportTest, ScheduleFieldIsGatedAndRoundTrips) {
+  // Flat runs keep the historical key set; scheduled runs carry an
+  // additive "schedule" field that reads back, and legacy readers that
+  // ignore unknown keys are unaffected.
+  BatchResult batch = MakeBatch();
+  ASSERT_EQ(batch.schedule_mode, "flat");
+  EXPECT_EQ(ToJson(batch).find("\"schedule\""), std::string::npos);
+  auto flat_parsed = FromJson(ToJson(batch));
+  ASSERT_TRUE(flat_parsed.ok());
+  EXPECT_EQ(flat_parsed->schedule_mode, "flat");
+
+  batch.schedule_mode = "online";
+  std::string json = ToJson(batch);
+  EXPECT_NE(json.find("\"schedule\": \"online\""), std::string::npos);
+  auto parsed = FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->schedule_mode, "online");
 }
 
 TEST(ReportTest, AcceptsLegacyReportsWithoutBurstField) {

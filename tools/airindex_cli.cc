@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "broadcast/channel.h"
+#include "broadcast/schedule.h"
 #include "core/systems.h"
 #include "device/energy.h"
 #include "device/profile_catalog.h"
@@ -63,7 +64,13 @@ void PrintUsage(std::FILE* out) {
                "PREFIX.gr + PREFIX.co\n"
                "  airindex_cli inspect <network> [scale] [method] "
                "[regions] [encoding]\n"
-               "      (encoding: legacy|compact; default legacy)\n"
+               "      [schedule] [zipf_s]\n"
+               "      (encoding: legacy|compact; default legacy; a "
+               "schedule arg —\n"
+               "      see --schedule below — previews the broadcast-disk "
+               "layout\n"
+               "      planned for a zipf[zipf_s] destination demand, "
+               "default 0.9)\n"
                "  airindex_cli query <network> <scale> <method> <source> "
                "<target>\n"
                "  airindex_cli run <network> [--scale=F] [--queries=N] "
@@ -74,6 +81,9 @@ void PrintUsage(std::FILE* out) {
                "      [--landmarks=N] [--json[=FILE]] [--deterministic]\n"
                "      [--engine=batch|event] [--subchannels=N]\n"
                "      [--arrival=uniform|poisson|rush-hour] [--rate=F]\n"
+               "      [--schedule=flat|disks[:K[:r1,r2,...]]|"
+               "online[:R[,decay]]]\n"
+               "      [--zipf=F]\n"
                "      Simulate a batch of clients through the parallel "
                "engine\n"
                "      (--threads=0 uses all cores; --burst=N groups losses "
@@ -99,19 +109,30 @@ void PrintUsage(std::FILE* out) {
                "      clients/s, and latency splits into wait/listen ms;\n"
                "      --subchannels=N shards the station across N "
                "interleaved\n"
-               "      logical sub-channels).\n"
+               "      logical sub-channels; --zipf=F draws destinations "
+               "from a\n"
+               "      zipf[F] distribution; --schedule spins the cycle's "
+               "interleave\n"
+               "      groups on K broadcast disks — disks plans spin "
+               "rates once by\n"
+               "      the square-root rule from the analytic demand, "
+               "online\n"
+               "      re-plans every R cycles from observed demand "
+               "(event engine\n"
+               "      only; decay weights history)).\n"
                "  airindex_cli scenario --list | --name=NAME | "
                "--file=SPEC.json\n"
                "      [--threads=N] [--repeat=N] [--scale=F] [--queries=N] "
                "[--json[=FILE]]\n"
                "      [--deterministic] [--engine=batch|event]\n"
+               "      [--schedule=...]\n"
                "      Run a declarative multi-group scenario "
                "(airindex.sim.scenario/v1);\n"
                "      --list shows the built-in catalog, --scale/--queries "
                "override\n"
-               "      the spec for quick smoke runs, --engine overrides "
-               "the\n"
-               "      spec's engine field.\n");
+               "      the spec for quick smoke runs, --engine and "
+               "--schedule\n"
+               "      override the spec's engine/schedule fields.\n");
 }
 
 int Usage() {
@@ -157,6 +178,76 @@ bool ParseUintFlag(const char* arg, size_t prefix, uint64_t* out) {
   }
   *out = v;
   return true;
+}
+
+/// Parses a --schedule= value: "flat", "disks[:K[:r1,r2,...]]", or
+/// "online[:R[,decay]]" (K = disk count, r_i = spin rates fastest-first,
+/// R = re-plan epoch in cycles). Prints the offense and returns false on
+/// malformed input.
+bool ParseScheduleFlag(const char* value, sim::SchedulePolicy* out) {
+  auto fail = [&]() {
+    std::fprintf(stderr,
+                 "invalid --schedule value \"%s\" (flat | disks[:K[:r1,"
+                 "r2,...]] | online[:R[,decay]])\n",
+                 value);
+    return false;
+  };
+  *out = sim::SchedulePolicy{};
+  const std::string v(value);
+  if (v == "flat") return true;
+  if (v.rfind("disks", 0) == 0) {
+    out->mode = sim::SchedulePolicy::Mode::kStatic;
+    const char* rest = value + 5;
+    if (*rest == '\0') return true;
+    if (*rest != ':') return fail();
+    ++rest;
+    char* end = nullptr;
+    const unsigned long k = std::strtoul(rest, &end, 10);
+    if (end == rest || k < 1 || k > 16) return fail();
+    out->disks = static_cast<uint32_t>(k);
+    if (*end == '\0') return true;
+    if (*end != ':') return fail();
+    rest = end + 1;
+    while (*rest != '\0') {
+      const unsigned long r = std::strtoul(rest, &end, 10);
+      if (end == rest || r < 1) return fail();
+      out->rates.push_back(static_cast<uint32_t>(r));
+      rest = end;
+      if (*rest == ',') ++rest;
+      else if (*rest != '\0') return fail();
+    }
+    if (out->rates.size() != out->disks) {
+      std::fprintf(stderr,
+                   "--schedule=disks:%u lists %zu spin rates (need one per "
+                   "disk)\n",
+                   out->disks, out->rates.size());
+      return false;
+    }
+    return true;
+  }
+  if (v.rfind("online", 0) == 0) {
+    out->mode = sim::SchedulePolicy::Mode::kOnline;
+    const char* rest = value + 6;
+    if (*rest == '\0') return true;
+    if (*rest != ':') return fail();
+    ++rest;
+    char* end = nullptr;
+    const unsigned long r = std::strtoul(rest, &end, 10);
+    if (end == rest || r < 1) return fail();
+    out->replan_cycles = static_cast<uint32_t>(r);
+    if (*end == '\0') return true;
+    if (*end != ',') return fail();
+    rest = end + 1;
+    errno = 0;
+    const double decay = std::strtod(rest, &end);
+    if (end == rest || *end != '\0' || errno == ERANGE ||
+        !(decay >= 0.0) || decay > 1.0) {
+      return fail();
+    }
+    out->decay = decay;
+    return true;
+  }
+  return fail();
 }
 
 Result<std::unique_ptr<core::AirSystem>> BuildMethod(
@@ -261,6 +352,9 @@ int Inspect(int argc, char** argv) {
       return 2;
     }
   }
+  sim::SchedulePolicy schedule;
+  if (argc > 7 && !ParseScheduleFlag(argv[7], &schedule)) return 2;
+  const double zipf_s = argc > 8 ? std::atof(argv[8]) : 0.9;
 
   auto spec = graph::FindNetwork(argv[2]);
   if (!spec.ok()) {
@@ -310,6 +404,49 @@ int Inspect(int argc, char** argv) {
                 counts[t], packets[t],
                 100.0 * static_cast<double>(packets[t]) /
                     cycle.total_packets());
+  }
+  if (schedule.mode != sim::SchedulePolicy::Mode::kFlat) {
+    // Preview the static square-root plan for the requested disk shape
+    // under an analytic zipf destination demand (seed fixed so the layout
+    // is reproducible; online runs start from this same plan).
+    workload::WorkloadSpec dspec;
+    dspec.dest = workload::WorkloadSpec::Dest::kZipf;
+    dspec.zipf_s = zipf_s;
+    dspec.seed = 20100913;
+    const std::vector<double> demand =
+        workload::DestinationWeights(g->num_nodes(), dspec);
+    broadcast::ScheduleSpec sspec =
+        sim::PlanStaticSpec(cycle, demand, schedule, encoding);
+    if (sspec.flat()) {
+      std::printf("schedule: planner collapsed to the flat cycle "
+                  "(demand too even for %u disks)\n",
+                  schedule.disks);
+    } else {
+      auto compiled = broadcast::BroadcastSchedule::Compile(&cycle, sspec);
+      if (!compiled.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     compiled.status().ToString().c_str());
+        return 1;
+      }
+      const broadcast::BroadcastSchedule& bs = *compiled;
+      const auto layout = bs.DiskLayout();
+      std::printf("schedule: %zu disks over %zu groups (zipf %.2f demand), "
+                  "macro cycle %llu minor cycles, %zu packets, "
+                  "stretch %.3fx\n",
+                  layout.size(),
+                  static_cast<size_t>(bs.num_groups()), zipf_s,
+                  static_cast<unsigned long long>(bs.minor_cycles()),
+                  bs.macro_packets(), bs.Stretch());
+      for (size_t d = 0; d < layout.size(); ++d) {
+        const auto& disk = layout[d];
+        std::printf("  disk %zu: spin %2u, %4zu groups, %6zu packets "
+                    "(%.1f%% of cycle)\n",
+                    d, disk.spin, static_cast<size_t>(disk.groups),
+                    static_cast<size_t>(disk.packets),
+                    100.0 * static_cast<double>(disk.packets) /
+                        cycle.total_packets());
+      }
+    }
   }
   std::printf("server pre-computation: %.3f s\n",
               (*sys)->precompute_seconds());
@@ -397,6 +534,8 @@ int Run(int argc, char** argv) {
   std::string arrival = "none";
   double rate = 50.0;
   uint32_t subchannels = 1;
+  double zipf = 0.0;
+  sim::SchedulePolicy schedule;
   std::vector<std::string> names = {"DJ", "NR", "EB", "LD", "AF"};
 
   uint64_t u = 0;  // strict-parse staging for the narrow unsigned knobs
@@ -454,6 +593,14 @@ int Run(int argc, char** argv) {
         return 2;
       }
       subchannels = static_cast<uint32_t>(u);
+    } else if (std::strncmp(arg, "--zipf=", 7) == 0) {
+      if (!ParseDoubleFlag(arg, 7, &zipf)) return Usage();
+      if (!(zipf >= 0.0)) {
+        std::fprintf(stderr, "--zipf must be >= 0\n");
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--schedule=", 11) == 0) {
+      if (!ParseScheduleFlag(arg + 11, &schedule)) return 2;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       emit_json = true;
       json_path = arg + 7;
@@ -478,6 +625,13 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr,
                  "--arrival/--rate/--subchannels need --engine=event (the "
                  "batch engine has no shared station timeline)\n");
+    return 2;
+  }
+  if (engine != "event" &&
+      schedule.mode == sim::SchedulePolicy::Mode::kOnline) {
+    std::fprintf(stderr,
+                 "--schedule=online needs --engine=event (re-planning "
+                 "observes demand on the shared station timeline)\n");
     return 2;
   }
 
@@ -513,6 +667,10 @@ int Run(int argc, char** argv) {
   workload::WorkloadSpec wspec;
   wspec.count = queries;
   wspec.seed = seed;
+  if (zipf > 0.0) {
+    wspec.dest = workload::WorkloadSpec::Dest::kZipf;
+    wspec.zipf_s = zipf;
+  }
   auto arrival_kind = workload::ParseArrivalKind(arrival);
   if (!arrival_kind.ok()) {
     std::fprintf(stderr, "%s\n", arrival_kind.status().ToString().c_str());
@@ -527,6 +685,12 @@ int Run(int argc, char** argv) {
   }
 
   const broadcast::FecScheme fec = broadcast::FecScheme::OfRate(fec_rate);
+  // Static disk planning weights content by the run's analytic destination
+  // distribution (uniform demand plans the flat timeline).
+  std::vector<double> schedule_demand;
+  if (schedule.mode == sim::SchedulePolicy::Mode::kStatic) {
+    schedule_demand = workload::DestinationWeights(g->num_nodes(), wspec);
+  }
   sim::BatchResult batch;
   if (engine == "event") {
     sim::EventOptions eo;
@@ -537,6 +701,9 @@ int Run(int argc, char** argv) {
     eo.station_seed = seed;
     eo.subchannels = subchannels;
     eo.deterministic = deterministic;
+    eo.schedule = schedule;
+    eo.schedule_demand = schedule_demand;
+    eo.encoding = params.build.encoding;
     sim::EventEngine event_engine(*g, eo);
     batch = event_engine.Run(system_ptrs, *w);
   } else {
@@ -547,6 +714,9 @@ int Run(int argc, char** argv) {
     so.fec = fec;
     so.loss_seed = seed;
     so.deterministic = deterministic;
+    so.schedule = schedule;
+    so.schedule_demand = schedule_demand;
+    so.encoding = params.build.encoding;
     sim::Simulator simulator(*g, so);
     batch = simulator.Run(system_ptrs, *w);
   }
@@ -618,6 +788,8 @@ int RunScenario(int argc, char** argv) {
   std::string engine_override;
   double scale_override = 0.0;
   size_t queries_override = 0;
+  sim::SchedulePolicy schedule_override;
+  bool has_schedule_override = false;
 
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
@@ -625,6 +797,9 @@ int RunScenario(int argc, char** argv) {
       list = true;
     } else if (std::strncmp(arg, "--engine=", 9) == 0) {
       engine_override = arg + 9;
+    } else if (std::strncmp(arg, "--schedule=", 11) == 0) {
+      if (!ParseScheduleFlag(arg + 11, &schedule_override)) return 2;
+      has_schedule_override = true;
     } else if (std::strncmp(arg, "--name=", 7) == 0) {
       name = arg + 7;
     } else if (std::strncmp(arg, "--file=", 7) == 0) {
@@ -675,6 +850,7 @@ int RunScenario(int argc, char** argv) {
     }
     scenario = std::move(parsed).value();
   }
+  if (has_schedule_override) scenario.schedule = schedule_override;
   if (scale_override > 0.0) scenario.scale = scale_override;
   if (queries_override > 0) {
     // Rescale the fleet: explicit group counts become weights so the
