@@ -306,4 +306,28 @@ BENCHMARK(BM_EventEngineFleetNrLossySharded)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Registry hit-path contention: every simulation worker resolves its
+// systems through SystemRegistry::Get, so a hot Get must not serialize
+// readers. The threaded sweep pins the shared-lock fast path (a hit while
+// the cache is under capacity takes no exclusive lock); before the fix,
+// every hit took the write lock to stamp recency and the threads=4 row
+// collapsed to the single-lock rate.
+void BM_RegistryGetHit(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  // Warm the entry once so the measured loop is pure hits.
+  benchmark::DoNotOptimize(
+      core::SystemRegistry::Global().Get(g, "DJ").value().get());
+  for (auto _ : state) {
+    auto sys = core::SystemRegistry::Global().Get(g, "DJ").value();
+    benchmark::DoNotOptimize(sys.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryGetHit)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
 }  // namespace

@@ -1,0 +1,117 @@
+// Session-cache sweep: persistent clients vs one-shot clients, across
+// queries-per-session and per-client cache budget, on every system.
+//
+// Each grid point runs the shared-channel event engine over the same
+// zipf-destination workload, varying only how long a client lives
+// (sessions of s queries) and how much it may cache (c bytes of decoded
+// segments plus the pinned index slot). Expected shape: the s=1/c=0
+// column is the historical one-shot fleet (byte-identical to pre-session
+// builds); warm rows cut the mean tuning of the selective-tuning systems
+// (EB, NR) hardest — a warm client skips the index tune-in entirely and
+// only listens for regions it has not cached — while the full-cycle
+// systems (DJ, LD, AF, SPQ, HiTi) win on engine throughput via the
+// shared decode memo. Emits one airindex.sim.batch/v1 document to stdout
+// (system names suffixed "@sS@cCK" so tools/perf_compare.py tracks each
+// grid point as its own series) and the warm-vs-cold table to stderr.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "core/systems.h"
+#include "graph/catalog.h"
+#include "sim/event_engine.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+using namespace airindex;  // NOLINT: experiment binary
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseBenchOptions(argc, argv);
+  std::fprintf(
+      stderr,
+      "# session cache sweep on Germany: scale=%.2f queries=%zu seed=%llu\n",
+      opts.scale, opts.queries, static_cast<unsigned long long>(opts.seed));
+  graph::Graph g =
+      graph::MakeNetwork(graph::FindNetwork("Germany").value(), opts.scale)
+          .value();
+  std::fprintf(stderr, "# %zu nodes, %zu arcs\n", g.num_nodes(),
+               g.num_arcs());
+
+  core::SystemParams params;
+  params.include_spq = !opts.no_heavy;
+  params.include_hiti = !opts.no_heavy;
+  auto systems = core::SystemRegistry::Global().GetAll(g, params).value();
+
+  const uint32_t session_grid[3] = {1, 4, 8};
+  const size_t cache_grid[3] = {0, 256u << 10, 4u << 20};
+
+  workload::WorkloadSpec wspec;
+  wspec.count = opts.queries;
+  wspec.seed = opts.seed;
+  wspec.dest = workload::WorkloadSpec::Dest::kZipf;
+  wspec.zipf_s = 1.1;
+  wspec.arrival.kind = workload::ArrivalSpec::Kind::kPoisson;
+  wspec.arrival.rate_per_second = 20.0;
+  auto w = workload::GenerateWorkload(g, wspec).value();
+
+  sim::BatchResult batch;
+  batch.engine = "event";
+  batch.num_queries = opts.queries;
+  batch.loss_seed = opts.seed;
+
+  for (const auto& sys : systems) {
+    // Cold baseline of this system, for the stderr improvement columns.
+    double cold_tuning = 0.0;
+    double cold_qps = 0.0;
+    std::fprintf(stderr, "\n%s\n%9s %10s %12s %12s %12s %12s\n",
+                 std::string(sys->name()).c_str(), "sessions", "cache",
+                 "tuning", "qps", "tuning[%]", "qps[x]");
+    for (uint32_t s : session_grid) {
+      for (size_t c : cache_grid) {
+        sim::EventOptions eo;
+        eo.threads = opts.threads;
+        eo.repeat = opts.repeat;
+        eo.loss = opts.Loss();
+        eo.station_seed = opts.seed;
+        eo.deterministic = true;
+        eo.session.queries = s;
+        eo.cache_bytes = c;
+        sim::EventEngine engine(g, eo);
+        batch.threads = engine.effective_threads();
+
+        sim::SystemResult r = engine.RunSystem(*sys, w);
+        const double tuning = r.aggregate.tuning_packets.mean;
+        const double qps = r.queries_per_second;
+        if (s == 1 && c == 0) {
+          cold_tuning = tuning;
+          cold_qps = qps;
+        }
+        std::fprintf(
+            stderr, "%9u %9zuK %12.1f %12.0f %+12.1f %12.2f\n", s,
+            c >> 10, tuning, qps,
+            cold_tuning > 0.0 ? 100.0 * (tuning - cold_tuning) / cold_tuning
+                              : 0.0,
+            cold_qps > 0.0 ? qps / cold_qps : 0.0);
+
+        char name[64];
+        std::snprintf(name, sizeof(name), "%s@s%u@c%zuK", r.system.c_str(),
+                      s, c >> 10);
+        r.system = name;
+        r.aggregate.system = name;
+        r.per_query.clear();  // the batch doc carries aggregates only
+        batch.wall_seconds += r.wall_seconds;
+        batch.systems.push_back(std::move(r));
+      }
+    }
+  }
+
+  std::fputs(sim::ToJson(batch).c_str(), stdout);
+  std::fprintf(stderr,
+               "\n# warm sessions skip the index tune-in on EB/NR and "
+               "share decodes on the\n# full-cycle systems; the s=1/c=0K "
+               "row is the historical one-shot fleet.\n");
+  return 0;
+}

@@ -88,7 +88,8 @@ class BroadcastChannel {
   BroadcastChannel(const BroadcastCycle* cycle, LossModel loss,
                    uint64_t seed, uint64_t slot_stride, uint64_t slot_offset,
                    FecScheme fec = {},
-                   const BroadcastSchedule* schedule = nullptr)
+                   const BroadcastSchedule* schedule = nullptr,
+                   uint64_t cycle_version = 0)
       : cycle_(cycle),
         loss_(loss),
         seed_(seed),
@@ -97,11 +98,17 @@ class BroadcastChannel {
         slot_stride_(slot_stride == 0 ? 1 : slot_stride),
         slot_offset_(slot_offset),
         schedule_(schedule),
+        cycle_version_(cycle_version),
         fec_(schedule != nullptr ? schedule->macro_packets()
                                  : cycle->total_packets(),
              fec) {}
 
   const BroadcastCycle& cycle() const { return *cycle_; }
+  /// Version stamp of the cycle content this channel is replaying. The
+  /// station bumps it when the underlying data changes (live graph
+  /// updates); client-side caches key their entries on it so nothing
+  /// decoded under an old version is ever served against a new one.
+  uint64_t cycle_version() const { return cycle_version_; }
   double loss_rate() const { return loss_.rate; }
   const LossModel& loss_model() const { return loss_; }
   uint64_t slot_stride() const { return slot_stride_; }
@@ -194,6 +201,7 @@ class BroadcastChannel {
   uint64_t slot_stride_ = 1;
   uint64_t slot_offset_ = 0;
   const BroadcastSchedule* schedule_ = nullptr;
+  uint64_t cycle_version_ = 0;
   FecLayout fec_;
 };
 

@@ -34,6 +34,10 @@ struct StationOptions {
   /// cycle (null = flat). Must be compiled against the station's cycle and
   /// outlive it; shared by every sub-channel.
   const BroadcastSchedule* schedule = nullptr;
+  /// Version stamp of the cycle content (bumped when the underlying data
+  /// changes — live graph updates). Client session caches key on it, so a
+  /// bump invalidates every cached segment fleet-wide on next use.
+  uint64_t cycle_version = 0;
 };
 
 /// The broadcast station: one transmitter that starts its cycle at time
@@ -63,7 +67,7 @@ class Station {
       channels_.emplace_back(cycle, options_.loss, options_.seed,
                              /*slot_stride=*/options_.subchannels,
                              /*slot_offset=*/c, options_.fec,
-                             options_.schedule);
+                             options_.schedule, options_.cycle_version);
     }
   }
 

@@ -90,6 +90,7 @@ device::QueryMetrics ArcFlagOnAir::RunQuery(
   QueryScratch& s =
       scratch != nullptr ? *scratch : local_scratch.emplace();
   s.BeginQuery();
+  s.session.BeginQueryStats();
 
   // Collected network data (node-id addressed) and raw flag chunks. The
   // coordinates are moved into the rebuilt Graph below, so they cannot be
@@ -107,8 +108,8 @@ device::QueryMetrics ArcFlagOnAir::RunQuery(
   bool header_ok = false;
   double cpu_ms = 0.0;
 
-  Status receive_status = ReceiveFullCycle(
-      session, memory,
+  Status receive_status = ReceiveFullCycleCached(
+      session, memory, &s.session,
       [&options](const broadcast::ReceivedSegment& seg) {
         if (seg.type == broadcast::SegmentType::kNetworkData) return true;
         // A lost flag chunk degrades to all-ones (§6.2), but a lost header
@@ -122,7 +123,11 @@ device::QueryMetrics ArcFlagOnAir::RunQuery(
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
-          if (broadcast::ValidateNodeRecords(seg.payload, encoding_).ok()) {
+          const bool valid = MemoValidate(s.decode_cache, seg, [&] {
+            return broadcast::ValidateNodeRecords(seg.payload, encoding_)
+                .ok();
+          });
+          if (valid) {
             size_t added = 0;
             size_t record_count = 0;
             broadcast::NodeRecordCursor cursor(seg.payload, encoding_);
@@ -182,6 +187,8 @@ device::QueryMetrics ArcFlagOnAir::RunQuery(
     metrics.peak_memory_bytes = memory.peak();
     metrics.memory_exceeded = memory.exceeded();
     metrics.cpu_ms = cpu_ms + sw.ElapsedMs();
+    metrics.cache_hits = s.session.query_hits();
+    metrics.warm = metrics.cache_hits > 0;
     metrics.ok = false;
     return metrics;
   }
@@ -232,6 +239,8 @@ device::QueryMetrics ArcFlagOnAir::RunQuery(
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;
+  metrics.cache_hits = s.session.query_hits();
+  metrics.warm = metrics.cache_hits > 0;
   metrics.distance = path.dist;
   metrics.ok = receive_status.ok() && path.found();
   return metrics;

@@ -34,16 +34,20 @@ device::QueryMetrics DijkstraOnAir::RunQuery(
   s.BeginQuery();
 
   PartialGraph& pg = s.partial_graph;
+  s.session.BeginQueryStats();
   double cpu_ms = 0.0;
-  Status receive_status = ReceiveFullCycle(
-      session, memory,
+  Status receive_status = ReceiveFullCycleCached(
+      session, memory, &s.session,
       [](const broadcast::ReceivedSegment&) {
         return true;  // all data is adjacency
       },
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         const size_t before = pg.MemoryBytes();
-        if (broadcast::ValidateNodeRecords(seg.payload, encoding_).ok()) {
+        const bool valid = MemoValidate(s.decode_cache, seg, [&] {
+          return broadcast::ValidateNodeRecords(seg.payload, encoding_).ok();
+        });
+        if (valid) {
           broadcast::NodeRecordCursor cursor(seg.payload, encoding_);
           while (cursor.Next(&s.record)) pg.AddRecord(s.record);
         }
@@ -69,6 +73,8 @@ device::QueryMetrics DijkstraOnAir::RunQuery(
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;
+  metrics.cache_hits = s.session.query_hits();
+  metrics.warm = metrics.cache_hits > 0;
   metrics.distance = dist;
   metrics.ok = receive_status.ok() && dist != graph::kInfDist;
   return metrics;

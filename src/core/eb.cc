@@ -231,12 +231,20 @@ device::QueryMetrics EbSystem::RunQuery(
   QueryScratch& s =
       scratch != nullptr ? *scratch : local_scratch.emplace();
   s.BeginQuery();
+  s.session.BeginQueryStats();
+  const bool cache_on = s.session.Ready(channel);
 
   // --- 1. Find and receive the next index copy (tuning in right at an
-  // index start uses that very copy) --------------------------------------
+  // index start uses that very copy). A warm session skips the probe
+  // entirely: the cached index copy stands in for tuning in, so the radio
+  // stays asleep until a region the session has not cached. ---------------
   uint32_t index_start = 0;
   ReceivedSegment* index_seg = s.segments.Acquire();
-  {
+  if (cache_on && s.session.has_index()) {
+    index_start = s.session.index_start();
+    s.session.LoadIndex(index_seg);
+    s.session.CountHit();
+  } else {
     bool found = false;
     for (int attempts = 0; attempts < 64 && !found; ++attempts) {
       auto view = session.ReceiveNext();
@@ -251,6 +259,7 @@ device::QueryMetrics EbSystem::RunQuery(
       }
     }
     if (!found) return metrics;  // channel effectively dead
+    if (cache_on) s.session.StoreIndex(index_start, *index_seg);
   }
   memory.Charge(index_seg->payload.size());
 
@@ -320,6 +329,9 @@ device::QueryMetrics EbSystem::RunQuery(
   if (!EbIndex::Decode(index_seg->payload, &s.eb_index).ok()) {
     return metrics;
   }
+  // Persist any bytes the repair passes filled in, so the next query of
+  // the session starts from the most complete copy seen so far.
+  if (cache_on) s.session.UpdateIndex(*index_seg);
   const EbIndex& index = s.eb_index;
 
   // --- 3. Elliptic pruning (§4.2) ---------------------------------------
@@ -382,12 +394,19 @@ device::QueryMetrics EbSystem::RunQuery(
     } else {
       // Allocation-free path: validate (all-or-nothing, like the old
       // wholesale decode) and stream records straight into the pool.
-      if (!ValidateRegionData(cross.payload, encoding_).ok()) return;
+      const bool cross_valid = MemoValidate(s.decode_cache, cross, [&] {
+        return ValidateRegionData(cross.payload, encoding_).ok();
+      });
+      if (!cross_valid) return;
       const size_t before = pg.MemoryBytes();
       RegionDataView view(cross.payload, encoding_);
       auto cursor = view.records();
       while (cursor.Next(&s.record)) pg.AddRecord(s.record);
-      if (has_local && ValidateRegionData(local->payload, encoding_).ok()) {
+      const bool local_valid =
+          has_local && MemoValidate(s.decode_cache, *local, [&] {
+            return ValidateRegionData(local->payload, encoding_).ok();
+          });
+      if (local_valid) {
         RegionDataView local_view(local->payload, encoding_);
         auto local_cursor = local_view.records();
         while (local_cursor.Next(&s.record)) pg.AddRecord(s.record);
@@ -415,18 +434,34 @@ device::QueryMetrics EbSystem::RunQuery(
   for (graph::RegionId r : needed) {
     const EbIndex::RegionDir& d = index.dir[r];
     ReceivedSegment* cross = s.segments.Acquire();
-    broadcast::ReceiveSegmentAt(session, d.cross_start, cross);
+    const bool cross_cached =
+        cache_on && s.session.Load(d.cross_start, cross);
+    if (cross_cached) {
+      s.session.CountHit();
+    } else {
+      broadcast::ReceiveSegmentAt(session, d.cross_start, cross);
+    }
     memory.Charge(cross->payload.size());
     const bool want_local =
         d.local_packets > 0 &&
         (r == rs || r == rt || !options.cross_border_opt);
     ReceivedSegment* local = nullptr;
+    bool local_cached = false;
     if (want_local) {
       local = s.segments.Acquire();
-      broadcast::ReceiveSegmentAt(session, d.local_start, local);
+      local_cached = cache_on && s.session.Load(d.local_start, local);
+      if (local_cached) {
+        s.session.CountHit();
+      } else {
+        broadcast::ReceiveSegmentAt(session, d.local_start, local);
+      }
       memory.Charge(local->payload.size());
     }
     if (cross->complete && (!want_local || local->complete)) {
+      if (cache_on && !cross_cached) s.session.Store(d.cross_start, *cross);
+      if (cache_on && want_local && !local_cached) {
+        s.session.Store(d.local_start, *local);
+      }
       ingest_region(*cross, local, want_local);
       s.segments.Recycle(cross);
       if (local != nullptr) s.segments.Recycle(local);
@@ -447,6 +482,11 @@ device::QueryMetrics EbSystem::RunQuery(
     }
     RepairAllSegments(session, pending, options.max_repair_cycles);
     for (auto& st : stash) {
+      if (cache_on) {
+        // Store() keeps only segments the repairs completed.
+        s.session.Store(st.cross_start, *st.cross);
+        if (st.want_local) s.session.Store(st.local_start, *st.local);
+      }
       ingest_region(*st.cross, st.local, st.want_local);
     }
   }
@@ -473,6 +513,8 @@ device::QueryMetrics EbSystem::RunQuery(
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;
+  metrics.cache_hits = s.session.query_hits();
+  metrics.warm = metrics.cache_hits > 0;
   metrics.distance = dist;
   metrics.ok = dist != graph::kInfDist;
   return metrics;

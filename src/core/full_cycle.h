@@ -6,6 +6,7 @@
 
 #include "broadcast/channel.h"
 #include "common/status.h"
+#include "core/session_cache.h"
 #include "device/memory_tracker.h"
 
 namespace airindex::core {
@@ -169,6 +170,62 @@ Status ReceiveFullCycle(broadcast::ClientSession& session,
     try_deliver(si, /*force=*/true);
   }
   return status;
+}
+
+/// Session-cache-aware wrapper around ReceiveFullCycle — the warm path of
+/// the full-cycle methods. When `cache` is armed (see core::SessionCache)
+/// and holds a complete copy of *every* cycle segment, the client replays
+/// the cached copies without listening at all: zero tuning, zero latency,
+/// the radio never wakes. Replay is in segment-index order (= broadcast
+/// order, so callbacks with ordering expectations — e.g. Landmark's
+/// header-before-vectors — see the same sequence as a lossless cold pass)
+/// and hands each callback a *copy* (callbacks are free to mutate or move
+/// buffers out; ArcFlag does). Payload bytes are charged to `memory` as if
+/// they had streamed in; callbacks release them as usual.
+///
+/// Anything short of a full cache — cold session, evictions, a cycle
+/// segment that never completed — runs the historical cold loop, storing
+/// each segment that completes into the cache *before* delivery.
+template <typename MustRepair, typename OnSegment>
+Status ReceiveFullCycleCached(broadcast::ClientSession& session,
+                              device::MemoryTracker& memory,
+                              SessionCache* cache, MustRepair&& must_repair,
+                              OnSegment&& on_segment, int max_repair_cycles,
+                              FullCycleScratch* scratch = nullptr) {
+  const bool cache_on =
+      cache != nullptr && cache->Ready(session.channel());
+  if (!cache_on) {
+    return ReceiveFullCycle(session, memory, must_repair, on_segment,
+                            max_repair_cycles, scratch);
+  }
+  const broadcast::BroadcastCycle& cycle = session.cycle();
+  const uint32_t num_segments =
+      static_cast<uint32_t>(cycle.num_segments());
+  bool all_cached = num_segments > 0;
+  for (uint32_t si = 0; si < num_segments; ++si) {
+    if (!cache->Has(cycle.SegmentStart(si))) {
+      all_cached = false;
+      break;
+    }
+  }
+  if (all_cached) {
+    broadcast::ReceivedSegment replay;
+    for (uint32_t si = 0; si < num_segments; ++si) {
+      cache->Load(cycle.SegmentStart(si), &replay);
+      memory.Charge(replay.payload.size());
+      on_segment(replay);
+    }
+    cache->CountHit(num_segments);
+    return Status::OK();
+  }
+  auto storing = [&](broadcast::ReceivedSegment& seg) {
+    if (seg.complete) {
+      cache->Store(cycle.SegmentStart(seg.segment_index), seg);
+    }
+    on_segment(seg);
+  };
+  return ReceiveFullCycle(session, memory, must_repair, storing,
+                          max_repair_cycles, scratch);
 }
 
 }  // namespace airindex::core

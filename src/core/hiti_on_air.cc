@@ -94,16 +94,21 @@ device::QueryMetrics HiTiOnAir::RunQuery(
   std::vector<algo::HiTiIndex::SubgraphInfo> subs(2 * num_regions_);
   bool header_ok = false;
   double cpu_ms = 0.0;
+  s.session.BeginQueryStats();
 
-  Status receive_status = ReceiveFullCycle(
-      session, memory,
+  Status receive_status = ReceiveFullCycleCached(
+      session, memory, &s.session,
       [](const broadcast::ReceivedSegment&) {
         return true;  // the index must be complete to be usable
       },
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
-          if (broadcast::ValidateNodeRecords(seg.payload, encoding_).ok()) {
+          const bool valid = MemoValidate(s.decode_cache, seg, [&] {
+            return broadcast::ValidateNodeRecords(seg.payload, encoding_)
+                .ok();
+          });
+          if (valid) {
             size_t added = 0;
             size_t record_count = 0;
             broadcast::NodeRecordCursor cursor(seg.payload, encoding_);
@@ -183,6 +188,8 @@ device::QueryMetrics HiTiOnAir::RunQuery(
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;
+  metrics.cache_hits = s.session.query_hits();
+  metrics.warm = metrics.cache_hits > 0;
   metrics.distance = dist;
   metrics.ok = receive_status.ok() && dist != graph::kInfDist;
   return metrics;

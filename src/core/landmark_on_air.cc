@@ -97,6 +97,7 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
   s.BeginQuery();
 
   PartialGraph& pg = s.partial_graph;
+  s.session.BeginQueryStats();
   uint32_t k = 0;
   std::vector<graph::NodeId> landmarks;
   // to_vec[l * n + v] = d(v, L_l); from_vec likewise d(L_l, v).
@@ -138,8 +139,8 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
     }
   };
 
-  Status receive_status = ReceiveFullCycle(
-      session, memory,
+  Status receive_status = ReceiveFullCycleCached(
+      session, memory, &s.session,
       [](const broadcast::ReceivedSegment& seg) {
         // Only adjacency must be complete; lost vectors degrade the bound.
         return seg.type == broadcast::SegmentType::kNetworkData;
@@ -148,7 +149,11 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
           const size_t before = pg.MemoryBytes();
-          if (broadcast::ValidateNodeRecords(seg.payload, encoding_).ok()) {
+          const bool valid = MemoValidate(s.decode_cache, seg, [&] {
+            return broadcast::ValidateNodeRecords(seg.payload, encoding_)
+                .ok();
+          });
+          if (valid) {
             broadcast::NodeRecordCursor cursor(seg.payload, encoding_);
             while (cursor.Next(&s.record)) pg.AddRecord(s.record);
           }
@@ -195,6 +200,8 @@ device::QueryMetrics LandmarkOnAir::RunQuery(
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;
+  metrics.cache_hits = s.session.query_hits();
+  metrics.warm = metrics.cache_hits > 0;
   metrics.distance = dist;
   metrics.ok = receive_status.ok() && dist != graph::kInfDist;
   return metrics;

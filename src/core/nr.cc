@@ -193,6 +193,21 @@ device::QueryMetrics NrSystem::RunQuery(
   QueryScratch& s =
       scratch != nullptr ? *scratch : local_scratch.emplace();
   s.BeginQuery();
+  s.session.BeginQueryStats();
+  const bool cache_on = s.session.Ready(channel);
+
+  // Serves a segment from the session cache when possible; otherwise
+  // listens for it and caches the result. Cached copies are complete by
+  // construction, so downstream completeness checks behave as on a
+  // lossless channel.
+  auto fetch_segment = [&](uint32_t start, ReceivedSegment* out) {
+    if (cache_on && s.session.Load(start, out)) {
+      s.session.CountHit();
+      return;
+    }
+    broadcast::ReceiveSegmentAt(session, start, out);
+    if (cache_on) s.session.Store(start, *out);
+  };
 
   // --- 1. Find and receive the next local index (every header points at
   // one; tuning in right at an index start uses that very copy) ----------
@@ -259,12 +274,19 @@ device::QueryMetrics NrSystem::RunQuery(
     } else {
       // Allocation-free path: validate (all-or-nothing, like the old
       // wholesale decode) and stream records straight into the pool.
-      if (ValidateRegionData(cross.payload, encoding_).ok()) {
+      const bool cross_valid = MemoValidate(s.decode_cache, cross, [&] {
+        return ValidateRegionData(cross.payload, encoding_).ok();
+      });
+      if (cross_valid) {
         const size_t before = pg.MemoryBytes();
         RegionDataView view(cross.payload, encoding_);
         auto cursor = view.records();
         while (cursor.Next(&s.record)) pg.AddRecord(s.record);
-        if (has_local && ValidateRegionData(local->payload, encoding_).ok()) {
+        const bool local_valid =
+            has_local && MemoValidate(s.decode_cache, *local, [&] {
+              return ValidateRegionData(local->payload, encoding_).ok();
+            });
+        if (local_valid) {
           RegionDataView local_view(local->payload, encoding_);
           auto local_cursor = local_view.records();
           while (local_cursor.Next(&s.record)) pg.AddRecord(s.record);
@@ -289,7 +311,17 @@ device::QueryMetrics NrSystem::RunQuery(
   std::vector<StashedRegion> stash;  // loss path only; empty => no alloc
 
   ReceivedSegment* idx_seg = s.segments.Acquire();
-  receive_some_index(idx_seg, &found);
+  // A warm session replays the remembered entry index instead of probing
+  // the air for one — the chain then starts without the radio waking up.
+  const bool entry_cached = cache_on && s.session.has_index();
+  if (entry_cached) {
+    idx_start = s.session.index_start();
+    s.session.LoadIndex(idx_seg);
+    s.session.CountHit();
+    found = true;
+  } else {
+    receive_some_index(idx_seg, &found);
+  }
   if (!found) return metrics;
   if (!index_charged) {
     memory.Charge(idx_seg->payload.size());
@@ -326,6 +358,9 @@ device::QueryMetrics NrSystem::RunQuery(
       R = reg_count;
       received.assign(R, 0);
       mapped = true;
+      if (cache_on && !entry_cached) {
+        s.session.StoreIndex(idx_start, *idx_seg);
+      }
       first_index_id = static_cast<int>(s.nr_index.region_id);
       expected_id = first_index_id;
       cpu_ms += sw_map.ElapsedMs();
@@ -373,7 +408,7 @@ device::QueryMetrics NrSystem::RunQuery(
         idx_start =
             (geom.cross_start + geom.cross_packets + geom.local_packets) %
             total;
-        broadcast::ReceiveSegmentAt(session, idx_start, idx_seg);
+        fetch_segment(idx_start, idx_seg);
         expected_id = (expected_id + 1) % static_cast<int>(R);
         progressed = true;
         continue;
@@ -385,21 +420,20 @@ device::QueryMetrics NrSystem::RunQuery(
     // regions are stashed and repaired together after the chain finishes
     // (§6.2 — one repair sweep per cycle fixes everything that was lost).
     ReceivedSegment* cross = s.segments.Acquire();
-    broadcast::ReceiveSegmentAt(session, geom.cross_start, cross);
+    fetch_segment(geom.cross_start, cross);
     memory.Charge(cross->payload.size());
     const bool want_local =
         geom.local_packets > 0 && (region_id == rs || region_id == rt);
     ReceivedSegment* local = nullptr;
     if (want_local) {
       local = s.segments.Acquire();
-      broadcast::ReceiveSegmentAt(
-          session, (geom.cross_start + geom.cross_packets) % total, local);
+      fetch_segment((geom.cross_start + geom.cross_packets) % total, local);
       memory.Charge(local->payload.size());
     }
     const uint32_t next_idx_start =
         (geom.cross_start + geom.cross_packets + geom.local_packets) % total;
     ReceivedSegment* next_idx = s.segments.Acquire();
-    broadcast::ReceiveSegmentAt(session, next_idx_start, next_idx);
+    fetch_segment(next_idx_start, next_idx);
 
     if (cross->complete && (!want_local || local->complete)) {
       ingest_region(*cross, local, want_local);
@@ -430,6 +464,11 @@ device::QueryMetrics NrSystem::RunQuery(
     }
     RepairAllSegments(session, pending, options.max_repair_cycles);
     for (auto& st : stash) {
+      if (cache_on) {
+        // Store() keeps only segments the repairs completed.
+        s.session.Store(st.cross_start, *st.cross);
+        if (st.want_local) s.session.Store(st.local_start, *st.local);
+      }
       ingest_region(*st.cross, st.local, st.want_local);
     }
   }
@@ -458,6 +497,8 @@ device::QueryMetrics NrSystem::RunQuery(
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;
+  metrics.cache_hits = s.session.query_hits();
+  metrics.warm = metrics.cache_hits > 0;
   metrics.distance = dist;
   metrics.ok = dist != graph::kInfDist;
   return metrics;

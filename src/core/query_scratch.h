@@ -8,10 +8,12 @@
 #include "algo/search_workspace.h"
 #include "broadcast/channel.h"
 #include "broadcast/serialization.h"
+#include "core/decoded_slot_cache.h"
 #include "core/eb_index.h"
 #include "core/full_cycle.h"
 #include "core/nr_index.h"
 #include "core/partial_graph.h"
+#include "core/session_cache.h"
 #include "graph/types.h"
 
 namespace airindex::core {
@@ -89,6 +91,13 @@ struct QueryScratch {
   /// Edge accumulator of the clients that rebuild a full graph::Graph
   /// (AF/SPQ/HiTi).
   std::vector<graph::EdgeTriplet> edges;
+  /// Cross-query session cache (disabled unless the owner arms it via
+  /// BeginSession — the event engine's warm-session path does). NOT reset
+  /// by BeginQuery: its whole point is surviving to the next query.
+  SessionCache session;
+  /// Station-wide decode memoization, set by the event engine when shared
+  /// caching is on (null = validate locally, the historical behaviour).
+  DecodedSlotCache* decode_cache = nullptr;
 
   /// Readies the scratch for a fresh query: O(1) generation bumps and
   /// cursor resets; every allocation is kept.
@@ -98,7 +107,8 @@ struct QueryScratch {
     needed_regions.clear();
     edges.clear();
     // search workspaces reset per search (BeginSearch); ld_to/ld_from are
-    // assign()ed by the LD client; full_cycle re-primes per call.
+    // assign()ed by the LD client; full_cycle re-primes per call. The
+    // session cache deliberately survives (it is per-session state).
   }
 };
 

@@ -1,0 +1,93 @@
+#include "core/session_cache.h"
+
+namespace airindex::core {
+
+void SessionCache::BeginSession(size_t budget_bytes) {
+  budget_bytes_ = budget_bytes;
+  bound_ = false;
+  ClearContent();
+  query_hits_ = 0;
+}
+
+bool SessionCache::Ready(const broadcast::BroadcastChannel& channel) {
+  if (budget_bytes_ == 0) return false;
+  const broadcast::BroadcastCycle* cycle = &channel.cycle();
+  const uint64_t version = channel.cycle_version();
+  if (!bound_ || cycle != cycle_ || version != cycle_version_) {
+    // A different cycle object or a bumped cycle_version means the world
+    // this cache describes is gone — drop everything rather than serve a
+    // stale segment.
+    ClearContent();
+    cycle_ = cycle;
+    cycle_version_ = version;
+    bound_ = true;
+  }
+  return true;
+}
+
+void SessionCache::ClearContent() {
+  lru_.clear();
+  map_.clear();
+  used_bytes_ = 0;
+  has_index_ = false;
+  index_start_ = 0;
+}
+
+const broadcast::ReceivedSegment* SessionCache::Find(uint32_t segment_start) {
+  auto it = map_.find(segment_start);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return &it->second->seg;
+}
+
+bool SessionCache::Load(uint32_t segment_start,
+                        broadcast::ReceivedSegment* out) {
+  const broadcast::ReceivedSegment* seg = Find(segment_start);
+  if (seg == nullptr) return false;
+  *out = *seg;
+  return true;
+}
+
+void SessionCache::EvictToFit(size_t incoming_bytes) {
+  while (used_bytes_ + incoming_bytes > budget_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_bytes_ -= victim.seg.payload.size();
+    map_.erase(victim.start);
+    lru_.pop_back();
+  }
+}
+
+void SessionCache::Store(uint32_t segment_start,
+                         const broadcast::ReceivedSegment& seg) {
+  if (!seg.complete) return;
+  const size_t bytes = seg.payload.size();
+  if (bytes > budget_bytes_) return;  // would evict the whole session
+  auto it = map_.find(segment_start);
+  if (it != map_.end()) {
+    used_bytes_ -= it->second->seg.payload.size();
+    EvictToFit(bytes);
+    it->second->seg = seg;
+    used_bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  EvictToFit(bytes);
+  lru_.push_front(Entry{segment_start, seg});
+  map_.emplace(segment_start, lru_.begin());
+  used_bytes_ += bytes;
+}
+
+void SessionCache::StoreIndex(uint32_t segment_start,
+                              const broadcast::ReceivedSegment& seg) {
+  index_seg_ = seg;
+  index_start_ = segment_start;
+  has_index_ = true;
+}
+
+bool SessionCache::LoadIndex(broadcast::ReceivedSegment* out) const {
+  if (!has_index_) return false;
+  *out = index_seg_;
+  return true;
+}
+
+}  // namespace airindex::core

@@ -1,0 +1,129 @@
+#ifndef AIRINDEX_CORE_SESSION_CACHE_H_
+#define AIRINDEX_CORE_SESSION_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "broadcast/channel.h"
+
+namespace airindex::core {
+
+/// Per-client cache of broadcast content that survives across the queries
+/// of one session. A persistent client that already heard the index and a
+/// handful of region segments should not doze for them again on its next
+/// query — the cache keeps
+///   * a bounded LRU of fully received segments, keyed by the segment's
+///     flat-cycle start packet (the stable identity of a segment within
+///     one cycle version), and
+///   * a dedicated slot for the client's entry index segment (EB/NR),
+///     which may be *incomplete* — the per-packet mask travels with it, so
+///     a later query's repair pass can fill the holes on air instead of
+///     re-listening from scratch.
+///
+/// The cache is disabled by default (budget 0): every RunQuery path checks
+/// Ready() and falls through to the historical cold behaviour, so clients
+/// without sessions are byte-identical to a cache-less build (pinned by
+/// the golden test in tests/sim).
+///
+/// Invalidation: entries are only valid for one (cycle, cycle_version)
+/// pair. Ready() rebinds the cache to the channel it is consulted against
+/// and clears all content when either the cycle object or the channel's
+/// cycle_version changed — a stale entry is never served, which is the
+/// hook the live-graph-update path needs (bump the station's version and
+/// every session cache drops its world view on next use).
+///
+/// Single-threaded by design, like the QueryScratch that owns it.
+class SessionCache {
+ public:
+  /// Arms (budget > 0) or disarms (budget == 0) the cache for a new client
+  /// session, dropping any previous session's content.
+  void BeginSession(size_t budget_bytes);
+
+  bool enabled() const { return budget_bytes_ > 0; }
+
+  /// Binds the cache to `channel`'s cycle + cycle_version, clearing stale
+  /// content on any change. Returns enabled() — callers gate every consult
+  /// and store on this one check.
+  bool Ready(const broadcast::BroadcastChannel& channel);
+
+  // -- segment LRU -------------------------------------------------------
+
+  /// Whether a complete copy of the segment starting at flat-cycle packet
+  /// `segment_start` is cached (no recency bump).
+  bool Has(uint32_t segment_start) const {
+    return map_.find(segment_start) != map_.end();
+  }
+
+  /// Cached segment or nullptr; a hit refreshes LRU recency. The pointer
+  /// is valid until the next Store/BeginSession/Ready-invalidation.
+  const broadcast::ReceivedSegment* Find(uint32_t segment_start);
+
+  /// Copies the cached segment into `*out` (reusing its buffers).
+  /// Returns false on miss.
+  bool Load(uint32_t segment_start, broadcast::ReceivedSegment* out);
+
+  /// Copies a *complete* segment into the LRU, evicting least-recently
+  /// used entries until the payload budget holds it. Incomplete segments
+  /// and segments larger than the whole budget are ignored.
+  void Store(uint32_t segment_start, const broadcast::ReceivedSegment& seg);
+
+  size_t entry_count() const { return map_.size(); }
+  size_t used_bytes() const { return used_bytes_; }
+
+  // -- entry-index slot (EB/NR) -----------------------------------------
+
+  /// Remembers the session's entry index segment (may be incomplete; the
+  /// mask is kept so repairs can complete it later). Overwrites.
+  void StoreIndex(uint32_t segment_start,
+                  const broadcast::ReceivedSegment& seg);
+
+  bool has_index() const { return has_index_; }
+  uint32_t index_start() const { return index_start_; }
+
+  /// Copies the remembered index segment into `*out`; false if absent.
+  bool LoadIndex(broadcast::ReceivedSegment* out) const;
+
+  /// Re-stores the (possibly repaired) index state after a query.
+  void UpdateIndex(const broadcast::ReceivedSegment& seg) {
+    if (has_index_) StoreIndex(index_start_, seg);
+  }
+
+  // -- per-query stats ---------------------------------------------------
+
+  /// Resets the per-query hit counter (call at RunQuery entry).
+  void BeginQueryStats() { query_hits_ = 0; }
+  void CountHit(uint64_t n = 1) { query_hits_ += n; }
+  /// Segments served from cache during the current query.
+  uint64_t query_hits() const { return query_hits_; }
+
+ private:
+  struct Entry {
+    uint32_t start = 0;
+    broadcast::ReceivedSegment seg;
+  };
+
+  void ClearContent();
+  void EvictToFit(size_t incoming_bytes);
+
+  size_t budget_bytes_ = 0;
+  const broadcast::BroadcastCycle* cycle_ = nullptr;
+  uint64_t cycle_version_ = 0;
+  bool bound_ = false;
+
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<uint32_t, std::list<Entry>::iterator> map_;
+  size_t used_bytes_ = 0;
+
+  broadcast::ReceivedSegment index_seg_;
+  uint32_t index_start_ = 0;
+  bool has_index_ = false;
+
+  uint64_t query_hits_ = 0;
+};
+
+}  // namespace airindex::core
+
+#endif  // AIRINDEX_CORE_SESSION_CACHE_H_

@@ -127,14 +127,19 @@ device::QueryMetrics SpqOnAir::RunQuery(
   double root[3] = {0, 0, 1};
   bool header_ok = false;
   double cpu_ms = 0.0;
+  s.session.BeginQueryStats();
 
-  Status receive_status = ReceiveFullCycle(
-      session, memory,
+  Status receive_status = ReceiveFullCycleCached(
+      session, memory, &s.session,
       [](const broadcast::ReceivedSegment&) { return true; },
       [&](broadcast::ReceivedSegment& seg) {
         device::Stopwatch sw;
         if (seg.type == broadcast::SegmentType::kNetworkData) {
-          if (broadcast::ValidateNodeRecords(seg.payload, encoding_).ok()) {
+          const bool valid = MemoValidate(s.decode_cache, seg, [&] {
+            return broadcast::ValidateNodeRecords(seg.payload, encoding_)
+                .ok();
+          });
+          if (valid) {
             size_t added = 0;
             size_t record_count = 0;
             broadcast::NodeRecordCursor cursor(seg.payload, encoding_);
@@ -195,6 +200,8 @@ device::QueryMetrics SpqOnAir::RunQuery(
   metrics.peak_memory_bytes = memory.peak();
   metrics.memory_exceeded = memory.exceeded();
   metrics.cpu_ms = cpu_ms;
+  metrics.cache_hits = s.session.query_hits();
+  metrics.warm = metrics.cache_hits > 0;
   metrics.distance = dist;
   metrics.ok = receive_status.ok() && dist != graph::kInfDist;
   return metrics;

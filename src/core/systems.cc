@@ -1,6 +1,8 @@
 #include "core/systems.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "core/arcflag_on_air.h"
 #include "core/dijkstra_on_air.h"
@@ -110,7 +112,20 @@ Result<std::shared_ptr<const AirSystem>> SystemRegistry::Get(
   Key key{&g, g.num_nodes(), g.num_arcs(), std::string(method),
           MethodKnob(method, params), params.build.encoding};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Fast path: a shared lock suffices for a hit while the cache is under
+    // capacity — recency stamps only matter once an eviction is possible,
+    // so skipping the tick write keeps concurrent workers from serializing
+    // on the write lock for every lookup.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end() && cache_.size() < capacity_) {
+      return it->second.system;
+    }
+  }
+  {
+    // At/over capacity (or a miss racing a concurrent insert): re-find
+    // under the exclusive lock and refresh the recency stamp.
+    std::unique_lock<std::shared_mutex> lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       it->second.tick = ++use_tick_;
@@ -122,7 +137,7 @@ Result<std::shared_ptr<const AirSystem>> SystemRegistry::Get(
   // same key loses to whichever insert lands first.
   AIRINDEX_ASSIGN_OR_RETURN(auto built, BuildSystem(g, method, params));
   std::shared_ptr<const AirSystem> sys(std::move(built));
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] =
       cache_.emplace(std::move(key), Entry{std::move(sys), ++use_tick_});
   if (!inserted) it->second.tick = use_tick_;
@@ -142,17 +157,17 @@ Result<SharedSystems> SystemRegistry::GetAll(const graph::Graph& g,
 }
 
 size_t SystemRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return cache_.size();
 }
 
 size_t SystemRegistry::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return capacity_;
 }
 
 void SystemRegistry::set_capacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // A zero cap would make every Get rebuild; keep at least one slot.
   capacity_ = std::max<size_t>(1, capacity);
   EvictOverCapacityLocked();
@@ -169,12 +184,12 @@ void SystemRegistry::EvictOverCapacityLocked() {
 }
 
 void SystemRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   cache_.clear();
 }
 
 void SystemRegistry::Evict(const graph::Graph& g) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->first.graph == &g) {
       it = cache_.erase(it);

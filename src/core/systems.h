@@ -2,7 +2,7 @@
 #define AIRINDEX_CORE_SYSTEMS_H_
 
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -128,10 +128,15 @@ class SystemRegistry {
   };
 
   /// Drops least-recently-used entries until size() <= capacity_.
-  /// Caller holds mu_.
+  /// Caller holds mu_ exclusively.
   void EvictOverCapacityLocked();
 
-  mutable std::mutex mu_;
+  /// Reader-writer lock: Get hits take only the shared side while the
+  /// cache is under capacity (recency stamps don't matter until an
+  /// eviction is possible), so concurrent simulation workers stop
+  /// serializing on every registry lookup. Misses, inserts, and all
+  /// mutations take the exclusive side.
+  mutable std::shared_mutex mu_;
   std::unordered_map<Key, Entry, KeyHash> cache_;
   size_t capacity_ = kDefaultCapacity;
   uint64_t use_tick_ = 0;

@@ -48,6 +48,13 @@ struct QueryMetrics {
   graph::Dist distance = graph::kInfDist;
   /// Number of region data segments received (EB/NR diagnostics).
   uint32_t regions_received = 0;
+  /// Segments served from the client's cross-query session cache instead
+  /// of the air (0 for cold clients — the historical behaviour).
+  uint64_t cache_hits = 0;
+  /// True iff at least one segment came from the session cache (the query
+  /// ran warm). Cold queries report false, keeping equality with
+  /// cache-less builds.
+  bool warm = false;
   /// True iff a result was produced.
   bool ok = false;
   /// True iff peak memory exceeded the device heap (method inapplicable).

@@ -61,6 +61,7 @@ Aggregate Aggregate::Of(std::string_view system,
 
   std::vector<double> tuning, latency, wait, listen, memory, cpu;
   std::vector<double> corrupted, recovered;
+  std::vector<double> hits, warm_tuning;
   tuning.reserve(metrics.size());
   latency.reserve(metrics.size());
   wait.reserve(metrics.size());
@@ -78,6 +79,11 @@ Aggregate Aggregate::Of(std::string_view system,
     cpu.push_back(m.cpu_ms);
     corrupted.push_back(static_cast<double>(m.corrupted_packets));
     recovered.push_back(static_cast<double>(m.fec_recovered));
+    hits.push_back(static_cast<double>(m.cache_hits));
+    if (m.warm) {
+      ++agg.warm_queries;
+      warm_tuning.push_back(static_cast<double>(m.tuning_packets));
+    }
     if (!m.ok) ++agg.failures;
     if (m.memory_exceeded) ++agg.memory_exceeded;
   }
@@ -90,6 +96,8 @@ Aggregate Aggregate::Of(std::string_view system,
   agg.energy_joules = StatOf(joules);
   agg.corrupted_packets = StatOf(corrupted);
   agg.fec_recovered = StatOf(recovered);
+  agg.cache_hits = StatOf(hits);
+  agg.warm_tuning = StatOf(warm_tuning);
   return agg;
 }
 

@@ -55,6 +55,13 @@ struct Aggregate {
   /// serialized only when active, so legacy reports are unchanged).
   Stat corrupted_packets;
   Stat fec_recovered;
+  /// Session-cache diagnostics: segments served from client caches, the
+  /// number of warm queries (≥1 cache hit), and the tuning distribution of
+  /// the warm queries alone. All zero for one-shot fleets — serialized
+  /// only when active, so cold reports are unchanged.
+  Stat cache_hits;
+  size_t warm_queries = 0;
+  Stat warm_tuning;
 
   bool operator==(const Aggregate&) const = default;
 

@@ -104,6 +104,13 @@ void WriteSystemEntry(JsonWriter& w, const SystemResult& r) {
   if (a.fec_recovered.max > 0.0) {
     WriteStat(w, "fec_recovered", a.fec_recovered);
   }
+  // Additive session-cache diagnostics: emitted only when some query ran
+  // warm, so one-shot (cold) fleets keep the historical document.
+  if (a.warm_queries > 0 || a.cache_hits.max > 0.0) {
+    WriteStat(w, "cache_hits", a.cache_hits);
+    w.Field("warm_queries", static_cast<uint64_t>(a.warm_queries));
+    WriteStat(w, "warm_tuning", a.warm_tuning);
+  }
   w.EndObject();
 }
 
@@ -142,6 +149,13 @@ Result<SystemResult> SystemEntryFromJson(const JsonValue& entry) {
                             StatFromJsonOr(entry, "corrupted_packets"));
   AIRINDEX_ASSIGN_OR_RETURN(a.fec_recovered,
                             StatFromJsonOr(entry, "fec_recovered"));
+  AIRINDEX_ASSIGN_OR_RETURN(a.cache_hits,
+                            StatFromJsonOr(entry, "cache_hits"));
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t warm,
+                            GetUint64Or(entry, "warm_queries", 0));
+  a.warm_queries = static_cast<size_t>(warm);
+  AIRINDEX_ASSIGN_OR_RETURN(a.warm_tuning,
+                            StatFromJsonOr(entry, "warm_tuning"));
   return r;
 }
 
@@ -209,6 +223,15 @@ std::string ToJson(const BatchResult& batch) {
     w.Field("fec_parity",
             static_cast<uint64_t>(batch.fec.parity_per_group));
   }
+  // Additive session fields, emitted only when sessions/caching are on so
+  // one-shot runs reproduce the historical document byte for byte.
+  if (batch.session_queries > 1) {
+    w.Field("session_queries",
+            static_cast<uint64_t>(batch.session_queries));
+  }
+  if (batch.cache_bytes > 0) {
+    w.Field("cache_bytes", static_cast<uint64_t>(batch.cache_bytes));
+  }
   w.Field("wall_seconds", batch.wall_seconds);
   w.BeginArray("systems");
   for (const auto& r : batch.systems) detail::WriteSystemEntry(w, r);
@@ -256,6 +279,12 @@ Result<BatchResult> FromJson(std::string_view json) {
   AIRINDEX_ASSIGN_OR_RETURN(uint64_t fec_parity,
                             GetUint64Or(root, "fec_parity", 0));
   batch.fec.parity_per_group = static_cast<uint32_t>(fec_parity);
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t session_queries,
+                            GetUint64Or(root, "session_queries", 1));
+  batch.session_queries = static_cast<uint32_t>(session_queries);
+  AIRINDEX_ASSIGN_OR_RETURN(uint64_t cache_bytes,
+                            GetUint64Or(root, "cache_bytes", 0));
+  batch.cache_bytes = static_cast<size_t>(cache_bytes);
   AIRINDEX_ASSIGN_OR_RETURN(batch.wall_seconds,
                             GetNumber(root, "wall_seconds"));
 

@@ -174,6 +174,22 @@ Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
         "engine's private per-query replays have no shared timeline to "
         "observe demand on)");
   }
+  bool has_sessions = s.cache_bytes > 0;
+  for (const ClientGroupSpec& g : s.groups) {
+    has_sessions = has_sessions || g.workload.session.queries > 1;
+  }
+  if (has_sessions && engine != "event") {
+    return Status::InvalidArgument(
+        "persistent-client sessions (workload session / cache bytes) need "
+        "--engine=event (the batch engine replays every query on a private "
+        "channel, so there is no client to keep warm)");
+  }
+  if (has_sessions && s.schedule.mode == SchedulePolicy::Mode::kOnline) {
+    return Status::InvalidArgument(
+        "persistent-client sessions are not supported with the online "
+        "schedule re-planner (its demand estimator assumes one-shot "
+        "arrivals)");
+  }
 
   // Static broadcast-disk planning weights groups by the fleet's merged
   // destination distribution: each group's analytic per-node demand,
@@ -262,6 +278,8 @@ Result<ScenarioResult> ScenarioRunner::Run(const Scenario& s,
       eo.schedule = s.schedule;
       eo.schedule_demand = schedule_demand;
       eo.encoding = s.params.build.encoding;
+      eo.session = wspec.session;
+      eo.cache_bytes = s.cache_bytes;
       EventEngine event_engine(g, eo);
       result.threads = event_engine.effective_threads();
       for (const auto& sys : shared) {
@@ -382,6 +400,27 @@ Result<workload::WorkloadSpec> WorkloadSpecFromJson(const JsonValue& obj) {
   AIRINDEX_ASSIGN_OR_RETURN(uint64_t arrival_seed,
                             GetUint64Or(obj, "arrival_seed", 0));
   w.arrival.seed = arrival_seed;
+
+  // Additive airindex.sim.scenario/v1 field: persistent-client sessions.
+  // Absent = one-shot clients (the historical model).
+  if (auto it = obj.object.find("session"); it != obj.object.end()) {
+    if (it->second.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("session must be an object");
+    }
+    AIRINDEX_ASSIGN_OR_RETURN(
+        uint64_t per_session,
+        GetUint64Or(it->second, "queries", w.session.queries));
+    if (per_session == 0) {
+      return Status::InvalidArgument("session queries must be >= 1");
+    }
+    w.session.queries = static_cast<uint32_t>(per_session);
+    AIRINDEX_ASSIGN_OR_RETURN(
+        w.session.think_ms,
+        GetNumberOr(it->second, "think_ms", w.session.think_ms));
+    if (!(w.session.think_ms >= 0.0)) {
+      return Status::InvalidArgument("session think_ms must be >= 0");
+    }
+  }
   return w;
 }
 
@@ -610,6 +649,17 @@ Result<Scenario> ScenarioFromJson(std::string_view json) {
     AIRINDEX_ASSIGN_OR_RETURN(s.schedule, ScheduleFromJson(it->second));
   }
 
+  // Additive airindex.sim.scenario/v1 field: per-client session-cache
+  // budget. Absent = no cache (the historical stateless client).
+  if (auto it = root.object.find("cache"); it != root.object.end()) {
+    if (it->second.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("cache must be an object");
+    }
+    AIRINDEX_ASSIGN_OR_RETURN(uint64_t bytes,
+                              GetUint64Or(it->second, "bytes", 0));
+    s.cache_bytes = static_cast<size_t>(bytes);
+  }
+
   if (auto it = root.object.find("systems"); it != root.object.end()) {
     if (it->second.type != JsonValue::Type::kArray) {
       return Status::InvalidArgument("systems must be an array");
@@ -690,6 +740,15 @@ void WriteWorkloadSpec(JsonWriter& w, const workload::WorkloadSpec& spec) {
       w.Field("arrival_seed", static_cast<uint64_t>(spec.arrival.seed));
     }
   }
+  if (spec.session.queries > 1 || spec.session.think_ms > 0.0) {
+    w.Key("session");
+    w.BeginObject();
+    w.Field("queries", static_cast<uint64_t>(spec.session.queries));
+    if (spec.session.think_ms > 0.0) {
+      w.Field("think_ms", spec.session.think_ms);
+    }
+    w.EndObject();
+  }
   if (spec.seed != 0) w.Field("seed", static_cast<uint64_t>(spec.seed));
   w.EndObject();
 }
@@ -731,6 +790,12 @@ std::string ScenarioToJson(const Scenario& s) {
     if (s.schedule.min_skew != SchedulePolicy{}.min_skew) {
       w.Field("min_skew", s.schedule.min_skew);
     }
+    w.EndObject();
+  }
+  if (s.cache_bytes > 0) {
+    w.Key("cache");
+    w.BeginObject();
+    w.Field("bytes", static_cast<uint64_t>(s.cache_bytes));
     w.EndObject();
   }
   w.BeginArray("systems");

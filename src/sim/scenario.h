@@ -89,6 +89,10 @@ struct Scenario {
   /// demand is derived from the fleet's merged destination distribution;
   /// online mode requires the event engine.
   SchedulePolicy schedule;
+  /// Per-client session-cache budget in bytes (additive schema field:
+  /// `cache` object with a `bytes` member). 0 = no cache. Event engine
+  /// only; pairs with the groups' workload `session` blocks.
+  size_t cache_bytes = 0;
   /// Systems under test, paper names. Empty = all seven.
   std::vector<std::string> systems;
   core::SystemParams params;

@@ -318,12 +318,59 @@ Scenario FlashCrowdFec() {
   return s;
 }
 
+/// Persistent commuters on the event engine: every client poses a whole
+/// journey of queries (8 per session) against its warm session cache, so
+/// only the first query of a session pays the index tune-in. Clustered
+/// home districts and zipf destinations keep the cached region chains hot
+/// — a commuter re-queries from the same area, so NR's hop prefix and
+/// EB's entry region repeat across the session.
+Scenario CommuterSessions() {
+  Scenario s;
+  s.name = "commuter-sessions";
+  s.description =
+      "event engine: persistent rush-hour commuters posing 8-query "
+      "sessions from a warm per-client cache (clustered homes, zipf "
+      "destinations)";
+  s.engine = "event";
+  s.total_queries = 64;
+  s.cache_bytes = 4u << 20;
+
+  ClientGroupSpec commuters = Group("commuters", 2.0);
+  commuters.profile = "smartphone";
+  commuters.bits_per_second = device::kBitrateMoving3G;
+  commuters.loss = broadcast::LossModel::Independent(0.01);
+  commuters.client.max_repair_cycles = 64;
+  commuters.workload.source = workload::WorkloadSpec::Source::kClustered;
+  commuters.workload.partition_regions = 16;
+  commuters.workload.source_regions = {0, 1};
+  commuters.workload.dest = workload::WorkloadSpec::Dest::kZipf;
+  commuters.workload.zipf_s = 1.1;
+  commuters.workload.arrival.kind = workload::ArrivalSpec::Kind::kRushHour;
+  commuters.workload.arrival.rate_per_second = 2.0;
+  commuters.workload.arrival.peak_seconds = 6.0;
+  commuters.workload.arrival.width_seconds = 3.0;
+  commuters.workload.arrival.peak_multiplier = 8.0;
+  commuters.workload.session.queries = 8;
+  commuters.workload.session.think_ms = 250.0;
+  s.groups.push_back(std::move(commuters));
+
+  ClientGroupSpec pedestrians = Group("pedestrians", 1.0);
+  pedestrians.loss = broadcast::LossModel::Independent(0.005);
+  pedestrians.client.max_repair_cycles = 64;
+  pedestrians.workload.arrival.kind = workload::ArrivalSpec::Kind::kPoisson;
+  pedestrians.workload.arrival.rate_per_second = 3.0;
+  pedestrians.workload.session.queries = 4;
+  pedestrians.workload.session.think_ms = 500.0;
+  s.groups.push_back(std::move(pedestrians));
+  return s;
+}
+
 const std::vector<Scenario>& Catalog() {
   static const std::vector<Scenario>* catalog = new std::vector<Scenario>{
-      PaperBaseline(),    CommuterRush(),  HotspotCity(),
-      HotspotCityDisks(), IotFleet(),      LossyTunnel(),
-      LossyTunnelFec(),   MixedFleet(),    MemboundPrecompute(),
-      FlashCrowd(),       FlashCrowdFec()};
+      PaperBaseline(),    CommuterRush(),  CommuterSessions(),
+      HotspotCity(),      HotspotCityDisks(), IotFleet(),
+      LossyTunnel(),      LossyTunnelFec(), MixedFleet(),
+      MemboundPrecompute(), FlashCrowd(),  FlashCrowdFec()};
   return *catalog;
 }
 

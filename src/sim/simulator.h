@@ -106,6 +106,11 @@ struct BatchResult {
   /// Broadcast-disk scheduling mode of the run ("flat", "static",
   /// "online"). Additive JSON field; legacy readers ignore it.
   std::string schedule_mode = "flat";
+  /// Persistent-client sessions of the event engine: queries per session
+  /// and the per-client cache budget. 1/0 = the historical one-shot fleet
+  /// (both fields are then omitted from the JSON document).
+  uint32_t session_queries = 1;
+  size_t cache_bytes = 0;
   double wall_seconds = 0.0;
   std::vector<SystemResult> systems;
 };

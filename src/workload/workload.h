@@ -68,6 +68,20 @@ struct WorkloadSpec {
   /// query population above — the batch path stays bit-identical.
   ArrivalSpec arrival;
 
+  /// Client sessions (event engine). A session is a run of `queries`
+  /// consecutive workload queries posed by one persistent client: the
+  /// first query arrives per the arrival process above, each later one
+  /// `think_ms` after the previous answer, and the client's SessionCache
+  /// carries decoded segments across them (warm queries). queries = 1 is
+  /// the historical one-shot fleet. Purely a grouping of the generated
+  /// sequence — enabling sessions never perturbs the query population.
+  struct SessionSpec {
+    uint32_t queries = 1;
+    double think_ms = 0.0;
+
+    bool operator==(const SessionSpec&) const = default;
+  } session;
+
   bool operator==(const WorkloadSpec&) const = default;
 };
 

@@ -25,6 +25,7 @@
 //       groups (device profiles, loss models, workload mixes) against
 //       the systems under test, reported per group and fleet-wide.
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -70,7 +71,10 @@ void PrintUsage(std::FILE* out) {
                "      see --schedule below — previews the broadcast-disk "
                "layout\n"
                "      planned for a zipf[zipf_s] destination demand, "
-               "default 0.9)\n"
+               "default 0.9;\n"
+               "      method \"all\" prints every system's index-segment "
+               "byte totals\n"
+               "      — the numbers to size run's --cache-bytes from)\n"
                "  airindex_cli query <network> <scale> <method> <source> "
                "<target>\n"
                "  airindex_cli run <network> [--scale=F] [--queries=N] "
@@ -83,7 +87,7 @@ void PrintUsage(std::FILE* out) {
                "      [--arrival=uniform|poisson|rush-hour] [--rate=F]\n"
                "      [--schedule=flat|disks[:K[:r1,r2,...]]|"
                "online[:R[,decay]]]\n"
-               "      [--zipf=F]\n"
+               "      [--zipf=F] [--sessions=N] [--cache-bytes=N]\n"
                "      Simulate a batch of clients through the parallel "
                "engine\n"
                "      (--threads=0 uses all cores; --burst=N groups losses "
@@ -119,7 +123,13 @@ void PrintUsage(std::FILE* out) {
                "online\n"
                "      re-plans every R cycles from observed demand "
                "(event engine\n"
-               "      only; decay weights history)).\n"
+               "      only; decay weights history); --sessions=N keeps "
+               "each client\n"
+               "      alive for N consecutive queries and --cache-bytes=N "
+               "gives it\n"
+               "      an N-byte segment cache (event engine only; size N "
+               "from\n"
+               "      `inspect <network> <scale> all`).\n"
                "  airindex_cli scenario --list | --name=NAME | "
                "--file=SPEC.json\n"
                "      [--threads=N] [--repeat=N] [--scale=F] [--queries=N] "
@@ -250,6 +260,33 @@ bool ParseScheduleFlag(const char* value, sim::SchedulePolicy* out) {
   return fail();
 }
 
+/// Byte totals of a cycle split into index vs data segments — the numbers
+/// a user sizes run's --cache-bytes from (the session cache keeps whole
+/// segments, index slot first).
+struct CycleBytes {
+  size_t index_segments = 0;
+  size_t index_bytes = 0;
+  size_t data_segments = 0;
+  size_t data_bytes = 0;
+  size_t max_segment_bytes = 0;
+};
+
+CycleBytes CycleBytesOf(const broadcast::BroadcastCycle& cycle) {
+  CycleBytes b;
+  for (size_t i = 0; i < cycle.num_segments(); ++i) {
+    const auto& seg = cycle.segment(i);
+    if (seg.is_index) {
+      ++b.index_segments;
+      b.index_bytes += seg.payload.size();
+    } else {
+      ++b.data_segments;
+      b.data_bytes += seg.payload.size();
+    }
+    b.max_segment_bytes = std::max(b.max_segment_bytes, seg.payload.size());
+  }
+  return b;
+}
+
 Result<std::unique_ptr<core::AirSystem>> BuildMethod(
     const graph::Graph& g, const std::string& method, uint32_t regions,
     broadcast::CycleEncoding encoding = broadcast::CycleEncoding::kLegacy) {
@@ -366,6 +403,32 @@ int Inspect(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
     return 1;
   }
+  if (method == "all") {
+    // Cache-sizing table: every system's index-segment byte totals, the
+    // numbers run's --cache-bytes is sized from (the session cache pins
+    // the index slot and then LRUs whole data segments).
+    std::printf("index/data bytes per system on %s (scale %.2f): "
+                "%zu nodes, %zu arcs\n",
+                argv[2], scale, g->num_nodes(), g->num_arcs());
+    std::printf("%-5s %9s %12s %9s %12s %12s\n", "sys", "idx segs",
+                "idx bytes", "data segs", "data bytes", "max seg");
+    for (const char* m :
+         {"DJ", "NR", "EB", "LD", "AF", "SPQ", "HiTi"}) {
+      auto sys = BuildMethod(*g, m, regions, encoding);
+      if (!sys.ok()) {
+        std::fprintf(stderr, "%s\n", sys.status().ToString().c_str());
+        return 1;
+      }
+      const CycleBytes b = CycleBytesOf((*sys)->cycle());
+      std::printf("%-5s %9zu %12zu %9zu %12zu %12zu\n", m,
+                  b.index_segments, b.index_bytes, b.data_segments,
+                  b.data_bytes, b.max_segment_bytes);
+    }
+    std::printf("size --cache-bytes to at least one system's max seg (one "
+                "warm region) — idx bytes ride in a separate pinned "
+                "slot;\ndata bytes caches the whole cycle.\n");
+    return 0;
+  }
   auto sys = BuildMethod(*g, method, regions, encoding);
   if (!sys.ok()) {
     std::fprintf(stderr, "%s\n", sys.status().ToString().c_str());
@@ -405,6 +468,11 @@ int Inspect(int argc, char** argv) {
                 100.0 * static_cast<double>(packets[t]) /
                     cycle.total_packets());
   }
+  const CycleBytes cb = CycleBytesOf(cycle);
+  std::printf("index bytes: %zu segments, %zu bytes (largest segment %zu "
+              "bytes — size run's --cache-bytes from these; \"all\" "
+              "tabulates every system)\n",
+              cb.index_segments, cb.index_bytes, cb.max_segment_bytes);
   if (schedule.mode != sim::SchedulePolicy::Mode::kFlat) {
     // Preview the static square-root plan for the requested disk shape
     // under an analytic zipf destination demand (seed fixed so the layout
@@ -535,6 +603,8 @@ int Run(int argc, char** argv) {
   double rate = 50.0;
   uint32_t subchannels = 1;
   double zipf = 0.0;
+  uint32_t sessions = 1;
+  uint64_t cache_bytes = 0;
   sim::SchedulePolicy schedule;
   std::vector<std::string> names = {"DJ", "NR", "EB", "LD", "AF"};
 
@@ -599,6 +669,15 @@ int Run(int argc, char** argv) {
         std::fprintf(stderr, "--zipf must be >= 0\n");
         return 2;
       }
+    } else if (std::strncmp(arg, "--sessions=", 11) == 0) {
+      if (!ParseUintFlag(arg, 11, &u)) return 2;
+      if (u < 1) {
+        std::fprintf(stderr, "--sessions must be >= 1\n");
+        return 2;
+      }
+      sessions = static_cast<uint32_t>(u);
+    } else if (std::strncmp(arg, "--cache-bytes=", 14) == 0) {
+      if (!ParseUintFlag(arg, 14, &cache_bytes)) return 2;
     } else if (std::strncmp(arg, "--schedule=", 11) == 0) {
       if (!ParseScheduleFlag(arg + 11, &schedule)) return 2;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
@@ -632,6 +711,21 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr,
                  "--schedule=online needs --engine=event (re-planning "
                  "observes demand on the shared station timeline)\n");
+    return 2;
+  }
+  if (engine != "event" && (sessions > 1 || cache_bytes > 0)) {
+    std::fprintf(stderr,
+                 "--sessions/--cache-bytes need --engine=event (the batch "
+                 "engine replays every query on a private channel, so "
+                 "there is no client to keep warm)\n");
+    return 2;
+  }
+  if ((sessions > 1 || cache_bytes > 0) &&
+      schedule.mode == sim::SchedulePolicy::Mode::kOnline) {
+    std::fprintf(stderr,
+                 "--sessions/--cache-bytes are not supported with "
+                 "--schedule=online (the re-planner's demand estimator "
+                 "assumes one-shot arrivals)\n");
     return 2;
   }
 
@@ -704,6 +798,8 @@ int Run(int argc, char** argv) {
     eo.schedule = schedule;
     eo.schedule_demand = schedule_demand;
     eo.encoding = params.build.encoding;
+    eo.session.queries = sessions;
+    eo.cache_bytes = static_cast<size_t>(cache_bytes);
     sim::EventEngine event_engine(*g, eo);
     batch = event_engine.Run(system_ptrs, *w);
   } else {
